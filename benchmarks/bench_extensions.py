@@ -1,0 +1,178 @@
+"""Extension experiments: the paper's Section VII-C architectural wishes.
+
+EXT1 -- **variable warp sizes** ("we endorse new architectural features
+like variable warp sizes, which helps with the matching of shorter
+queues"): sub-32-lane warps remove the lane-rounding waste of many small
+partitioned queues, cutting CTA counts and wave serialization.
+
+EXT2 -- **dynamic parallelism** ("better dynamic parallelism, which
+allows for adjusting kernel parameters to queue sizes"): the adaptive
+planner re-selects structure / queue count / warp size per pass and is
+compared against every fixed configuration on a mixed queue-size
+workload stream.
+
+EXT3 -- **tag partitioning** (Section VI: "prohibiting tag wildcards
+would allow to further partition among tags, but tags are usually not
+uniformly distributed, resulting in an imbalanced utilization of
+queues"): tag-partitioned queues match rank-partitioned ones on uniform
+tag workloads and collapse on realistic skewed tag distributions.
+
+EXT4 -- **collision-resolution policy** (the paper's declared future
+work): linear probing inside each hash-table level trades more probes
+per round for fewer rounds; the sweep shows the sweet spot on tight
+tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import numpy as np
+
+from repro.bench import Table, format_rate, matching_workload, write_result
+from repro.core.adaptive import AdaptiveMatcher
+from repro.core.envelope import EnvelopeBatch
+from repro.core.hash_matching import HashMatcher, HashTableConfig
+from repro.core.matrix_matching import MatrixMatcher
+from repro.core.partitioned import PartitionedMatcher
+
+WARP_SIZES = (4, 8, 16, 32)
+
+
+def test_report_ext1_variable_warp_size():
+    table = Table(
+        title="EXT1 -- variable warp size on many small partitioned "
+              "queues (Pascal)",
+        columns=["queues", "depth/queue", "W=4", "W=8", "W=16", "W=32",
+                 "CTAs W=4 vs 32"])
+    gains = {}
+    for n, q in ((1024, 128), (1024, 32), (4096, 128)):
+        msgs, reqs = matching_workload(n, n_ranks=256, n_tags=8)
+        rates = {}
+        ctas = {}
+        for w in WARP_SIZES:
+            o = PartitionedMatcher(n_queues=q, warp_size=w).match(msgs, reqs)
+            rates[w] = o.matches_per_second()
+            ctas[w] = o.meta["ctas"]
+        gains[(n, q)] = rates[4] / rates[32]
+        table.add(q, n // q, *(format_rate(rates[w]) for w in WARP_SIZES),
+                  f"{ctas[4]} vs {ctas[32]}")
+    table.note("paper (Sec. VII-C): variable warp sizes 'help with the "
+               "matching of shorter queues'")
+    write_result("ext1_warp_size", table.show())
+    # tiny queues (depth 8): narrow warps must win; 32-deep queues: ~tie
+    assert gains[(1024, 128)] > 1.2
+    assert gains[(1024, 32)] == pytest.approx(1.0, abs=0.25)
+
+
+def test_report_ext2_adaptive():
+    # a bursty stream alternating shallow and deep matching passes
+    stream = [matching_workload(n, n_ranks=64, n_tags=16, seed=i)
+              for i, n in enumerate((48, 2048, 64, 4096, 32, 1024, 8192))]
+    contenders = {
+        "matrix (fixed)": lambda: MatrixMatcher(),
+        "partitioned Q=32 (fixed)": lambda: PartitionedMatcher(n_queues=32),
+        "adaptive": lambda: AdaptiveMatcher(),
+    }
+    table = Table(
+        title="EXT2 -- adaptive kernel configuration on a mixed stream "
+              "(Pascal)",
+        columns=["matcher", "total matches", "total time", "aggregate rate"])
+    rates = {}
+    for label, factory in contenders.items():
+        matcher = factory()
+        seconds = 0.0
+        matched = 0
+        for msgs, reqs in stream:
+            o = matcher.match(msgs, reqs)
+            seconds += o.seconds
+            matched += o.matched_count
+        rates[label] = matched / seconds
+        table.add(label, matched, f"{seconds * 1e6:.0f} us",
+                  format_rate(rates[label]))
+    table.note("the adaptive planner pays relaunch overhead when the "
+               "stream's shape shifts, and still wins overall")
+    write_result("ext2_adaptive", table.show())
+    assert rates["adaptive"] > rates["matrix (fixed)"]
+    assert rates["adaptive"] >= 0.95 * rates["partitioned Q=32 (fixed)"]
+
+
+def _zipf_tag_workload(n: int, n_tags: int, seed: int = 0):
+    """Tags drawn from a Zipf-like distribution (realistic skew)."""
+    rng = np.random.default_rng(seed)
+    ranks = rng.integers(0, 64, size=n)
+    weights = 1.0 / np.arange(1, n_tags + 1) ** 1.3
+    weights /= weights.sum()
+    tags = rng.choice(n_tags, size=n, p=weights)
+    msgs = EnvelopeBatch(src=ranks, tag=tags)
+    return msgs, msgs.take(rng.permutation(n))
+
+
+def test_report_ext3_tag_partitioning():
+    uniform = matching_workload(2048, n_ranks=64, n_tags=64)
+    skewed = _zipf_tag_workload(2048, n_tags=64)
+    table = Table(
+        title="EXT3 -- partition key choice vs tag distribution "
+              "(Pascal, 2048 elements, Q=16)",
+        columns=["workload", "partition by src", "partition by tag",
+                 "tag active queues"])
+    rates = {}
+    for label, wl in (("uniform tags", uniform), ("zipf tags", skewed)):
+        by_src = PartitionedMatcher(n_queues=16).match(*wl)
+        by_tag = PartitionedMatcher(n_queues=16,
+                                    partition_key="tag").match(*wl)
+        rates[label] = (by_src.matches_per_second(),
+                        by_tag.matches_per_second())
+        table.add(label, format_rate(rates[label][0]),
+                  format_rate(rates[label][1]),
+                  by_tag.meta["n_active_queues"])
+    table.note("paper: tag partitioning suffers from non-uniform tag use")
+    write_result("ext3_tag_partitioning", table.show())
+    # uniform tags: the two keys are equivalent within noise
+    assert rates["uniform tags"][1] == pytest.approx(
+        rates["uniform tags"][0], rel=0.35)
+    # skewed tags: tag partitioning loses substantially
+    assert rates["zipf tags"][1] < 0.6 * rates["zipf tags"][0]
+
+
+def test_report_ext4_probe_depth():
+    msgs, reqs = matching_workload(512, n_ranks=16, n_tags=8, seed=3)
+    table = Table(
+        title="EXT4 -- linear probe depth on a tight table "
+              "(scale 1.1, duplicate-heavy keys)",
+        columns=["probe depth", "rounds", "collisions", "rate"])
+    rounds = {}
+    for depth in (1, 2, 4, 8):
+        cfg = HashTableConfig(probe_depth=depth, scale=1.1)
+        o = HashMatcher(config=cfg).match(msgs, reqs)
+        assert o.matched_count == 512
+        rounds[depth] = o.iterations
+        table.add(depth, o.iterations, o.meta["collisions"],
+                  format_rate(o.matches_per_second()))
+    table.note("the paper's policy is depth 1 (collide -> next level -> "
+               "defer); deeper probing trades per-round cost for rounds")
+    write_result("ext4_probe_depth", table.show())
+    assert rounds[8] < rounds[1]
+
+
+@pytest.mark.parametrize("w", [8, 32])
+def test_perf_partitioned_warp_size(benchmark, w):
+    msgs, reqs = matching_workload(1024, n_ranks=256, n_tags=8)
+    matcher = PartitionedMatcher(n_queues=128, warp_size=w)
+    outcome = benchmark(matcher.match, msgs, reqs)
+    assert outcome.matched_count == 1024
+
+
+def test_perf_adaptive(benchmark):
+    msgs, reqs = matching_workload(2048, n_ranks=64, n_tags=16)
+    matcher = AdaptiveMatcher()
+    outcome = benchmark(matcher.match, msgs, reqs)
+    assert outcome.matched_count == 2048
+
+
+if __name__ == "__main__":
+    test_report_ext8_multi_sm()
+    test_report_ext1_variable_warp_size()
+    test_report_ext2_adaptive()
+    test_report_ext3_tag_partitioning()
+    test_report_ext4_probe_depth()

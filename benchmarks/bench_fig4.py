@@ -1,0 +1,70 @@
+"""Figure 4: single-CTA matrix matching rate vs queue length, 3 GPUs.
+
+Paper shape: steady rates of ~3 / ~3.5 / ~6 Mmatches/s (Kepler K80,
+Maxwell M40, Pascal GTX 1080) for queue lengths below 1024; a drop at
+1024 where all 32 warps are needed for the scan and the reduce can no
+longer be overlapped; further decay beyond 1024 where multiple
+iterations are required.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Table, format_rate, matching_workload, write_result
+from repro.core.matrix_matching import MatrixMatcher
+from repro.simt.gpu import GPU
+
+# The paper uses a separate single-warp, no-matrix path below 64
+# entries; we model the matrix path, so the sweep starts at 64.
+QUEUE_LENGTHS = (64, 128, 256, 512, 1024, 2048, 4096)
+PAPER_STEADY = {"kepler": 3.0e6, "maxwell": 3.5e6, "pascal": 6.0e6}
+
+
+def figure4_rates() -> dict[str, dict[int, float]]:
+    """Simulated matching rate per generation per queue length."""
+    out: dict[str, dict[int, float]] = {}
+    for spec in GPU.all_generations():
+        rates = {}
+        for n in QUEUE_LENGTHS:
+            msgs, reqs = matching_workload(n)
+            rates[n] = MatrixMatcher(spec=spec).match(
+                msgs, reqs).matches_per_second()
+        out[spec.generation] = rates
+    return out
+
+
+def test_report_figure4():
+    rates = figure4_rates()
+    table = Table(
+        title="Figure 4 -- single-CTA matrix matching rate vs queue length",
+        columns=["queue", "Kepler K80", "Maxwell M40", "Pascal GTX1080"])
+    for n in QUEUE_LENGTHS:
+        table.add(n, format_rate(rates["kepler"][n]),
+                  format_rate(rates["maxwell"][n]),
+                  format_rate(rates["pascal"][n]))
+    for gen, paper in PAPER_STEADY.items():
+        table.note(f"paper steady rate {gen}: {format_rate(paper)} "
+                   f"(measured at 512: {format_rate(rates[gen][512])})")
+    table.note("paper: drop at 1024 (no scan/reduce overlap), decay beyond")
+    write_result("fig4", table.show())
+
+    # shape assertions: steady below 1024, knee at 1024, ordering K<M<P
+    for gen, paper in PAPER_STEADY.items():
+        assert rates[gen][512] == pytest.approx(paper, rel=0.15)
+        assert rates[gen][1024] < 0.85 * rates[gen][512]
+        assert rates[gen][4096] < rates[gen][2048] < rates[gen][1024]
+    for n in QUEUE_LENGTHS:
+        assert rates["kepler"][n] < rates["maxwell"][n] < rates["pascal"][n]
+
+
+@pytest.mark.parametrize("n", [64, 512, 1024])
+def test_perf_matrix_match(benchmark, n):
+    msgs, reqs = matching_workload(n)
+    matcher = MatrixMatcher()
+    outcome = benchmark(matcher.match, msgs, reqs)
+    assert outcome.matched_count == n
+
+
+if __name__ == "__main__":
+    test_report_figure4()

@@ -1,0 +1,101 @@
+"""Figure 5: rank-partitioned matching rate vs total queue length.
+
+Paper shape (Pascal GTX 1080): performance scales almost linearly up to
+four queues and just below linear beyond; queue lengths beyond the
+capacity of the two resident CTAs force additional CTAs whose waves
+serialize; the annotated CTA counts are ceil(total/1024).  The GTX 1080
+averages 2.12x over the Kepler K80 and 1.56x over the Maxwell M40.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import Table, anchor, format_rate, matching_workload, \
+    write_result
+from repro.core.partitioned import PartitionedMatcher
+from repro.simt.gpu import GPU
+
+TOTAL_LENGTHS = (512, 1024, 2048, 4096, 8192)
+QUEUE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def figure5_rates(spec=None) -> dict[int, dict[int, tuple[float, int, int]]]:
+    """{total_length: {n_queues: (rate, ctas, waves)}} on one device."""
+    spec = spec if spec is not None else GPU.pascal_gtx1080()
+    out: dict[int, dict[int, tuple[float, int, int]]] = {}
+    for total in TOTAL_LENGTHS:
+        msgs, reqs = matching_workload(total, n_ranks=64, n_tags=8)
+        row = {}
+        for q in QUEUE_COUNTS:
+            o = PartitionedMatcher(spec=spec, n_queues=q).match(msgs, reqs)
+            row[q] = (o.matches_per_second(), o.meta["ctas"],
+                      o.meta["waves"])
+        out[total] = row
+    return out
+
+
+def test_report_figure5():
+    rates = figure5_rates()
+    table = Table(
+        title="Figure 5 -- partitioned matching rate vs total queue length "
+              "(Pascal GTX1080)",
+        columns=["total"] + [f"Q={q}" for q in QUEUE_COUNTS] + ["CTAs(waves)"])
+    for total in TOTAL_LENGTHS:
+        row = rates[total]
+        ctas, waves = row[QUEUE_COUNTS[-1]][1], row[QUEUE_COUNTS[-1]][2]
+        table.add(total, *(format_rate(row[q][0]) for q in QUEUE_COUNTS),
+                  f"{ctas}({waves})")
+    table.note("paper: ~linear scaling to 4 queues, just below linear after")
+    table.note(f"paper partitioned ceiling: "
+               f"{format_rate(anchor('partitioned/pascal_peak'))} "
+               f"(measured at 1024/Q=32: "
+               f"{format_rate(rates[1024][32][0])})")
+    write_result("fig5", table.show())
+
+    # shape: monotone in Q everywhere; ~60M ceiling; serialization at 8192
+    for total in TOTAL_LENGTHS:
+        seq = [rates[total][q][0] for q in QUEUE_COUNTS]
+        assert all(a < b for a, b in zip(seq, seq[1:])), total
+    assert rates[1024][32][0] == pytest.approx(
+        anchor("partitioned/pascal_peak"), rel=0.2)
+    assert rates[8192][8][2] > 1  # waves > 1: CTA serialization engaged
+
+
+def test_report_figure5_speedups():
+    msgs, reqs = matching_workload(2048, n_ranks=64, n_tags=8, seed=77)
+    table = Table(
+        title="Figure 5 (cross-generation) -- Pascal speedup by queue count",
+        columns=["Q", "vs Kepler K80", "vs Maxwell M40"])
+    ratios_k, ratios_m = [], []
+    for q in QUEUE_COUNTS:
+        rp = PartitionedMatcher(spec=GPU.pascal_gtx1080(),
+                                n_queues=q).match(msgs, reqs)
+        rk = PartitionedMatcher(spec=GPU.kepler_k80(),
+                                n_queues=q).match(msgs, reqs)
+        rm = PartitionedMatcher(spec=GPU.maxwell_m40(),
+                                n_queues=q).match(msgs, reqs)
+        k = rp.matches_per_second() / rk.matches_per_second()
+        m = rp.matches_per_second() / rm.matches_per_second()
+        ratios_k.append(k)
+        ratios_m.append(m)
+        table.add(q, f"{k:.2f}x", f"{m:.2f}x")
+    table.add("mean", f"{np.mean(ratios_k):.2f}x", f"{np.mean(ratios_m):.2f}x")
+    table.note("paper: average speedups 2.12x (vs K80) and 1.56x (vs M40)")
+    write_result("fig5_speedups", table.show())
+    assert np.mean(ratios_k) == pytest.approx(2.12, rel=0.15)
+    assert np.mean(ratios_m) == pytest.approx(1.56, rel=0.15)
+
+
+@pytest.mark.parametrize("q", [1, 8, 32])
+def test_perf_partitioned_match(benchmark, q):
+    msgs, reqs = matching_workload(1024, n_ranks=64, n_tags=8)
+    matcher = PartitionedMatcher(n_queues=q)
+    outcome = benchmark(matcher.match, msgs, reqs)
+    assert outcome.matched_count == 1024
+
+
+if __name__ == "__main__":
+    test_report_figure5()
+    test_report_figure5_speedups()

@@ -1,0 +1,86 @@
+"""Table I: proxy-application communication characteristics.
+
+Regenerates the paper's application-characteristics table from the
+synthetic traces: wildcard usage (only MiniDFT and MiniFE use the source
+wildcard, nobody uses the tag wildcard), communicator counts (NEKBONE 2,
+MiniDFT 7, all others 1), peer counts (most 10-30; CNS ~72, AMG ~79),
+and tag-space sizes (MiniDFT/MOCFE/PARTISN thousands; AMG/LULESH/MiniFE
+fewer than four).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Table, write_result
+from repro.traces import analyze, app_names, generate_trace
+
+PAPER_NOTES = {
+    "df_amg": "peers ~79, tags <4",
+    "df_minidft": "src wildcard, 7 comms, tags in the thousands",
+    "df_minife": "src wildcard, tags <4",
+    "df_partisn": "tags in the thousands",
+    "cesar_nekbone": "2 comms, irregular rank usage",
+    "cesar_mocfe": "tags in the thousands",
+    "exact_cns": "peers ~72",
+    "exact_multigrid": "long queues (see Fig. 2)",
+    "exmatex_lulesh": "tags <4, receives pre-posted",
+    "amr_boxlib": "irregular rank usage",
+}
+
+
+def table1_rows():
+    """Analyzer rows for every modelled application at default scale."""
+    return {name: analyze(generate_trace(name)) for name in app_names()}
+
+
+def test_report_table1():
+    rows = table1_rows()
+    table = Table(
+        title="Table I -- application communication characteristics",
+        columns=["application", "ranks", "src-wc", "tag-wc", "comms",
+                 "peers(mean/max)", "tags", "tag-entropy", "rank-CoV",
+                 "paper notes"])
+    for name, row in rows.items():
+        table.add(name, row.n_ranks,
+                  "yes" if row.uses_src_wildcard else "no",
+                  "yes" if row.uses_tag_wildcard else "no",
+                  row.n_communicators,
+                  f"{row.peers_mean:.0f}/{row.peers_max}",
+                  row.n_tags,
+                  f"{row.tag_entropy:.2f}",
+                  f"{row.rank_usage_cov:.2f}",
+                  PAPER_NOTES.get(name, ""))
+    table.note("src wildcard users must be exactly {MiniDFT, MiniFE}; "
+               "no app may use the tag wildcard; all tags fit in 16 bits")
+    write_result("table1", table.show())
+
+    wc_users = {n for n, r in rows.items() if r.uses_src_wildcard}
+    assert wc_users == {"df_minidft", "df_minife"}
+    assert not any(r.uses_tag_wildcard for r in rows.values())
+    assert rows["cesar_nekbone"].n_communicators == 2
+    assert rows["df_minidft"].n_communicators == 7
+    assert rows["df_amg"].peers_mean == pytest.approx(79, rel=0.15)
+    assert rows["exact_cns"].peers_mean == pytest.approx(72, rel=0.15)
+    assert all(r.header_fits_64bit for r in rows.values())
+    for app in ("df_minidft", "df_partisn", "cesar_mocfe"):
+        assert rows[app].n_tags >= 256
+    for app in ("df_amg", "exmatex_lulesh", "df_minife"):
+        assert rows[app].n_tags < 4
+
+
+@pytest.mark.parametrize("app", ["exmatex_lulesh", "df_amg",
+                                 "cesar_nekbone"])
+def test_perf_trace_generation(benchmark, app):
+    trace = benchmark(generate_trace, app, 16, 2)
+    assert len(trace) > 0
+
+
+def test_perf_analyzer(benchmark):
+    trace = generate_trace("exmatex_lulesh", n_ranks=27, steps=4)
+    row = benchmark(analyze, trace)
+    assert row.sends > 0
+
+
+if __name__ == "__main__":
+    test_report_table1()

@@ -1,0 +1,110 @@
+"""Table II: the relaxation summary.
+
+Six configurations (wildcards x ordering x unexpected messages), the
+data structure each dictates, whether rank partitioning is possible, the
+user implication, and the resulting Pascal matching rate.  Paper tiers:
+MPI-compliant matrix <6M ("Low"), partitioned matrix <60M/~60M ("High"),
+hash table <500M/~500M ("Very High").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Table, format_rate, matching_workload, \
+    partial_workload, write_result
+from repro.core.engine import MatchingEngine
+from repro.core.relaxations import TABLE_II_CONFIGS
+
+PAPER_COMMENT = {
+    "wc+ord+unexp": "MPI (<6M matches/s)",
+    "wc+ord+pre": "~6M matches/s",
+    "nowc+ord+unexp": "<60M due to compaction",
+    "nowc+ord+pre": "~60M matches/s",
+    "nowc+noord+unexp": "<500M matches/s",
+    "nowc+noord+pre": "~500M matches/s",
+}
+
+
+def table2_rows(n: int = 1024):
+    """Rate per Table II configuration on the paper's standard workload.
+
+    Configurations that allow unexpected messages are additionally
+    exercised with a half-unexpected workload; the table reports the
+    fully-matching rate (the paper's microbenchmark).
+    """
+    msgs, reqs = matching_workload(n, seed=1234)
+    rows = []
+    for rel in TABLE_II_CONFIGS:
+        eng = MatchingEngine(relaxations=rel, n_queues=32, n_ctas=32)
+        out = eng.match(msgs, reqs)
+        rows.append((rel, out.matches_per_second()))
+    return rows
+
+
+def test_report_table2():
+    rows = table2_rows()
+    table = Table(
+        title="Table II -- relaxation summary (Pascal GTX1080, 1024 "
+              "elements)",
+        columns=["wildcards", "ordering", "unexp.msgs", "part.",
+                 "structure", "measured", "paper comment"])
+    for rel, rate in rows:
+        table.add("yes" if rel.wildcards else "no",
+                  "yes" if rel.ordering else "no",
+                  "yes" if rel.unexpected else "no",
+                  "yes" if rel.partitionable else "no",
+                  rel.data_structure,
+                  format_rate(rate),
+                  PAPER_COMMENT[rel.label()])
+    write_result("table2", table.show())
+
+    by_label = {rel.label(): rate for rel, rate in rows}
+    # performance tiers: Low < High < Very High
+    assert by_label["wc+ord+unexp"] < 6e6
+    assert by_label["wc+ord+pre"] <= 6e6 * 1.15
+    assert 10e6 < by_label["nowc+ord+pre"] < 80e6
+    assert by_label["nowc+noord+pre"] == pytest.approx(500e6, rel=0.15)
+    # within each structure, dropping unexpected messages never hurts
+    assert by_label["wc+ord+pre"] >= by_label["wc+ord+unexp"]
+    assert by_label["nowc+ord+pre"] >= by_label["nowc+ord+unexp"]
+    # structure ordering: matrix < partitioned matrix < hash
+    assert (by_label["wc+ord+unexp"] < by_label["nowc+ord+unexp"]
+            < by_label["nowc+noord+unexp"])
+
+
+def test_report_table2_unexpected_sensitivity():
+    """The unexpected-message rows degrade when messages actually are
+    unexpected: half-matching workloads on the 'unexp' configurations."""
+    table = Table(
+        title="Table II (supplement) -- sensitivity to actually-unexpected "
+              "traffic (50% matchable)",
+        columns=["config", "full-match rate", "half-match rate", "ratio"])
+    msgs_f, reqs_f = matching_workload(1024, seed=1234)
+    msgs_h, reqs_h = partial_workload(1024, 0.5, seed=1234)
+    for rel in TABLE_II_CONFIGS:
+        if not rel.unexpected:
+            continue
+        eng = MatchingEngine(relaxations=rel, n_queues=32, n_ctas=32)
+        full = eng.match(msgs_f, reqs_f).matches_per_second()
+        half = eng.match(msgs_h, reqs_h).matches_per_second()
+        table.add(rel.label(), format_rate(full), format_rate(half),
+                  f"{half / full:.2f}")
+        assert half < full
+    table.note("paper: 'if only half of the messages can be matched, the "
+               "matching rate ... is reduced by about 50% as well'")
+    write_result("table2_unexpected", table.show())
+
+
+@pytest.mark.parametrize("rel", TABLE_II_CONFIGS,
+                         ids=[r.label() for r in TABLE_II_CONFIGS])
+def test_perf_engine_configs(benchmark, rel):
+    msgs, reqs = matching_workload(512, seed=1234)
+    eng = MatchingEngine(relaxations=rel, n_queues=16, n_ctas=16)
+    outcome = benchmark(eng.match, msgs, reqs)
+    assert outcome.matched_count == 512
+
+
+if __name__ == "__main__":
+    test_report_table2()
+    test_report_table2_unexpected_sensitivity()

@@ -1,0 +1,17 @@
+"""Shared benchmark fixtures.
+
+Every ``bench_*.py`` module contains:
+
+* ``test_report_*`` -- regenerates its paper table/figure as a text table
+  (printed with ``-s`` and always written to ``benchmarks/results/``), and
+* ``test_perf_*`` -- pytest-benchmark measurements of the underlying
+  simulation hot paths (host-side wall time of the simulator itself).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# allow `pytest benchmarks/` from the repo root without installing tests
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))

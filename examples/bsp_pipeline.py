@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Restoring order at user level under the unordered (hash) relaxation.
+
+The paper's strongest relaxation drops MPI's non-overtaking guarantee:
+"the user has to take care to identify the right messages, for example,
+using tags to uniquely identify the right message ... in a strict BSP
+model, tags can be reused after synchronization" (Section VI).
+
+This example is that programming pattern, executable:
+
+* a four-stage software pipeline where each stage forwards a stream of
+  work items to the next rank;
+* under the unordered relaxation, items may match out of order, so each
+  item's **sequence number is encoded in its tag** and receivers post one
+  tagged receive per expected item -- order is re-established by naming;
+* after every batch the ranks synchronize (BSP superstep) and the tag
+  space is reused, keeping tags within 16 bits forever.
+
+The result is verified against a sequential execution of the same
+pipeline, demonstrating that the 80x-faster matching configuration costs
+bookkeeping, not correctness -- exactly the trade Table II's "User
+implication: high" row describes.
+
+Run:  python examples/bsp_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GPU, RelaxationSet
+from repro.mpi import Cluster, Communicator, barrier
+
+STAGES = 4
+BATCHES = 3
+ITEMS_PER_BATCH = 40
+
+
+def stage_transform(stage: int, item: float) -> float:
+    """Deterministic per-stage work, so results are checkable."""
+    return item * (stage + 2) + stage
+
+
+def run_pipeline() -> list[float]:
+    """Push all batches through the pipeline on a relaxed cluster."""
+    relaxations = RelaxationSet(wildcards=False, ordering=False,
+                                unexpected=False)
+    cluster = Cluster(STAGES, gpu=GPU.pascal_gtx1080(),
+                      relaxations=relaxations)
+    comm = Communicator(cluster)
+    rng = np.random.default_rng(99)
+    inputs = rng.random(BATCHES * ITEMS_PER_BATCH)
+    outputs: list[float] = []
+
+    for batch in range(BATCHES):
+        items = inputs[batch * ITEMS_PER_BATCH:(batch + 1) * ITEMS_PER_BATCH]
+        # Tags encode the item's sequence number *within the batch*; they
+        # are reused every superstep after the barrier.
+        for stage in range(STAGES):
+            # every stage pre-posts receives for the whole batch
+            # (no-unexpected relaxation), then the previous stage sends.
+            if stage == 0:
+                current = {seq: stage_transform(0, x)
+                           for seq, x in enumerate(items)}
+                continue
+            reqs = {seq: comm.irecv(stage, stage - 1, tag=seq)
+                    for seq in range(ITEMS_PER_BATCH)}
+            # the sender pushes items in a scrambled order: under
+            # unordered matching this is free, the tags sort it out
+            for seq in rng.permutation(ITEMS_PER_BATCH):
+                comm.isend(stage - 1, stage, current[int(seq)],
+                           tag=int(seq))
+            current = {seq: stage_transform(stage, reqs[seq].wait())
+                       for seq in range(ITEMS_PER_BATCH)}
+        outputs.extend(current[seq] for seq in range(ITEMS_PER_BATCH))
+        barrier(comm)  # superstep boundary: tag space reusable
+
+    stats = cluster.stats()
+    print(f"pipeline moved {sum(s['matches'] for s in stats)} messages, "
+          f"simulated matching time {cluster.match_seconds * 1e6:.1f} us "
+          f"(hash engine, {STAGES} stages x {BATCHES} batches)")
+    return outputs
+
+
+def run_sequential() -> list[float]:
+    """Reference: the same pipeline with no communication at all."""
+    rng = np.random.default_rng(99)
+    inputs = rng.random(BATCHES * ITEMS_PER_BATCH)
+    out = []
+    for batch in range(BATCHES):
+        items = inputs[batch * ITEMS_PER_BATCH:(batch + 1) * ITEMS_PER_BATCH]
+        for x in items:
+            v = x
+            for stage in range(STAGES):
+                v = stage_transform(stage, v)
+            out.append(v)
+    return out
+
+
+def main() -> None:
+    got = run_pipeline()
+    want = run_sequential()
+    assert np.allclose(got, want), "pipeline produced wrong results"
+    print(f"all {len(got)} pipeline outputs match the sequential "
+          "reference -- ordering was fully restored by tags")
+    print("(this is Table II's bottom row: 'User implication: high' -- "
+          "the application carries the ordering bookkeeping, the matcher "
+          "runs at ~500M matches/s)")
+
+
+if __name__ == "__main__":
+    main()

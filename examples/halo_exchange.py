@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""LULESH-style halo exchange on a cluster of simulated GPUs.
+
+The workload class the paper's intro motivates: a bulk-synchronous
+stencil code whose ranks exchange ghost zones with their 3-D Moore
+neighborhood every timestep.  Each rank is a simulated GPU whose
+communication kernel matches envelopes with the configured relaxation
+set; the example runs the same computation under full MPI semantics and
+under the relaxed (pre-posted, no-wildcard) configuration and compares
+the simulated matching time.
+
+The "computation" is a 3-D Jacobi relaxation on a small per-rank block,
+so the numerics are verifiable: after every exchange the halos must
+equal the neighbor's boundary planes.
+
+Run:  python examples/halo_exchange.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GPU, RelaxationSet
+from repro.mpi import Cluster, barrier, Communicator
+from repro.traces.apps.base import grid_dims
+
+BLOCK = 8          # interior cells per rank per dimension
+STEPS = 4          # timesteps
+FACE_TAGS = {"x-": 0, "x+": 1, "y-": 2, "y+": 3, "z-": 4, "z+": 5}
+_OPPOSITE = {"x-": "x+", "x+": "x-", "y-": "y+", "y+": "y-",
+             "z-": "z+", "z+": "z-"}
+
+
+class RankDomain:
+    """One rank's block of the global domain, with ghost layers."""
+
+    def __init__(self, rank: int, coords: tuple, dims: tuple,
+                 rng: np.random.Generator) -> None:
+        self.rank = rank
+        self.coords = coords
+        self.dims = dims
+        self.grid = np.zeros((BLOCK + 2,) * 3)
+        self.grid[1:-1, 1:-1, 1:-1] = rng.random((BLOCK,) * 3)
+
+    def neighbor(self, face: str) -> int | None:
+        """Cluster rank owning the adjacent block, or None at the edge."""
+        axis = "xyz".index(face[0])
+        step = -1 if face[1] == "-" else 1
+        c = list(self.coords)
+        c[axis] += step
+        if not 0 <= c[axis] < self.dims[axis]:
+            return None
+        return int(np.ravel_multi_index(c, self.dims))
+
+    def boundary_plane(self, face: str) -> np.ndarray:
+        """Interior plane to ship to the neighbor at ``face``."""
+        axis = "xyz".index(face[0])
+        idx = [slice(1, -1)] * 3
+        idx[axis] = 1 if face[1] == "-" else BLOCK
+        return self.grid[tuple(idx)].copy()
+
+    def set_ghost(self, face: str, plane: np.ndarray) -> None:
+        """Install a received plane into the ghost layer at ``face``."""
+        axis = "xyz".index(face[0])
+        idx = [slice(1, -1)] * 3
+        idx[axis] = 0 if face[1] == "-" else BLOCK + 1
+        self.grid[tuple(idx)] = plane
+
+    def jacobi_step(self) -> None:
+        """One 7-point Jacobi sweep over the interior."""
+        g = self.grid
+        interior = (g[:-2, 1:-1, 1:-1] + g[2:, 1:-1, 1:-1]
+                    + g[1:-1, :-2, 1:-1] + g[1:-1, 2:, 1:-1]
+                    + g[1:-1, 1:-1, :-2] + g[1:-1, 1:-1, 2:]) / 6.0
+        g[1:-1, 1:-1, 1:-1] = interior
+
+
+def run(relaxations: RelaxationSet, n_ranks: int = 27,
+        label: str = "") -> float:
+    """Run STEPS supersteps; returns total simulated matching seconds."""
+    dims = grid_dims(n_ranks, 3)
+    cluster = Cluster(n_ranks, gpu=GPU.pascal_gtx1080(),
+                      relaxations=relaxations, n_queues=8)
+    comm = Communicator(cluster)
+    rng = np.random.default_rng(11)
+    domains = [RankDomain(r, tuple(np.unravel_index(r, dims)), dims, rng)
+               for r in range(n_ranks)]
+
+    for _step in range(STEPS):
+        # BSP superstep: post all receives first (the pre-posting the
+        # relaxed configuration requires), then send all faces.
+        pending = []
+        for dom in domains:
+            for face, tag in FACE_TAGS.items():
+                nbr = dom.neighbor(face)
+                if nbr is not None:
+                    req = cluster.rank(dom.rank).irecv(src=nbr, tag=tag)
+                    pending.append((dom, face, req))
+        for dom in domains:
+            for face, tag in FACE_TAGS.items():
+                nbr = dom.neighbor(face)
+                if nbr is not None:
+                    # the neighbor receives this plane on its mirror face
+                    mirror_tag = FACE_TAGS[_OPPOSITE[face]]
+                    cluster.rank(dom.rank).isend(
+                        nbr, dom.boundary_plane(face), tag=mirror_tag)
+        for dom, face, req in pending:
+            plane = req.wait()
+            expected = domains[dom.neighbor(face)].boundary_plane(
+                _OPPOSITE[face])
+            assert np.allclose(plane, expected), "halo corruption"
+            dom.set_ghost(face, plane)
+        barrier(comm)
+        for dom in domains:
+            dom.jacobi_step()
+
+    stats = cluster.stats()
+    total_msgs = sum(s["matches"] for s in stats)
+    print(f"{label:28s} matched {total_msgs:5d} messages, simulated "
+          f"matching time {cluster.match_seconds * 1e6:8.1f} us, "
+          f"max UMQ depth {max(s['umq_max'] for s in stats)}")
+    return cluster.match_seconds
+
+
+def main() -> None:
+    print(f"3-D Jacobi halo exchange, {STEPS} supersteps, 27 ranks "
+          f"(3x3x3 blocks of {BLOCK}^3 cells)\n")
+    t_mpi = run(RelaxationSet(), label="full MPI semantics")
+    t_part = run(RelaxationSet(wildcards=False, unexpected=False),
+                 label="pre-posted, partitioned")
+    t_hash = run(RelaxationSet(wildcards=False, ordering=False,
+                               unexpected=False),
+                 label="unordered (hash)")
+    print(f"\nmatching-time speedup from relaxations: "
+          f"partitioned {t_mpi / t_part:.1f}x, hash {t_mpi / t_hash:.1f}x")
+    print("(a halo code needs no wildcards and pre-posts its receives, so "
+          "the relaxations cost it nothing semantically -- the paper's "
+          "Section VII-B argument.  Note the partitioned configuration "
+          "only pays off on deep queues, cf. Figure 5: this exchange's "
+          "queues are a handful of entries, so its coordination overhead "
+          "can even lose to the single queue, while the hash path wins "
+          "outright.)")
+
+
+if __name__ == "__main__":
+    main()

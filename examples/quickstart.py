@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: match messages on a simulated GPU under each relaxation.
+
+Walks the paper's core idea end to end:
+
+1. build a synthetic workload of message envelopes and receive requests;
+2. match it with full MPI semantics (matrix scan+reduce on the simulated
+   Pascal GTX 1080);
+3. progressively relax the guarantees -- no source wildcard (partitioned
+   queues), then no ordering (two-level hash table) -- and watch the
+   matching rate climb from ~6M to ~60M to ~500M matches/s, the paper's
+   headline numbers.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EnvelopeBatch, GPU, MatchingEngine, TABLE_II_CONFIGS
+
+
+def build_workload(n: int = 1024, seed: int = 7):
+    """Random fully-matchable queues, the paper's microbenchmark shape."""
+    rng = np.random.default_rng(seed)
+    messages = EnvelopeBatch.random(n, n_ranks=64, n_tags=64, rng=rng)
+    requests = messages.take(rng.permutation(n))
+    return messages, requests
+
+
+def main() -> None:
+    gpu = GPU.pascal_gtx1080()
+    messages, requests = build_workload()
+    print(f"Workload: {len(messages)} messages / {len(requests)} receive "
+          f"requests on a simulated {gpu.name}\n")
+
+    print(f"{'relaxation set':18s} {'structure':10s} {'matched':>8s} "
+          f"{'rate':>12s}")
+    print("-" * 54)
+    for relaxations in TABLE_II_CONFIGS:
+        engine = MatchingEngine(gpu=gpu, relaxations=relaxations,
+                                n_queues=32, n_ctas=32, verify=True)
+        outcome = engine.match(messages, requests)
+        rate = outcome.matches_per_second()
+        print(f"{relaxations.label():18s} {engine.data_structure:10s} "
+              f"{outcome.matched_count:8d} {rate / 1e6:9.1f} M/s")
+
+    # The individual matchers are available directly, too.  The paper's
+    # 10x/80x headline speedups are quoted against the matrix matcher's
+    # *steady* rate (~6M on Pascal, queues below the 1024 knee):
+    from repro import HashMatcher, MatrixMatcher, PartitionedMatcher
+    m512, r512 = build_workload(512)
+    steady = MatrixMatcher(spec=gpu).match(m512, r512)
+    part = PartitionedMatcher(spec=gpu, n_queues=32).match(messages, requests)
+    fast = HashMatcher(spec=gpu, n_ctas=32).match(messages, requests)
+    base = steady.matches_per_second()
+    print(f"\nSpeedups over the MPI-compliant steady rate "
+          f"({base / 1e6:.1f} M/s): "
+          f"partitioned {part.matches_per_second() / base:.0f}x, "
+          f"hash {fast.matches_per_second() / base:.0f}x "
+          f"(paper: ~10x and ~80x)")
+
+    # Every outcome carries the assignment itself:
+    pairs = steady.pairs()[:3]
+    print(f"\nFirst assignments (request -> message): {pairs}")
+    print(f"Simulated matching time (MPI semantics): "
+          f"{steady.seconds * 1e6:.1f} us for {steady.matched_count} matches")
+
+
+if __name__ == "__main__":
+    main()

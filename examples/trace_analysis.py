@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Exascale proxy-application analysis: which relaxations can each app take?
+
+Reproduces the decision process of the paper's Section IV/VII: generate a
+trace per DOE mini-app model, extract the matching-relevant statistics
+(wildcards, communicators, peers, tags, queue depths, tuple uniqueness),
+and derive the relaxation feasibility verdict for every application:
+
+* no-source-wildcard  -- feasible unless the app posts MPI_ANY_SOURCE;
+* no-unexpected       -- cheap if the app mostly pre-posts already;
+* no-ordering (hash)  -- attractive if {src, tag} tuples are near-unique.
+
+Run:  python examples/trace_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.traces import (analyze, app_names, figure2_summary,
+                          generate_trace, tuple_uniqueness)
+
+
+def verdicts(row, fig2, uniq) -> tuple[str, str, str]:
+    """Feasibility of the three relaxations for one application."""
+    no_wildcard = "no (uses ANY_SOURCE)" if row.uses_src_wildcard else "yes"
+    if fig2["unexpected_fraction"] < 0.15:
+        no_unexpected = "cheap (mostly pre-posted)"
+    elif fig2["unexpected_fraction"] < 0.5:
+        no_unexpected = "needs some restructuring"
+    else:
+        no_unexpected = "needs rewrite (late posting)"
+    share = uniq["dominant_share_mean"]
+    if share < 0.05:
+        no_ordering = "good hash fit"
+    elif share < 0.15:
+        no_ordering = "acceptable hash fit"
+    else:
+        no_ordering = "duplicate-heavy tuples"
+    return no_wildcard, no_unexpected, no_ordering
+
+
+def main() -> None:
+    print("Analyzing synthetic traces of the DOE proxy applications "
+          "(stand-ins for the dumpi traces, see DESIGN.md)\n")
+    header = (f"{'application':22s} {'peers':>6s} {'tags':>6s} "
+              f"{'umq-max':>8s} {'unexp':>6s} {'dup%':>5s}  "
+              f"{'-src-wc':22s} {'-unexpected':26s} {'-ordering'}")
+    print(header)
+    print("-" * len(header))
+    for name in app_names():
+        trace = generate_trace(name)
+        row = analyze(trace)
+        fig2 = figure2_summary(trace)
+        uniq = tuple_uniqueness(trace)
+        v_wc, v_unexp, v_ord = verdicts(row, fig2, uniq)
+        print(f"{name:22s} {row.peers_mean:6.0f} {row.n_tags:6d} "
+              f"{fig2['umq_max_mean']:8.0f} "
+              f"{fig2['unexpected_fraction'] * 100:5.0f}% "
+              f"{uniq['dominant_share_mean'] * 100:4.1f}%  "
+              f"{v_wc:22s} {v_unexp:26s} {v_ord}")
+
+    print("\nPaper takeaways this analysis reproduces:")
+    print(" * only MiniDFT and MiniFE would be blocked by prohibiting "
+          "MPI_ANY_SOURCE;")
+    print(" * NEKBONE and MultiGrid are the deep-queue outliers "
+          "(thousands of entries; everything else is below 512);")
+    print(" * tuple duplication is single-digit for most apps, so the "
+          "unordered hash-table design is broadly applicable.")
+
+
+if __name__ == "__main__":
+    main()

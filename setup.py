@@ -1,0 +1,8 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+editable-install path (`pip install -e .`) offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro -- reproduction of *Relaxations for High-Performance Message
+Passing on Massively Parallel SIMT Processors* (Klenk, Fröning, Eberle,
+Dennison; IPDPS 2017).
+
+Packages
+--------
+:mod:`repro.simt`
+    Functional SIMT (GPU) simulator: warps, ballot/ffs intrinsics, CTAs,
+    shared memory, occupancy, and a calibrated timing model for the
+    paper's Kepler / Maxwell / Pascal testbeds.
+:mod:`repro.core`
+    The matching algorithms: MPI-compliant matrix scan+reduce, the
+    rank-partitioned and hash-table relaxations, the CPU list baseline,
+    and the :class:`~repro.core.engine.MatchingEngine` facade.
+:mod:`repro.mpi`
+    A message-passing substrate (communicators, send/recv, progress
+    engine) layered on the matching engines.
+:mod:`repro.traces`
+    Synthetic DOE proxy-application traces and the analyzer reproducing
+    the paper's Table I / Figure 2 / Figure 6(a) statistics.
+:mod:`repro.bench`
+    Harness utilities shared by the ``benchmarks/`` suite.
+
+Quickstart
+----------
+>>> from repro import GPU, MatchingEngine, RelaxationSet, EnvelopeBatch
+>>> eng = MatchingEngine(gpu=GPU.pascal_gtx1080())
+>>> msgs = EnvelopeBatch(src=[3, 5], tag=[1, 2])
+>>> reqs = EnvelopeBatch(src=[5, 3], tag=[2, 1])
+>>> outcome = eng.match(msgs, reqs)
+>>> outcome.pairs()
+[(0, 1), (1, 0)]
+"""
+
+from .core import (ANY_SOURCE, ANY_TAG, AdaptiveMatcher, Envelope,
+                   EnvelopeBatch, HashMatcher,
+                   HashTableConfig, ListMatcher, MatchingEngine, MatchOutcome,
+                   MatrixMatcher, NO_MATCH, PartitionedMatcher, RelaxationSet,
+                   TABLE_II_CONFIGS, UnifiedQueue, reference_match)
+from .simt import (GPU, GPUSpec, KEPLER_K80, MAXWELL_M40, PASCAL_GTX1080,
+                   WARP_SIZE)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY_SOURCE", "ANY_TAG", "Envelope", "EnvelopeBatch",
+    "MatchingEngine", "MatchOutcome", "NO_MATCH", "RelaxationSet",
+    "TABLE_II_CONFIGS",
+    "MatrixMatcher", "PartitionedMatcher", "HashMatcher", "HashTableConfig",
+    "AdaptiveMatcher",
+    "ListMatcher", "UnifiedQueue", "reference_match",
+    "GPU", "GPUSpec", "KEPLER_K80", "MAXWELL_M40", "PASCAL_GTX1080",
+    "WARP_SIZE",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Benchmark harness utilities: workloads, sweeps, reporting, anchors."""
+
+from .calibration import ANCHORS, Anchor, anchor, recalibrate
+from .harness import (SweepPoint, matching_workload, ordered_workload,
+                      partial_workload, reversed_workload, sweep)
+from .reporting import (Table, ascii_histogram, format_rate, results_dir,
+                        write_result)
+
+__all__ = [
+    "ANCHORS", "Anchor", "anchor", "recalibrate",
+    "SweepPoint", "matching_workload", "ordered_workload",
+    "partial_workload", "reversed_workload", "sweep",
+    "Table", "ascii_histogram", "format_rate", "results_dir", "write_result",
+]

@@ -1,0 +1,112 @@
+"""The paper's quantitative anchors, in one place.
+
+Every number the benchmarks print a *paper* column for lives here, with
+the section it comes from.  Values marked ``estimated`` are not stated
+numerically in the paper text and were read off / interpolated from its
+figures; DESIGN.md and EXPERIMENTS.md discuss each.
+
+The device calibration multipliers derived from these anchors live on
+the :class:`~repro.simt.gpu.GPUSpec` instances; re-deriving them after a
+cost-model change is a matter of running
+``python -m repro.bench.calibration`` and copying the printed scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Anchor", "ANCHORS", "anchor", "recalibrate"]
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One paper-reported number."""
+
+    key: str
+    value: float
+    unit: str
+    source: str
+    estimated: bool = False
+
+
+ANCHORS: dict[str, Anchor] = {a.key: a for a in [
+    # Figure 4 -- single-CTA matrix matching, steady region
+    Anchor("matrix/kepler", 3.0e6, "matches/s", "Fig. 4 / Sec. V-B"),
+    Anchor("matrix/maxwell", 3.5e6, "matches/s", "Fig. 4 / Sec. V-B"),
+    Anchor("matrix/pascal", 6.0e6, "matches/s", "Fig. 4 / Sec. V-B"),
+    # Figure 6(b) -- two-level hash table
+    Anchor("hash1/kepler", 110.0e6, "matches/s", "Sec. VI-C"),
+    Anchor("hash32/kepler", 150.0e6, "matches/s", "Sec. VI-C"),
+    Anchor("hash1/maxwell", 190.0e6, "matches/s", "Fig. 6(b)",
+           estimated=True),
+    Anchor("hash32/maxwell", 260.0e6, "matches/s", "Fig. 6(b)",
+           estimated=True),
+    Anchor("hash1/pascal", 368.0e6, "matches/s", "Fig. 6(b)",
+           estimated=True),
+    Anchor("hash32/pascal", 500.0e6, "matches/s", "Sec. VI-C"),
+    # Partitioned matching
+    Anchor("partitioned/pascal_peak", 60.0e6, "matches/s",
+           "Abstract / Table II"),
+    Anchor("partitioned/speedup_vs_kepler", 2.12, "x", "Sec. VI-A"),
+    Anchor("partitioned/speedup_vs_maxwell", 1.56, "x", "Sec. VI-A"),
+    # Relaxation effects
+    Anchor("compaction_penalty", 0.10, "fraction", "Sec. VI-B"),
+    Anchor("hash_speedup_over_matrix", 80.0, "x", "Abstract"),
+    Anchor("partition_speedup_over_matrix", 10.0, "x", "Abstract"),
+    # CPU baseline
+    Anchor("cpu/short_queue", 30.0e6, "matches/s", "Sec. II-C"),
+    Anchor("cpu/long_queue_below", 5.0e6, "matches/s", "Sec. II-C"),
+    # Trace statistics
+    Anchor("trace/nekbone_umq_mean", 4000, "entries", "Fig. 2 / Sec. IV-A"),
+    Anchor("trace/nekbone_umq_median", 1800, "entries", "Fig. 2"),
+    Anchor("trace/multigrid_umq_mean", 2000, "entries", "Fig. 2"),
+    Anchor("trace/multigrid_umq_median", 1500, "entries", "Fig. 2"),
+    Anchor("trace/amg_peers", 79, "ranks", "Sec. IV-A"),
+    Anchor("trace/cns_peers", 72, "ranks", "Sec. IV-A"),
+]}
+
+
+def anchor(key: str) -> float:
+    """Paper value for an anchor key."""
+    return ANCHORS[key].value
+
+
+def recalibrate(verbose: bool = True) -> dict[str, dict[str, float]]:
+    """Recompute the per-device calibration multipliers from scratch.
+
+    Runs the matrix matcher (512-entry steady region) and the 1-CTA hash
+    matcher (1024 entries) on every generation with the *current* scales,
+    then reports what the scales should be to land the anchors.  Apply by
+    editing ``repro/simt/gpu.py``.
+    """
+    from ..core.hash_matching import HashMatcher
+    from ..core.matrix_matching import MatrixMatcher
+    from ..simt.gpu import GPU
+    from .harness import matching_workload
+
+    wl512 = matching_workload(512, seed=1234)
+    wl1024 = matching_workload(1024, seed=1234)
+    out: dict[str, dict[str, float]] = {}
+    for spec in GPU.all_generations():
+        gen = spec.generation
+        m_rate = MatrixMatcher(spec=spec).match(*wl512).matches_per_second()
+        h_rate = HashMatcher(spec=spec, n_ctas=1).match(
+            *wl1024).matches_per_second()
+        scales = {
+            "default": spec.calibration_for("default")
+            * m_rate / anchor(f"matrix/{gen}"),
+            "hash": spec.calibration_for("hash")
+            * h_rate / anchor(f"hash1/{gen}"),
+            "compaction": 1.0,
+        }
+        out[gen] = scales
+        if verbose:
+            print(f"{gen:8s} calibration = "
+                  + "{"
+                  + ", ".join(f'"{k}": {v:.4f}' for k, v in scales.items())
+                  + "}")
+    return out
+
+
+if __name__ == "__main__":
+    recalibrate()

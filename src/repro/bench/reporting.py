@@ -1,0 +1,120 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures as a
+fixed-width text table with a *paper* column next to the *measured*
+column, so the reproduction quality is visible in the bench output
+itself (and in ``benchmarks/results/*.txt``, which EXPERIMENTS.md
+collates).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Table", "ascii_histogram", "format_rate", "results_dir",
+           "write_result"]
+
+
+def format_rate(matches_per_second: float) -> str:
+    """Human form of a matching rate, e.g. ``61.3M/s``."""
+    r = matches_per_second
+    if r >= 1e9:
+        return f"{r / 1e9:.2f}G/s"
+    if r >= 1e6:
+        return f"{r / 1e6:.1f}M/s"
+    if r >= 1e3:
+        return f"{r / 1e3:.1f}K/s"
+    return f"{r:.1f}/s"
+
+
+@dataclass
+class Table:
+    """A fixed-width text table with a title block."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add(self, *cells: Any) -> None:
+        """Append one row (cells are stringified on render)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}")
+        self.rows.append([str(c) for c in cells])
+
+    def note(self, text: str) -> None:
+        """Append a footnote line."""
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """Render to a string."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(c.ljust(w)
+                                for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for n in self.notes:
+            lines.append(f"  * {n}")
+        return "\n".join(lines) + "\n"
+
+    def show(self) -> str:
+        """Print and return the rendering."""
+        text = self.render()
+        print("\n" + text)
+        return text
+
+
+def ascii_histogram(values, bins: Sequence[float], title: str = "",
+                    width: int = 40) -> str:
+    """Render a distribution as a fixed-width ASCII bar chart.
+
+    ``bins`` are ascending edges; values at or above the last edge land
+    in a final overflow bin.  Used to render the paper's distribution
+    figures (e.g. Figure 2's queue-depth distribution) in plain text.
+    """
+    import numpy as np
+    vals = np.asarray(list(values), dtype=float)
+    edges = list(bins)
+    if len(edges) < 2:
+        raise ValueError("need at least two bin edges")
+    counts = []
+    labels = []
+    for lo, hi in zip(edges, edges[1:]):
+        counts.append(int(((vals >= lo) & (vals < hi)).sum()))
+        labels.append(f"[{lo:g}, {hi:g})")
+    counts.append(int((vals >= edges[-1]).sum()))
+    labels.append(f">= {edges[-1]:g}")
+    top = max(max(counts), 1)
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, count in zip(labels, counts):
+        bar = "#" * round(width * count / top)
+        lines.append(f"  {label.ljust(label_w)} |{bar.ljust(width)}| "
+                     f"{count}")
+    return "\n".join(lines) + "\n"
+
+
+def results_dir() -> str:
+    """``benchmarks/results`` next to the benchmark suite (created)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_result(name: str, text: str) -> str:
+    """Persist a rendered table under ``benchmarks/results/<name>.txt``."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+    return path

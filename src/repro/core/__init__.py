@@ -1,0 +1,41 @@
+"""Core message-matching library: the paper's contribution.
+
+Envelopes and queues, the MPI-compliant matrix matcher (Section V), the
+three relaxations and their matchers (Section VI), the CPU list baseline,
+and the :class:`MatchingEngine` facade that maps a relaxation set to the
+data structure Table II prescribes.
+"""
+
+from .adaptive import AdaptiveMatcher, MatchPlan
+from .bucket_matching import BucketMatcher
+from .compaction import charge_compaction, compact_batch, compaction_map
+from .engine import MatchingEngine
+from .envelope import (ANY_SOURCE, ANY_TAG, Envelope, EnvelopeBatch, pack64,
+                       unpack64)
+from .hash_matching import HashMatcher, HashTableConfig
+from .hashing import HASH_FUNCTIONS, fibonacci32, fnv1a32, fold64, identity32, \
+    jenkins32
+from .list_matching import CPUSpec, ListMatcher, XEON_E5
+from .matrix_matching import DEFAULT_WINDOW, MatrixMatcher
+from .partitioned import PartitionedMatcher
+from .queues import QueueStats, UnifiedQueue
+from .relaxations import TABLE_II_CONFIGS, RelaxationSet, WorkloadViolation
+from .result import NO_MATCH, MatchOutcome
+from .verify import (SemanticsViolation, check_mpi_ordering, check_relaxed,
+                     reference_match)
+
+__all__ = [
+    "ANY_SOURCE", "ANY_TAG", "Envelope", "EnvelopeBatch", "pack64", "unpack64",
+    "NO_MATCH", "MatchOutcome",
+    "MatchingEngine", "RelaxationSet", "TABLE_II_CONFIGS", "WorkloadViolation",
+    "MatrixMatcher", "DEFAULT_WINDOW",
+    "PartitionedMatcher", "AdaptiveMatcher", "MatchPlan",
+    "HashMatcher", "HashTableConfig",
+    "HASH_FUNCTIONS", "jenkins32", "fnv1a32", "fibonacci32", "identity32",
+    "fold64",
+    "ListMatcher", "BucketMatcher", "CPUSpec", "XEON_E5",
+    "UnifiedQueue", "QueueStats",
+    "compact_batch", "compaction_map", "charge_compaction",
+    "reference_match", "check_mpi_ordering", "check_relaxed",
+    "SemanticsViolation",
+]

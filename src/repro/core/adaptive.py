@@ -1,0 +1,160 @@
+"""Adaptive matching: adjust kernel parameters to the queues at hand.
+
+The paper's architectural wishlist (Section VII-C) asks for *"better
+dynamic parallelism, which allows for adjusting kernel parameters to
+queue sizes"*.  This module implements that policy layer on top of the
+existing matchers: before each pass it inspects the queues and picks
+
+* the **data structure** -- wildcards force the matrix path; otherwise
+  the rank space decides whether partitioning pays;
+* the **queue count** -- bounded by the number of distinct sources
+  actually present (the paper's feasibility bound: "the number of peers
+  a rank is communicating with constitutes the maximum number of
+  queues") and by keeping per-queue depth near the matrix sweet spot;
+* the **warp size** -- narrow warps for shallow queues (the variable
+  warp-size feature).
+
+Reconfiguring between passes is not free: a dynamic-parallelism child
+launch costs :data:`RELAUNCH_OVERHEAD_CYCLES`, charged whenever the
+chosen configuration differs from the previous pass's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simt.gpu import GPUSpec, PASCAL_GTX1080
+from ..simt.warp import WARP_SIZE
+from .envelope import ANY_SOURCE, EnvelopeBatch
+from .matrix_matching import MatrixMatcher
+from .partitioned import PartitionedMatcher
+from .result import MatchOutcome
+
+__all__ = ["AdaptiveMatcher", "MatchPlan", "RELAUNCH_OVERHEAD_CYCLES"]
+
+#: Cost of launching a reconfigured child kernel (device-side launch
+#: latency on the order of a few microseconds).
+RELAUNCH_OVERHEAD_CYCLES = 5_000.0
+
+#: Minimum per-queue depth worth partitioning for: "this is only valid
+#: if each queue contains at least 32 entries in order to efficiently
+#: use warps" (Section VI-A).
+_MIN_QUEUE_DEPTH = 32
+
+#: Workloads at or below this size stay on the single-queue matrix: the
+#: multi-queue coordination overhead dominates shallower than this.
+_SINGLE_QUEUE_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class MatchPlan:
+    """One pass's chosen kernel configuration."""
+
+    structure: str          # "matrix" or "partitioned"
+    n_queues: int
+    warp_size: int
+
+    def describe(self) -> str:
+        """Short human-readable form for logs and meta."""
+        if self.structure == "matrix":
+            return f"matrix/w{self.warp_size}"
+        return f"partitioned/q{self.n_queues}/w{self.warp_size}"
+
+
+class AdaptiveMatcher:
+    """Queue-size-driven configuration of the matrix/partitioned matchers.
+
+    Keeps the MPI ordering guarantee (it only ever uses matrix-family
+    matchers); the unordered hash path is a *semantic* choice the planner
+    must not make silently.
+
+    Parameters
+    ----------
+    spec:
+        Simulated device.
+    compaction:
+        Forwarded to the underlying matchers.
+    max_queues:
+        Upper bound on the partition count.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, spec: GPUSpec = PASCAL_GTX1080,
+                 compaction: bool = False, max_queues: int = 32) -> None:
+        if max_queues < 1:
+            raise ValueError("max_queues must be positive")
+        self.spec = spec
+        self.compaction = compaction
+        self.max_queues = max_queues
+        self._previous_plan: MatchPlan | None = None
+        self.relaunches = 0
+
+    # -- planning -----------------------------------------------------------------
+
+    def plan(self, messages: EnvelopeBatch,
+             requests: EnvelopeBatch) -> MatchPlan:
+        """Choose the configuration for this pass."""
+        n = max(len(messages), 1)
+        warp_size = self._pick_warp_size(n)
+        if (requests.src == ANY_SOURCE).any():
+            # the source wildcard forbids partitioning (Section VI)
+            return MatchPlan(structure="matrix", n_queues=1,
+                             warp_size=warp_size)
+        distinct_sources = int(np.unique(messages.src).size) if len(
+            messages) else 1
+        if distinct_sources < 2 or n <= _SINGLE_QUEUE_LIMIT:
+            return MatchPlan(structure="matrix", n_queues=1,
+                             warp_size=warp_size)
+        wanted = math.ceil(n / _MIN_QUEUE_DEPTH)
+        n_queues = int(min(self.max_queues, distinct_sources, wanted))
+        if n_queues <= 1:
+            return MatchPlan(structure="matrix", n_queues=1,
+                             warp_size=warp_size)
+        per_queue = n / n_queues
+        return MatchPlan(structure="partitioned", n_queues=n_queues,
+                         warp_size=self._pick_warp_size(per_queue))
+
+    @staticmethod
+    def _pick_warp_size(queue_depth: float) -> int:
+        """Narrow warps for shallow queues, full warps otherwise."""
+        if queue_depth >= WARP_SIZE:
+            return WARP_SIZE
+        return max(4, 1 << max(2, int(math.ceil(math.log2(
+            max(2.0, queue_depth))))))
+
+    # -- matching -----------------------------------------------------------------
+
+    def match(self, messages: EnvelopeBatch,
+              requests: EnvelopeBatch) -> MatchOutcome:
+        """Plan, build the matcher, run, and charge relaunch overhead."""
+        plan = self.plan(messages, requests)
+        if plan.structure == "matrix":
+            matcher = MatrixMatcher(spec=self.spec,
+                                    compaction=self.compaction,
+                                    warp_size=plan.warp_size)
+        else:
+            matcher = PartitionedMatcher(spec=self.spec,
+                                         n_queues=plan.n_queues,
+                                         compaction=self.compaction,
+                                         warp_size=plan.warp_size)
+        outcome = matcher.match(messages, requests)
+        if self._previous_plan is not None and plan != self._previous_plan:
+            self.relaunches += 1
+            extra = RELAUNCH_OVERHEAD_CYCLES / self.spec.clock_hz
+            outcome = MatchOutcome(
+                request_to_message=outcome.request_to_message,
+                n_messages=outcome.n_messages,
+                n_requests=outcome.n_requests,
+                seconds=outcome.seconds + extra,
+                cycles=outcome.cycles + RELAUNCH_OVERHEAD_CYCLES,
+                iterations=outcome.iterations,
+                replicas=outcome.replicas,
+                meta=dict(outcome.meta))
+        self._previous_plan = plan
+        outcome.meta["plan"] = plan.describe()
+        outcome.meta["relaunches"] = self.relaunches
+        return outcome

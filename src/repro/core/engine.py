@@ -1,0 +1,132 @@
+"""Matching engine facade: relaxation set -> algorithm/data structure.
+
+:class:`MatchingEngine` is the public entry point of the core library.
+Given a :class:`~repro.core.relaxations.RelaxationSet` it selects the
+matcher the paper prescribes (Table II):
+
+======================  =========  ==============================
+relaxations             structure  matcher
+======================  =========  ==============================
+wildcards + ordering    matrix     :class:`MatrixMatcher` (1 queue)
+no wildcards, ordering  matrix     :class:`PartitionedMatcher`
+no ordering             hash       :class:`HashMatcher`
+======================  =========  ==============================
+
+with the compaction pass enabled exactly when unexpected messages are
+allowed.  Optionally every outcome is cross-checked against the MPI
+reference oracle (ordered configurations) or the relaxed validity checker
+(unordered).
+"""
+
+from __future__ import annotations
+
+from ..simt.gpu import GPUSpec, PASCAL_GTX1080
+from .envelope import EnvelopeBatch
+from .hash_matching import HashMatcher, HashTableConfig
+from .list_matching import ListMatcher
+from .matrix_matching import DEFAULT_WINDOW, MatrixMatcher
+from .partitioned import PartitionedMatcher
+from .relaxations import RelaxationSet
+from .result import MatchOutcome
+from .verify import check_mpi_ordering, check_relaxed, reference_match
+
+__all__ = ["MatchingEngine"]
+
+
+class MatchingEngine:
+    """Select and drive the right matcher for a relaxation set.
+
+    Parameters
+    ----------
+    gpu:
+        Simulated device (default Pascal GTX 1080).
+    relaxations:
+        Guarantee set; defaults to fully MPI-compliant matching.
+    n_queues:
+        Partition count when the source wildcard is prohibited.
+    n_ctas:
+        CTA count for the hash matcher.
+    window:
+        Matrix scan window.
+    hash_config:
+        Two-level table configuration for the hash matcher.
+    verify:
+        Cross-check every outcome against the reference semantics (slow;
+        intended for tests and debugging).
+
+    Examples
+    --------
+    >>> from repro import GPU, MatchingEngine, RelaxationSet, EnvelopeBatch
+    >>> eng = MatchingEngine(gpu=GPU.pascal_gtx1080(),
+    ...                      relaxations=RelaxationSet(wildcards=False,
+    ...                                                ordering=False,
+    ...                                                unexpected=False))
+    >>> msgs = EnvelopeBatch(src=[0, 1], tag=[7, 7])
+    >>> reqs = EnvelopeBatch(src=[1, 0], tag=[7, 7])
+    >>> eng.match(msgs, reqs).matched_count
+    2
+    """
+
+    def __init__(self, gpu: GPUSpec = PASCAL_GTX1080,
+                 relaxations: RelaxationSet | None = None,
+                 n_queues: int = 4, n_ctas: int = 1,
+                 window: int = DEFAULT_WINDOW,
+                 hash_config: HashTableConfig | None = None,
+                 verify: bool = False) -> None:
+        self.gpu = gpu
+        self.relaxations = (relaxations if relaxations is not None
+                            else RelaxationSet())
+        self.verify = verify
+        self._matcher = self._build_matcher(n_queues, n_ctas, window,
+                                            hash_config)
+
+    def _build_matcher(self, n_queues: int, n_ctas: int, window: int,
+                       hash_config: HashTableConfig | None):
+        rel = self.relaxations
+        compaction = rel.needs_compaction
+        if not rel.ordering:
+            return HashMatcher(spec=self.gpu, n_ctas=n_ctas,
+                               config=hash_config)
+        if rel.partitionable:
+            return PartitionedMatcher(spec=self.gpu, n_queues=n_queues,
+                                      window=window, compaction=compaction)
+        return MatrixMatcher(spec=self.gpu, window=window,
+                             compaction=compaction)
+
+    @property
+    def matcher(self):
+        """The concrete matcher chosen for the relaxation set."""
+        return self._matcher
+
+    @property
+    def data_structure(self) -> str:
+        """Table II's data-structure column for this engine."""
+        return self.relaxations.data_structure
+
+    def match(self, messages: EnvelopeBatch,
+              requests: EnvelopeBatch) -> MatchOutcome:
+        """Validate the workload, match, and (optionally) verify semantics."""
+        self.relaxations.validate_requests(requests)
+        outcome = self._matcher.match(messages, requests)
+        if not self.relaxations.unexpected:
+            # All receives must have been pre-posted: any message left
+            # unmatched after the pass arrived without a matching posted
+            # receive, regardless of how many requests remain open.
+            unexpected = outcome.n_messages - outcome.matched_count
+            self.relaxations.validate_unexpected(unexpected)
+        if self.verify:
+            if self.relaxations.ordering:
+                check_mpi_ordering(messages, requests, outcome)
+            else:
+                check_relaxed(messages, requests, outcome)
+        return outcome
+
+    def reference(self, messages: EnvelopeBatch,
+                  requests: EnvelopeBatch) -> MatchOutcome:
+        """The sequential MPI oracle's assignment (no device timing)."""
+        return reference_match(messages, requests)
+
+    def cpu_baseline(self, messages: EnvelopeBatch,
+                     requests: EnvelopeBatch) -> MatchOutcome:
+        """The CPU list-based baseline's assignment and timing."""
+        return ListMatcher().match(messages, requests)

@@ -1,0 +1,481 @@
+"""Two-level hash-table matching (Section VI-C relaxation).
+
+Dropping ordering guarantees (and wildcards) removes every dependency
+between match attempts, so the queues can be replaced by a hash table with
+constant-time insert and lookup.  The paper's structure:
+
+* a **primary** table five times larger than the **secondary** table;
+* phase 1 (*insert*): every thread takes one receive request and inserts
+  it into the primary table; on collision it tries the secondary table; on
+  a second collision the thread holds the request for the next iteration;
+* phase 2 (*query*): every thread takes one message, hashes its key, and
+  probes primary then secondary; a miss defers the message to the next
+  iteration;
+* iterations repeat until everything is matched -- "the more collisions
+  occur, the more iterations are required".
+
+Keys are the packed {src, tag, comm} word hashed with Jenkins' 6-shift
+function (configurable for the ablation bench).  Duplicate tuples collide
+*by construction* and drive up iteration count, which is why the paper
+checks tuple uniqueness across applications (Figure 6(a)) before
+committing to this design.
+
+Completeness caveat: with single-probe levels and "hold on to the request
+for the next iteration" deferral (the paper's exact policy), a request
+whose two slots are both occupied by *other* live requests can starve if
+those blockers never drain.  On fully-matchable workloads (every message
+has a partner) every live entry always drains, so matching is complete;
+on workloads with surplus requests the matcher gives up after
+``max_stall_rounds`` fruitless rounds and reports the remainder
+unmatched -- the same behaviour a fixed-size GPU table would exhibit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simt.gpu import GPUSpec, PASCAL_GTX1080
+from ..simt.memory import GlobalMemory
+from ..simt.occupancy import KernelResources
+from ..simt.timing import CostLedger, TimingModel
+from ..simt.warp import WARP_SIZE
+from .envelope import EnvelopeBatch
+from .hashing import HASH_FUNCTIONS, alu_cost, fold64
+from .result import NO_MATCH, MatchOutcome
+
+__all__ = ["HashMatcher", "HashTableConfig"]
+
+#: Salt XORed into keys before hashing for the secondary table, so the two
+#: levels probe independent slots.
+_SECONDARY_SALT = 0x5BD1E995
+
+
+@dataclass(frozen=True)
+class HashTableConfig:
+    """Sizing and hashing knobs of the two-level table.
+
+    ``scale`` is total slots per queue element; the split between levels
+    follows the paper's 5:1 primary:secondary ratio by default
+    (``primary_factor=5``).  ``probe_depth`` adds linear probing inside
+    each level before falling through (the paper's policy is depth 1:
+    collide once -> secondary table, collide twice -> defer; the
+    collision-resolution policy space is its declared future work).
+    """
+
+    scale: float = 1.5
+    primary_factor: int = 5
+    hash_name: str = "jenkins"
+    max_stall_rounds: int = 2
+    probe_depth: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.primary_factor < 1:
+            raise ValueError("primary_factor must be >= 1")
+        if self.hash_name not in HASH_FUNCTIONS:
+            raise ValueError(f"unknown hash {self.hash_name!r}")
+        if self.probe_depth < 1:
+            raise ValueError("probe_depth must be >= 1")
+
+    def sizes(self, n: int) -> tuple[int, int]:
+        """(primary_slots, secondary_slots) for ``n`` elements."""
+        total = max(8, math.ceil(self.scale * max(1, n)))
+        secondary = max(4, total // (self.primary_factor + 1))
+        primary = secondary * self.primary_factor
+        return primary, secondary
+
+
+class _Level:
+    """One open-addressed (single-probe) hash table level.
+
+    A successful claim *frees* its slot immediately (the request has been
+    handed its message), so later rounds can reinsert another request with
+    the same key -- essential for workloads with duplicate tuples.
+    """
+
+    __slots__ = ("keys", "req_idx", "used")
+
+    def __init__(self, slots: int) -> None:
+        self.keys = np.zeros(slots, dtype=np.int64)
+        self.req_idx = np.full(slots, -1, dtype=np.int64)
+        self.used = np.zeros(slots, dtype=bool)
+
+    def live_entries(self) -> np.ndarray:
+        """Request indices still waiting in this level."""
+        return self.req_idx[self.used]
+
+
+class HashMatcher:
+    """Unordered matching through a two-level hash table.
+
+    Parameters
+    ----------
+    spec:
+        Simulated device.
+    n_ctas:
+        Number of *independent* matching-engine CTAs launched on the
+        communication SM, each serving its own equally-sized workload
+        (Figure 6(b) compares 1 and 32).  The functional result covers one
+        engine; the timing covers the makespan of all of them -- resident
+        CTAs run concurrently (with mutual contention), the rest
+        serialize into waves -- and the outcome's ``replicas`` field makes
+        rates aggregate.
+    config:
+        Table sizing/hash configuration.
+
+    Notes
+    -----
+    Wildcards are rejected: this matcher exists *because* the relaxation
+    prohibits them (they could be supported "theoretically", per the
+    paper, but are out of scope exactly as in the paper).
+    """
+
+    name = "hash"
+
+    def __init__(self, spec: GPUSpec = PASCAL_GTX1080, n_ctas: int = 1,
+                 config: HashTableConfig | None = None) -> None:
+        if n_ctas < 1:
+            raise ValueError("n_ctas must be positive")
+        self.spec = spec
+        self.n_ctas = n_ctas
+        self.config = config if config is not None else HashTableConfig()
+        self._hash = HASH_FUNCTIONS[self.config.hash_name]
+        self._hash_alu = alu_cost(self.config.hash_name)
+        self._workload_warps = 1
+
+    # -- public API --------------------------------------------------------------
+
+    def match(self, messages: EnvelopeBatch,
+              requests: EnvelopeBatch) -> MatchOutcome:
+        """Match (unordered) and price the rounds on the device model."""
+        messages.assert_concrete("message queue")
+        if requests.has_wildcards:
+            raise ValueError("hash matching requires the no-wildcards "
+                             "relaxation; requests contain wildcards")
+        n_msg, n_req = len(messages), len(requests)
+        ledger = CostLedger()
+        out = np.full(n_req, NO_MATCH, dtype=np.int64)
+        self._workload_warps = 1
+        if n_msg == 0 or n_req == 0:
+            return self._finish(out, n_msg, n_req, ledger, 0, 0)
+
+        self._workload_warps = max(1, math.ceil(max(n_msg, n_req) / WARP_SIZE))
+        msg_keys = fold64(messages.packed())
+        req_keys = fold64(requests.packed())
+        primary_slots, secondary_slots = self.config.sizes(max(n_msg, n_req))
+        primary = _Level(primary_slots)
+        secondary = _Level(secondary_slots)
+
+        pending_req = np.arange(n_req, dtype=np.int64)
+        pending_msg = np.arange(n_msg, dtype=np.int64)
+        rounds = 0
+        stall = 0
+        collisions = 0
+        while pending_msg.size and (pending_req.size
+                                    or self._live(primary, secondary)):
+            rounds += 1
+            pending_req, ins_collisions = self._insert_round(
+                primary, secondary, pending_req, req_keys, ledger)
+            pending_msg, matched = self._query_round(
+                primary, secondary, pending_msg, msg_keys, out, ledger)
+            collisions += ins_collisions
+            if matched == 0 and ins_collisions == 0 and pending_req.size == 0:
+                # Nothing inserted, nothing matched: the remaining messages
+                # have no partner in the table; they stay unexpected.
+                break
+            if matched == 0:
+                stall += 1
+                if stall > self.config.max_stall_rounds:
+                    break
+            else:
+                stall = 0
+        return self._finish(out, n_msg, n_req, ledger, rounds, collisions)
+
+    # -- rounds --------------------------------------------------------------------
+
+    @staticmethod
+    def _live(primary: _Level, secondary: _Level) -> bool:
+        return bool(primary.used.any() or secondary.used.any())
+
+    def _insert_round(self, primary: _Level, secondary: _Level,
+                      pending_req: np.ndarray, req_keys: np.ndarray,
+                      ledger: CostLedger) -> tuple[np.ndarray, int]:
+        """Phase 1: try to place every pending request; returns deferred set."""
+        if pending_req.size == 0:
+            return pending_req, 0
+        phase = ledger.phase("insert", active_warps=self._active_warps(
+            pending_req.size))
+        keys = req_keys[pending_req]
+        phase.add("gmem_load", self._warp_instr(pending_req.size))
+        phase.add("alu", self._warp_instr(pending_req.size) * self._hash_alu)
+
+        phase.add("sync", float(self._warps_per_cta()))
+        lost_primary, placed_p = self._try_place(primary, pending_req, keys,
+                                                 salt=0)
+        phase.add("atomic", self._warp_instr(pending_req.size)
+                  * self.config.probe_depth)
+        collisions = int(lost_primary.size)
+        deferred = lost_primary
+        if lost_primary.size:
+            phase.add("alu",
+                      self._warp_instr(lost_primary.size) * self._hash_alu)
+            phase.add("atomic", self._warp_instr(lost_primary.size)
+                      * self.config.probe_depth)
+            deferred, placed_s = self._try_place(
+                secondary, lost_primary, req_keys[lost_primary],
+                salt=_SECONDARY_SALT)
+            collisions += int(deferred.size)
+        return deferred, collisions
+
+    def _try_place(self, level: _Level, req_indices: np.ndarray,
+                   keys: np.ndarray, salt: int) -> tuple[np.ndarray, int]:
+        """Atomic-CAS placement with linear probing.
+
+        Each probe offset is one more CAS attempt on the next slot; one
+        winner per empty slot per round.  Depth 1 is the paper's policy.
+        """
+        pending = req_indices
+        pending_keys = keys
+        placed = 0
+        for offset in range(self.config.probe_depth):
+            if pending.size == 0:
+                break
+            slots = (self._slot_of(pending_keys, level, salt)
+                     + offset) % level.keys.size
+            order = np.argsort(slots, kind="stable")
+            sorted_slots = slots[order]
+            first_of_slot = np.ones(sorted_slots.size, dtype=bool)
+            first_of_slot[1:] = sorted_slots[1:] != sorted_slots[:-1]
+            is_winner = np.zeros(pending.size, dtype=bool)
+            is_winner[order] = first_of_slot
+            can_place = is_winner & ~level.used[slots]
+            sel = np.nonzero(can_place)[0]
+            placed += int(sel.size)
+            level.keys[slots[sel]] = pending_keys[sel]
+            level.req_idx[slots[sel]] = pending[sel]
+            level.used[slots[sel]] = True
+            pending = pending[~can_place]
+            pending_keys = pending_keys[~can_place]
+        return pending, placed
+
+    def _query_round(self, primary: _Level, secondary: _Level,
+                     pending_msg: np.ndarray, msg_keys: np.ndarray,
+                     out: np.ndarray, ledger: CostLedger,
+                     ) -> tuple[np.ndarray, int]:
+        """Phase 2: probe both levels for every pending message."""
+        phase = ledger.phase("query", active_warps=self._active_warps(
+            pending_msg.size))
+        keys = msg_keys[pending_msg]
+        phase.add("sync", float(self._warps_per_cta()))
+        phase.add("alu", self._warp_instr(pending_msg.size) * self._hash_alu)
+        phase.add("gmem_load", self._warp_instr(pending_msg.size)
+                  * self.config.probe_depth)
+
+        remaining, matched_p = self._try_claim(primary, pending_msg, keys,
+                                               salt=0, out=out)
+        matched = matched_p
+        if remaining.size:
+            phase.add("alu",
+                      self._warp_instr(remaining.size) * self._hash_alu)
+            phase.add("gmem_load", self._warp_instr(remaining.size)
+                      * self.config.probe_depth)
+            remaining, matched_s = self._try_claim(
+                secondary, remaining, msg_keys[remaining],
+                salt=_SECONDARY_SALT, out=out)
+            matched += matched_s
+        phase.add("atomic", self._warp_instr(matched))
+        phase.add("gmem_store", self._warp_instr(matched))
+        return remaining, matched
+
+    def _try_claim(self, level: _Level, msg_indices: np.ndarray,
+                   keys: np.ndarray, salt: int, out: np.ndarray,
+                   ) -> tuple[np.ndarray, int]:
+        """Claim matching live entries, probing like the placement side."""
+        pending = msg_indices
+        pending_keys = keys
+        matched = 0
+        for offset in range(self.config.probe_depth):
+            if pending.size == 0:
+                break
+            slots = (self._slot_of(pending_keys, level, salt)
+                     + offset) % level.keys.size
+            hit = level.used[slots] & (level.keys[slots] == pending_keys)
+            # Only hitting threads attempt the claim CAS, so the
+            # one-per-slot winner is chosen among hits; non-matching
+            # probes never contend.
+            hit_pos = np.nonzero(hit)[0]
+            hit_slots = slots[hit_pos]
+            order = np.argsort(hit_slots, kind="stable")
+            sorted_slots = hit_slots[order]
+            first_of_slot = np.ones(sorted_slots.size, dtype=bool)
+            first_of_slot[1:] = sorted_slots[1:] != sorted_slots[:-1]
+            claim = np.zeros(pending.size, dtype=bool)
+            claim[hit_pos[order]] = first_of_slot
+            sel = np.nonzero(claim)[0]
+            matched += int(sel.size)
+            out[level.req_idx[slots[sel]]] = pending[sel]
+            level.used[slots[sel]] = False  # free for reinsertion
+            pending = pending[~claim]
+            pending_keys = pending_keys[~claim]
+        return pending, matched
+
+    def _slot_of(self, keys: np.ndarray, level: _Level, salt: int) -> np.ndarray:
+        hashed = self._hash(keys ^ salt) if salt else self._hash(keys)
+        return hashed % level.keys.size
+
+    # -- pedantic warp-level path -------------------------------------------------------
+
+    def match_pedantic(self, messages: EnvelopeBatch,
+                       requests: EnvelopeBatch,
+                       max_rounds: int = 10_000) -> MatchOutcome:
+        """Execute the two-level table warp by warp on the SIMT memory
+        simulator, with real atomic CAS for insert and claim.
+
+        Demonstrates that the hash matcher is implementable with nothing
+        beyond warp-wide loads and ``atomicCAS`` -- no dynamic memory, no
+        ordering.  Round structure differs slightly from the vectorized
+        fast path (progress is per warp, not per full pending set), so
+        the *assignment* may differ; validity and completeness on
+        matchable workloads are the invariants (see tests).
+
+        Limited to ``probe_depth == 1`` (the paper's policy).
+        """
+        if self.config.probe_depth != 1:
+            raise ValueError("pedantic hash path implements the paper's "
+                             "depth-1 policy only")
+        messages.assert_concrete("message queue")
+        if requests.has_wildcards:
+            raise ValueError("hash matching requires the no-wildcards "
+                             "relaxation; requests contain wildcards")
+        n_msg, n_req = len(messages), len(requests)
+        ledger = CostLedger()
+        ledger.phase("pedantic", active_warps=self._active_warps(
+            max(n_msg, n_req, 1)))
+        out = np.full(n_req, NO_MATCH, dtype=np.int64)
+        self._workload_warps = max(1, math.ceil(max(n_msg, n_req)
+                                                / WARP_SIZE))
+        if n_msg == 0 or n_req == 0:
+            return self._finish(out, n_msg, n_req, ledger, 0, 0)
+
+        msg_keys = fold64(messages.packed()) + 1   # 0 = empty sentinel
+        req_keys = fold64(requests.packed()) + 1
+        P, S = self.config.sizes(max(n_msg, n_req))
+        mem = GlobalMemory(2 * (P + S), ledger=ledger)
+        kp = mem.alloc("keys_primary", P)
+        vp = mem.alloc("vals_primary", P)
+        ks = mem.alloc("keys_secondary", S)
+        vs = mem.alloc("vals_secondary", S)
+
+        def level_params(keys, salt, base_k, base_v, size):
+            hashed = self._hash((keys - 1) ^ salt) if salt                 else self._hash(keys - 1)
+            slots = hashed % size
+            return base_k + slots, base_v + slots
+
+        pending_req = np.arange(n_req, dtype=np.int64)
+        pending_msg = np.arange(n_msg, dtype=np.int64)
+        rounds = 0
+        stall = 0
+        while pending_msg.size and rounds < max_rounds:
+            rounds += 1
+            progress = 0
+            # insert phase, one warp of requests at a time
+            deferred_req = []
+            for w0 in range(0, pending_req.size, WARP_SIZE):
+                lanes = pending_req[w0:w0 + WARP_SIZE]
+                keys = req_keys[lanes]
+                placed = np.zeros(lanes.size, dtype=bool)
+                for salt, bk, bv, size in ((0, kp, vp, P),
+                                           (_SECONDARY_SALT, ks, vs, S)):
+                    todo = ~placed
+                    if not todo.any():
+                        break
+                    ka, va = level_params(keys, salt, bk, bv, size)
+                    won = mem.atomic_cas(ka, np.zeros(lanes.size,
+                                                      dtype=np.int64),
+                                         keys, active=todo)
+                    if won.any():
+                        mem.store(va[won], lanes[won])
+                    placed |= won
+                deferred_req.extend(lanes[~placed])
+                progress += int(placed.sum())
+            pending_req = np.array(deferred_req, dtype=np.int64)
+            # query phase, one warp of messages at a time
+            deferred_msg = []
+            for w0 in range(0, pending_msg.size, WARP_SIZE):
+                lanes = pending_msg[w0:w0 + WARP_SIZE]
+                keys = msg_keys[lanes]
+                matched = np.zeros(lanes.size, dtype=bool)
+                for salt, bk, bv, size in ((0, kp, vp, P),
+                                           (_SECONDARY_SALT, ks, vs, S)):
+                    todo = ~matched
+                    if not todo.any():
+                        break
+                    ka, va = level_params(keys, salt, bk, bv, size)
+                    stored = mem.load(ka)
+                    hit = todo & (stored == keys)
+                    if not hit.any():
+                        continue
+                    req_idx = mem.load(va)
+                    claimed = mem.atomic_cas(ka, keys,
+                                             np.zeros(lanes.size,
+                                                      dtype=np.int64),
+                                             active=hit)
+                    sel = np.nonzero(claimed)[0]
+                    out[req_idx[sel]] = lanes[sel]
+                    matched |= claimed
+                deferred_msg.extend(lanes[~matched])
+                progress += int(matched.sum())
+            pending_msg = np.array(deferred_msg, dtype=np.int64)
+            if progress == 0:
+                stall += 1
+                if stall > self.config.max_stall_rounds:
+                    break
+            else:
+                stall = 0
+        return self._finish(out, n_msg, n_req, ledger, rounds, 0)
+
+    # -- cost plumbing ---------------------------------------------------------------
+
+    @staticmethod
+    def _warp_instr(n_elements: int) -> float:
+        """Warp instructions for an elementwise step over ``n_elements``."""
+        return float(math.ceil(n_elements / WARP_SIZE))
+
+    def _active_warps(self, n_elements: int) -> int:
+        """Warps of one engine CTA concurrently working a phase."""
+        needed = max(1, math.ceil(n_elements / WARP_SIZE))
+        return max(1, min(needed, 1024 // WARP_SIZE))
+
+    def _warps_per_cta(self) -> int:
+        """CTA width for barrier accounting: each insert->query boundary is
+        a CTA-wide barrier whose cost grows with the warps it drains."""
+        return max(1, min(self._workload_warps, 1024 // WARP_SIZE))
+
+    def _resources(self) -> KernelResources:
+        threads = self._warps_per_cta() * WARP_SIZE
+        return KernelResources(threads_per_cta=threads,
+                               shared_mem_per_cta=0, regs_per_thread=28)
+
+    def _finish(self, out: np.ndarray, n_msg: int, n_req: int,
+                ledger: CostLedger, rounds: int, collisions: int,
+                ) -> MatchOutcome:
+        from ..simt.occupancy import occupancy
+        occ = occupancy(self.spec, self._resources())
+        resident = max(1, min(self.n_ctas, occ.max_resident_ctas))
+        waves = math.ceil(self.n_ctas / resident)
+        contention = 1.0 + self.spec.cta_contention * (resident - 1)
+        timing = TimingModel(self.spec, family="hash").evaluate(ledger)
+        cycles = timing.cycles * waves * contention
+        return MatchOutcome(
+            request_to_message=out, n_messages=n_msg, n_requests=n_req,
+            seconds=cycles / self.spec.clock_hz, cycles=cycles,
+            iterations=max(1, rounds), replicas=self.n_ctas,
+            meta={"phase_cycles": timing.per_phase_cycles,
+                  "device": self.spec.name, "n_ctas": self.n_ctas,
+                  "waves": waves, "resident_ctas": resident,
+                  "contention": contention, "collisions": collisions,
+                  "hash": self.config.hash_name})

@@ -1,0 +1,110 @@
+"""Hash functions for the relaxed (unordered) matcher.
+
+The paper's hash-table matcher keys on the packed {src, tag} word and uses
+*"Robert Jenkin's 32-bit (6-shifts) hash function, which we found to be in
+wide use"* (Section VI-C).  It also flags hash-function choice as future
+work, so alternates (FNV-1a, multiplicative/Fibonacci, and an identity
+baseline that exposes collision pathologies) are provided for the
+ablation bench.
+
+All functions are vectorized over int64 NumPy arrays and return unsigned
+32-bit results as int64 (so downstream modular arithmetic stays exact).
+The per-call ALU instruction count is exported for the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "jenkins32",
+    "fnv1a32",
+    "fibonacci32",
+    "identity32",
+    "HASH_FUNCTIONS",
+    "alu_cost",
+    "fold64",
+]
+
+_U32 = np.int64(0xFFFFFFFF)
+
+
+def _u32(x: np.ndarray) -> np.ndarray:
+    return x & _U32
+
+
+def jenkins32(keys: np.ndarray) -> np.ndarray:
+    """Robert Jenkins' 32-bit integer hash (the 6-shift version).
+
+    This is the function the paper selects.  Vectorized translation of::
+
+        a = (a+0x7ed55d16) + (a<<12)
+        a = (a^0xc761c23c) ^ (a>>19)
+        a = (a+0x165667b1) + (a<<5)
+        a = (a+0xd3a2646c) ^ (a<<9)
+        a = (a+0xfd7046c5) + (a<<3)
+        a = (a^0xb55a4f09) ^ (a>>16)
+    """
+    a = _u32(np.asarray(keys, dtype=np.int64))
+    a = _u32(_u32(a + 0x7ED55D16) + _u32(a << 12))
+    a = _u32(_u32(a ^ 0xC761C23C) ^ (a >> 19))
+    a = _u32(_u32(a + 0x165667B1) + _u32(a << 5))
+    a = _u32(_u32(a + 0xD3A2646C) ^ _u32(a << 9))
+    a = _u32(_u32(a + 0xFD7046C5) + _u32(a << 3))
+    a = _u32(_u32(a ^ 0xB55A4F09) ^ (a >> 16))
+    return a
+
+
+def fnv1a32(keys: np.ndarray) -> np.ndarray:
+    """FNV-1a over the four bytes of the 32-bit key (vectorized)."""
+    k = _u32(np.asarray(keys, dtype=np.int64))
+    h = np.full_like(k, 0x811C9DC5)
+    for shift in (0, 8, 16, 24):
+        byte = (k >> shift) & 0xFF
+        h = _u32(h ^ byte)
+        h = _u32(h * 0x01000193)
+    return h
+
+
+def fibonacci32(keys: np.ndarray) -> np.ndarray:
+    """Multiplicative (Fibonacci) hashing: one multiply by 2^32/phi."""
+    k = _u32(np.asarray(keys, dtype=np.int64))
+    return _u32(k * 0x9E3779B9)
+
+
+def identity32(keys: np.ndarray) -> np.ndarray:
+    """No mixing at all -- the collision-pathology baseline for ablations."""
+    return _u32(np.asarray(keys, dtype=np.int64))
+
+
+#: Registry used by the hash matcher and the hash-function ablation bench.
+HASH_FUNCTIONS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "jenkins": jenkins32,
+    "fnv1a": fnv1a32,
+    "fibonacci": fibonacci32,
+    "identity": identity32,
+}
+
+#: Integer ALU instructions each function costs per key on the GPU.
+_ALU_COST = {"jenkins": 17, "fnv1a": 12, "fibonacci": 2, "identity": 0}
+
+
+def alu_cost(name: str) -> int:
+    """ALU instructions per hashed key for the named function."""
+    try:
+        return _ALU_COST[name]
+    except KeyError:
+        raise KeyError(f"unknown hash function {name!r}; "
+                       f"choices: {sorted(HASH_FUNCTIONS)}") from None
+
+
+def fold64(words: np.ndarray) -> np.ndarray:
+    """Fold packed 64-bit envelopes to 32 bits before hashing.
+
+    XOR-folding keeps both the src (upper) and tag (lower) halves
+    influential, so distinct tuples rarely pre-collide before the hash.
+    """
+    w = np.asarray(words, dtype=np.int64)
+    return _u32(w ^ (w >> 32))

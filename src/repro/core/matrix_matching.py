@@ -1,0 +1,433 @@
+"""The paper's MPI-compliant matrix matching algorithm (Section V).
+
+Two-phase structure:
+
+**Scan** (Algorithm 1, parallel): each thread owns one message; for every
+receive request in the current *window* the warp votes via ``ballot``
+whether its lanes' messages match, and writes the resulting 32-bit vector
+into a (warps x window) vote matrix in shared memory.
+
+**Reduce** (Algorithm 2, sequential over columns): one warp walks the
+columns (receive requests) in posted order.  Each lane holds one warp-row
+of the matrix and a 32-bit *mask* of its still-unmatched messages.  A
+``ballot`` finds which lanes still have candidates; ``ffs`` picks the
+lowest lane (earliest warp), and a second ``ffs`` picks the lowest bit
+(earliest message within the warp) -- preserving MPI's non-overtaking
+order.  The winning message's mask bit is cleared so it cannot be matched
+again.
+
+Both phases pipeline: while the reduce warp drains one window of columns,
+the scan warps fill the next.  The pipelining collapses at 1024 messages
+(all 32 warps needed for scan), which is the performance knee in Figure 4.
+
+Two interchangeable implementations are provided:
+
+* :meth:`MatrixMatcher.match` -- window/block loops in Python, 32-lane
+  inner operations vectorized with NumPy, costs charged analytically with
+  the same counts the pedantic path would record.  Used by benchmarks.
+* :meth:`MatrixMatcher.match_pedantic` -- executes Algorithms 1 and 2
+  verbatim on the :class:`~repro.simt.cta.CTA` / :class:`~repro.simt.warp.Warp`
+  simulator, one warp instruction at a time.  Used by tests to validate
+  the fast path (identical assignments).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simt.cta import CTA, MAX_WARPS_PER_CTA
+from ..simt.gpu import GPUSpec, PASCAL_GTX1080
+from ..simt.timing import CostLedger, TimingModel
+from ..simt.warp import WARP_SIZE, ffs32
+from .envelope import EnvelopeBatch
+from .result import NO_MATCH, MatchOutcome
+
+__all__ = ["MatrixMatcher", "DEFAULT_WINDOW"]
+
+#: Receive-request columns scanned per pipeline stage.  32 warps x 64
+#: columns of int32 votes = 8 KiB of shared memory per buffer; double
+#: buffering for the scan/reduce pipeline stays well under the 48 KiB
+#: per-CTA limit.
+DEFAULT_WINDOW = 64
+
+
+@dataclass
+class _PhasePlan:
+    """Per-iteration bookkeeping shared by cost accounting and tests."""
+
+    n_block_msgs: int
+    n_warps: int
+    n_columns: int
+    n_chunks: int
+
+
+class MatrixMatcher:
+    """MPI-compliant GPU matching (scan + ordered reduce).
+
+    Parameters
+    ----------
+    spec:
+        Simulated device (default: the paper's Pascal GTX 1080).
+    warps_per_cta:
+        Scan warps, i.e. matrix height; 32 (=1024 messages/iteration) in
+        the paper.
+    window:
+        Columns per pipeline stage.
+    compaction:
+        Append a queue-compaction pass after matching (prefix scan +
+        moves).  The paper measures this at roughly 10% of the matching
+        rate; it is required whenever unexpected messages exist, and
+        skippable under the *no unexpected messages* relaxation.
+    compaction_policy:
+        ``"always"`` or ``"adaptive"``.  Adaptive implements the paper's
+        remark "in cases when the number of matches is very low, the
+        bubbles can be tolerated and the compaction can be skipped": the
+        pass only runs when at least :data:`COMPACTION_MIN_FRACTION` of
+        the requests matched.
+    warp_size:
+        Lanes per warp.  32 on all real generations; smaller values model
+        the *variable warp size* architectural feature the paper endorses
+        for short queues (Section VII-C): narrow warps waste fewer lanes
+        on queues shorter than 32 and let more matrix rows pack into the
+        same thread budget.
+    """
+
+    name = "matrix"
+
+    def __init__(self, spec: GPUSpec = PASCAL_GTX1080,
+                 warps_per_cta: int = MAX_WARPS_PER_CTA,
+                 window: int = DEFAULT_WINDOW,
+                 compaction: bool = False,
+                 warp_size: int = WARP_SIZE,
+                 compaction_policy: str = "always") -> None:
+        if compaction_policy not in ("always", "adaptive"):
+            raise ValueError("compaction_policy must be 'always' or "
+                             "'adaptive'")
+        if not 1 <= warps_per_cta <= MAX_WARPS_PER_CTA:
+            raise ValueError("warps_per_cta must be in [1, 32]")
+        if window < 1:
+            raise ValueError("window must be positive")
+        if not 1 <= warp_size <= WARP_SIZE:
+            raise ValueError(f"warp_size must be in [1, {WARP_SIZE}]")
+        # double-buffered vote matrix must fit the CTA's shared memory:
+        # 2 buffers x warps x window x 4-byte words
+        smem_needed = 2 * warps_per_cta * window * 4
+        if smem_needed > spec.shared_mem_per_cta:
+            raise ValueError(
+                f"window {window} needs {smem_needed} B of shared memory "
+                f"for the double-buffered vote matrix; {spec.name} allows "
+                f"{spec.shared_mem_per_cta} B per CTA")
+        self.spec = spec
+        self.warps_per_cta = warps_per_cta
+        self.window = window
+        self.compaction = compaction
+        self.compaction_policy = compaction_policy
+        self.warp_size = warp_size
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def messages_per_iteration(self) -> int:
+        """Matrix capacity: one message per thread."""
+        return self.warps_per_cta * self.warp_size
+
+    def match(self, messages: EnvelopeBatch,
+              requests: EnvelopeBatch) -> MatchOutcome:
+        """Match with the vectorized fast path and price the execution."""
+        ledger = CostLedger()
+        out, iterations = self.execute(messages, requests, ledger)
+        return self._finish(out, len(messages), len(requests), ledger,
+                            iterations=iterations)
+
+    def execute(self, messages: EnvelopeBatch, requests: EnvelopeBatch,
+                ledger: CostLedger) -> tuple[np.ndarray, int]:
+        """Fast-path matching, charging costs into a caller-owned ledger.
+
+        Used directly by :class:`~repro.core.partitioned.PartitionedMatcher`,
+        which prices several queue ledgers jointly.  Returns the
+        request->message vector and the iteration (message block) count.
+        """
+        messages.assert_concrete("message queue")
+        n_msg, n_req = len(messages), len(requests)
+        out = np.full(n_req, NO_MATCH, dtype=np.int64)
+        if n_msg == 0 or n_req == 0:
+            return out, 0
+
+        match_mtx = messages.match_matrix(requests)  # (n_msg, n_req) bool
+        block = self.messages_per_iteration
+        n_blocks = math.ceil(n_msg / block)
+        unmatched_cols = np.ones(n_req, dtype=bool)
+
+        for b in range(n_blocks):
+            lo, hi = b * block, min((b + 1) * block, n_msg)
+            open_cols = int(np.count_nonzero(unmatched_cols))
+            plan = self._plan(hi - lo, open_cols)
+            # Pack votes: one int per (warp, column).
+            votes = _pack_block_votes(match_mtx[lo:hi], plan.n_warps,
+                                      self.warp_size)
+            visited = self._reduce_block(votes, unmatched_cols, out, lo,
+                                         ledger, plan)
+            # The scan pipeline only fills the windows the reduce actually
+            # consumed: once every message of the block is matched the
+            # remaining columns are skipped (this is why an in-order
+            # receive queue is cheap beyond 1024 entries and a reversed
+            # one is not -- Section V-B).
+            scanned = min(open_cols,
+                          math.ceil(visited / self.window) * self.window)
+            self._charge_scan(ledger, self._plan(hi - lo, scanned))
+            if not unmatched_cols.any():
+                break
+        if self.compaction and self._should_compact(out, n_req):
+            self._charge_compaction(ledger, n_msg, n_req)
+        return out, n_blocks
+
+    #: Minimum matched fraction below which adaptive compaction tolerates
+    #: the bubbles and skips the pass (Section V-A).
+    COMPACTION_MIN_FRACTION = 0.25
+
+    def _should_compact(self, out: np.ndarray, n_req: int) -> bool:
+        if self.compaction_policy == "always":
+            return True
+        matched = int(np.count_nonzero(out != NO_MATCH))
+        return matched >= self.COMPACTION_MIN_FRACTION * max(1, n_req)
+
+    # -- fast-path internals -----------------------------------------------------
+
+    def _plan(self, n_block_msgs: int, n_open_columns: int) -> _PhasePlan:
+        n_warps = math.ceil(n_block_msgs / self.warp_size)
+        n_chunks = math.ceil(n_open_columns / self.window) if n_open_columns else 0
+        return _PhasePlan(n_block_msgs=n_block_msgs, n_warps=n_warps,
+                          n_columns=n_open_columns, n_chunks=n_chunks)
+
+    def _reduce_block(self, votes: np.ndarray, unmatched_cols: np.ndarray,
+                      out: np.ndarray, msg_base: int, ledger: CostLedger,
+                      plan: _PhasePlan) -> int:
+        """Sequential column reduce (vectorized across the reduce warp's
+        lanes).  Returns the number of columns visited before the block's
+        messages were exhausted (early exit)."""
+        n_warps = votes.shape[0]
+        block_msgs = plan.n_block_msgs
+        mask = np.full(n_warps, (1 << self.warp_size) - 1, dtype=np.int64)
+        cols = np.nonzero(unmatched_cols)[0]
+        reduce_phase = ledger.phase("reduce", active_warps=1,
+                                    overlap_group=self._overlap_group(plan))
+        visited = 0
+        matched_in_block = 0
+        for j in cols:
+            visited += 1
+            # lane loads, masked vote, ballot over lanes with candidates
+            masked = votes[:, j] & mask
+            reduce_phase.add("smem_load", 1)
+            reduce_phase.add("ballot", 1)
+            reduce_phase.add("alu", 4)
+            reduce_phase.add("branch", 1)
+            bidders = np.nonzero(masked)[0]
+            if bidders.size:
+                w = int(bidders[0])              # ffs over the lane ballot
+                lane = ffs32(int(masked[w])) - 1  # ffs within the vote word
+                out[j] = msg_base + w * self.warp_size + lane
+                mask[w] &= ~(1 << lane)
+                unmatched_cols[j] = False
+                reduce_phase.add("alu", 3)
+                reduce_phase.add("smem_store", 1)
+                matched_in_block += 1
+                if matched_in_block == block_msgs:
+                    break  # every message of this block is consumed
+        # Results stage in shared memory and flush coalesced per window
+        # chunk, so per-column cost barely depends on whether it matched
+        # ("performance decreases linearly with the number of matched
+        # messages": rate ~ matches, time ~ columns).
+        reduce_phase.add("gmem_store",
+                         2.0 * math.ceil(max(1, visited) / self.window))
+        return visited
+
+    def _overlap_group(self, plan: _PhasePlan) -> str | None:
+        """Scan/reduce pipelining: possible only while spare warps exist.
+
+        With all 32 warps scanning (1024-message iterations) the reduce
+        cannot be overlapped any more -- the Figure 4 knee.
+        """
+        return "pipeline" if plan.n_warps < MAX_WARPS_PER_CTA else None
+
+    def _charge_scan(self, ledger: CostLedger, plan: _PhasePlan) -> None:
+        """Analytic cost of Algorithm 1 for one message block.
+
+        Per warp: one coalesced 64-bit load of its 32 message envelopes
+        (2 x 128 B transactions), then per scanned column a broadcast
+        request load (staged through shared memory by the prefetcher), a
+        64-bit compare, the ballot, and the vote-matrix store.
+        """
+        scan = ledger.phase("scan", active_warps=max(1, plan.n_warps),
+                            overlap_group=self._overlap_group(plan))
+        w, c = plan.n_warps, plan.n_columns
+        scan.add("gmem_load", 2 * w)
+        scan.add("smem_load", float(w * c))
+        scan.add("alu", float(w * c))
+        scan.add("ballot", float(w * c))
+        scan.add("smem_store", float(w * c))
+        # Pipeline handoff barrier per window chunk.
+        scan.add("sync", float(plan.n_chunks))
+
+    def _charge_compaction(self, ledger: CostLedger, n_msg: int,
+                           n_req: int) -> None:
+        """Queue compaction after matching (both queues), at CTA width.
+
+        The paper measures the overall impact at about 10% of the
+        matching rate.
+        """
+        from .compaction import charge_compaction
+        charge_compaction(ledger, n_msg + n_req, max_warps=self.warps_per_cta)
+
+    def _finish(self, out: np.ndarray, n_msg: int, n_req: int,
+                ledger: CostLedger, iterations: int) -> MatchOutcome:
+        timing = TimingModel(self.spec).evaluate(ledger)
+        return MatchOutcome(
+            request_to_message=out, n_messages=n_msg, n_requests=n_req,
+            seconds=timing.seconds, cycles=timing.cycles,
+            iterations=max(1, iterations),
+            meta={"phase_cycles": timing.per_phase_cycles,
+                  "device": self.spec.name,
+                  "warps_per_cta": self.warps_per_cta,
+                  "window": self.window,
+                  "warp_size": self.warp_size,
+                  "compaction": self.compaction})
+
+    # -- pedantic path -------------------------------------------------------------
+
+    def match_pedantic(self, messages: EnvelopeBatch,
+                       requests: EnvelopeBatch) -> MatchOutcome:
+        """Execute Algorithms 1-2 verbatim on the warp simulator.
+
+        Functionally identical to :meth:`match`; costs are recorded by the
+        :class:`~repro.simt.warp.Warp` primitives themselves.  Intended for
+        validation at small sizes (it loops in Python per warp per column).
+        """
+        if self.warp_size != WARP_SIZE:
+            raise ValueError("the pedantic path executes physical 32-lane "
+                             "warps; variable warp sizes are fast-path only")
+        messages.assert_concrete("message queue")
+        n_msg, n_req = len(messages), len(requests)
+        out = np.full(n_req, NO_MATCH, dtype=np.int64)
+        if n_msg == 0 or n_req == 0:
+            ledger = CostLedger()
+            return self._finish(out, n_msg, n_req, ledger, iterations=0)
+
+        block = self.messages_per_iteration
+        n_blocks = math.ceil(n_msg / block)
+        unmatched = np.ones(n_req, dtype=bool)
+        ledger = CostLedger()
+
+        for b in range(n_blocks):
+            lo, hi = b * block, min((b + 1) * block, n_msg)
+            n_block = hi - lo
+            n_warps = math.ceil(n_block / WARP_SIZE)
+            cta = CTA(num_warps=n_warps,
+                      shared_words=n_warps * self.window, ledger=ledger,
+                      cta_id=b)
+            cols = np.nonzero(unmatched)[0]
+            plan = self._plan(n_block, cols.size)
+            group = self._overlap_group(plan)
+            # Per-lane message masks persist across window chunks: a message
+            # matched in an earlier chunk must stay consumed for the rest of
+            # the block (Algorithm 2 keeps the mask in registers).
+            lanes = cta.warps[0].lanes
+            holds_row = lanes < n_warps
+            mask = np.where(holds_row, (1 << WARP_SIZE) - 1, 0).astype(np.int64)
+            block_exhausted = False
+            for chunk_start in range(0, cols.size, self.window):
+                chunk = cols[chunk_start:chunk_start + self.window]
+                self._pedantic_scan(cta, messages, requests,
+                                    lo, n_block, chunk, group)
+                cta.syncthreads()
+                block_exhausted = self._pedantic_reduce(
+                    cta, chunk, out, lo, unmatched, group, n_warps, mask,
+                    holds_row, n_block)
+                cta.syncthreads()
+                if block_exhausted:
+                    break  # all of this block's messages are consumed
+        return self._finish(out, n_msg, n_req, ledger, iterations=n_blocks)
+
+    def _pedantic_scan(self, cta: CTA, messages: EnvelopeBatch,
+                       requests: EnvelopeBatch,
+                       msg_base: int, n_block: int, chunk: np.ndarray,
+                       group: str | None) -> None:
+        """Algorithm 1: every warp votes its lanes' messages per column."""
+        cta.ledger.phase("scan", active_warps=cta.num_warps,
+                         overlap_group=group)
+        for warp in cta.warps:
+            lane_msg = msg_base + warp.warp_id * WARP_SIZE + warp.lanes
+            in_range = lane_msg - msg_base < n_block
+            warp.active = in_range.copy()
+            warp._issue("gmem_load", 2)  # coalesced 64-bit envelope fetch
+            for i, j in enumerate(chunk):
+                req = requests[int(j)]
+                warp._issue("smem_load", 1)  # broadcast request word
+                pred = _accepts_vector(req, messages, lane_msg, in_range)
+                warp._issue("alu", 1)
+                vote = warp.ballot(pred)
+                cta.shared.store(
+                    np.array([warp.warp_id * self.window + i]),
+                    np.array([vote]))
+            warp.active = np.ones(WARP_SIZE, dtype=bool)
+
+    def _pedantic_reduce(self, cta: CTA, chunk: np.ndarray, out: np.ndarray,
+                         msg_base: int, unmatched: np.ndarray,
+                         group: str | None, n_warps: int,
+                         mask: np.ndarray, holds_row: np.ndarray,
+                         n_block: int) -> bool:
+        """Algorithm 2: one warp reduces the chunk's columns in order.
+
+        Returns True once every message of the block has been matched
+        (the early-exit condition shared with the fast path)."""
+        cta.ledger.phase("reduce", active_warps=1, overlap_group=group)
+        warp = cta.warps[0]
+        lanes = warp.lanes
+        full = (1 << WARP_SIZE) - 1
+        for i, j in enumerate(chunk):
+            addrs = np.minimum(lanes, n_warps - 1) * self.window + i
+            votes = cta.shared.load(addrs)
+            votes = np.where(holds_row, votes, 0)
+            masked = warp.op(votes & mask, count=1)
+            bidders = warp.ballot(masked != 0)
+            warp.op(masked, count=3)  # ffs compare, index arithmetic, branch
+            if bidders:
+                w = ffs32(bidders) - 1
+                lane_match = ffs32(int(masked[w])) - 1
+                out[j] = msg_base + w * WARP_SIZE + lane_match
+                mask[w] &= ~(1 << lane_match)
+                unmatched[j] = False
+                warp.op(masked, count=3)
+                warp._issue("smem_store", 1)
+                consumed = sum(
+                    bin(full & ~int(m)).count("1")
+                    for m, h in zip(mask, holds_row) if h)
+                if consumed == n_block:
+                    warp._issue("gmem_store", 2)
+                    return True
+        # coalesced flush of the chunk's staged results
+        warp._issue("gmem_store", 2)
+        return False
+
+
+def _pack_block_votes(block_matrix: np.ndarray, n_warps: int,
+                      warp_size: int = WARP_SIZE) -> np.ndarray:
+    """Collapse a (block_msgs x n_req) boolean matrix into per-warp vote words."""
+    n_block, n_req = block_matrix.shape
+    padded = np.zeros((n_warps * warp_size, n_req), dtype=bool)
+    padded[:n_block] = block_matrix
+    lanes = padded.reshape(n_warps, warp_size, n_req)
+    weights = (1 << np.arange(warp_size, dtype=np.int64))[None, :, None]
+    return (lanes * weights).sum(axis=1)
+
+
+def _accepts_vector(req, messages: EnvelopeBatch, lane_msg: np.ndarray,
+                    in_range: np.ndarray) -> np.ndarray:
+    """Per-lane predicate: does ``req`` accept each lane's message?"""
+    idx = np.where(in_range, lane_msg, 0)
+    src_ok = (req.src == -1) | (messages.src[idx] == req.src)
+    tag_ok = (req.tag == -1) | (messages.tag[idx] == req.tag)
+    comm_ok = messages.comm[idx] == req.comm
+    return src_ok & tag_ok & comm_ok & in_range

@@ -1,0 +1,178 @@
+"""Unified message / receive-request queues (Section V, first paragraph).
+
+CPUs keep messages and receive requests in four structures (UMQ, PRQ, and
+the transient incoming message / new request); the paper's GPU design
+*unifies* them: "The UMQ is placed at the head of the message queue and
+the PRQ at the head of the receive request queue."  New arrivals append at
+the tail; matching consumes from the head region; compaction advances the
+head pointer.
+
+:class:`UnifiedQueue` implements that structure for envelopes plus an
+opaque per-entry payload handle, and records the depth statistics
+(max/mean occupancy per match attempt) that the trace analysis compares
+against Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .compaction import compact_batch
+from .envelope import Envelope, EnvelopeBatch
+
+__all__ = ["UnifiedQueue", "QueueStats"]
+
+
+@dataclass
+class QueueStats:
+    """Occupancy statistics of one queue."""
+
+    max_depth: int = 0
+    total_depth: int = 0
+    observations: int = 0
+    appended: int = 0
+    consumed: int = 0
+
+    def observe(self, depth: int) -> None:
+        """Record the depth seen by one match attempt."""
+        self.max_depth = max(self.max_depth, depth)
+        self.total_depth += depth
+        self.observations += 1
+
+    @property
+    def mean_depth(self) -> float:
+        """Mean depth across observations (0 when never observed)."""
+        return (self.total_depth / self.observations
+                if self.observations else 0.0)
+
+
+class UnifiedQueue:
+    """Append-at-tail, match-at-head queue of envelopes with payloads.
+
+    The queue is backed by growable Python-side lists that are snapshot
+    into an :class:`~repro.core.envelope.EnvelopeBatch` for each matching
+    pass -- mirroring how the GPU kernels read a contiguous global-memory
+    window.
+
+    Parameters
+    ----------
+    name:
+        Label used in diagnostics ("UMQ", "PRQ", "queue3", ...).
+    capacity:
+        Optional hard bound; exceeding it raises (GPU queues are
+        statically sized -- there is no in-kernel malloc, as the paper
+        laments in Section VII-C).
+    """
+
+    def __init__(self, name: str = "queue", capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive when given")
+        self.name = name
+        self.capacity = capacity
+        self._src: list[int] = []
+        self._tag: list[int] = []
+        self._comm: list[int] = []
+        self._payload: list[Any] = []
+        self._seq: list[int] = []
+        self._next_seq = 0
+        self.stats = QueueStats()
+
+    # -- container protocol ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._src)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __repr__(self) -> str:
+        return f"UnifiedQueue({self.name!r}, depth={len(self)})"
+
+    # -- mutation ---------------------------------------------------------------------
+
+    def append(self, envelope: Envelope, payload: Any = None) -> int:
+        """Append at the tail; returns the entry's sequence number."""
+        if self.capacity is not None and len(self) >= self.capacity:
+            raise OverflowError(
+                f"{self.name} full ({self.capacity} entries); GPU queues "
+                "are statically sized")
+        self._src.append(envelope.src)
+        self._tag.append(envelope.tag)
+        self._comm.append(envelope.comm)
+        self._payload.append(payload)
+        seq = self._next_seq
+        self._seq.append(seq)
+        self._next_seq += 1
+        self.stats.appended += 1
+        return seq
+
+    def extend(self, batch: EnvelopeBatch,
+               payloads: list[Any] | None = None) -> None:
+        """Append a whole batch (payloads optional, same length)."""
+        if payloads is not None and len(payloads) != len(batch):
+            raise ValueError("payloads must match batch length")
+        for i, env in enumerate(batch):
+            self.append(env, payloads[i] if payloads is not None else None)
+
+    def consume(self, indices: np.ndarray) -> list[Any]:
+        """Remove the given positions (post-match compaction).
+
+        Returns the payloads of the removed entries, in the order given.
+        The remaining entries keep their relative order, exactly like the
+        prefix-scan compaction on the device.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return []
+        if (idx < 0).any() or (idx >= len(self)).any():
+            raise IndexError(f"consume index out of range for {self.name}")
+        if np.unique(idx).size != idx.size:
+            raise ValueError("duplicate consume indices")
+        payloads = [self._payload[int(i)] for i in idx]
+        keep = np.ones(len(self), dtype=bool)
+        keep[idx] = False
+        batch, _ = compact_batch(self.snapshot(), keep)
+        kept = np.nonzero(keep)[0]
+        self._src = list(batch.src)
+        self._tag = list(batch.tag)
+        self._comm = list(batch.comm)
+        self._payload = [self._payload[int(i)] for i in kept]
+        self._seq = [self._seq[int(i)] for i in kept]
+        self.stats.consumed += idx.size
+        return payloads
+
+    # -- inspection ---------------------------------------------------------------------
+
+    def snapshot(self) -> EnvelopeBatch:
+        """Contiguous envelope view of the queue, head first."""
+        return EnvelopeBatch(src=self._src, tag=self._tag, comm=self._comm)
+
+    def payload_at(self, index: int) -> Any:
+        """Payload of the entry at ``index`` (head = 0)."""
+        return self._payload[index]
+
+    def seq_at(self, index: int) -> int:
+        """Global arrival sequence number of the entry at ``index``."""
+        return self._seq[index]
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number ever appended (-1 when none)."""
+        return self._next_seq - 1
+
+    def indices_newer_than(self, seq: int) -> np.ndarray:
+        """Positions of entries appended after sequence ``seq``."""
+        return np.array([i for i, s in enumerate(self._seq) if s > seq],
+                        dtype=np.int64)
+
+    def indices_not_newer_than(self, seq: int) -> np.ndarray:
+        """Positions of entries appended at or before sequence ``seq``."""
+        return np.array([i for i, s in enumerate(self._seq) if s <= seq],
+                        dtype=np.int64)
+
+    def observe_depth(self) -> None:
+        """Record the current depth into the statistics (one match attempt)."""
+        self.stats.observe(len(self))

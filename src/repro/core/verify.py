@@ -1,0 +1,117 @@
+"""Reference MPI matching oracle.
+
+A deliberately simple, obviously-correct implementation of MPI matching
+semantics, used as ground truth by the test suite and by
+:mod:`repro.core.engine` when semantics checking is enabled.
+
+MPI's guarantee (non-overtaking): if two messages from the same (source,
+communicator) both match a posted receive, the one sent first is received
+first.  Equivalently, processing receive requests in posted order and
+giving each the *earliest* queued message it matches yields the unique
+correct assignment.  That is exactly what :func:`reference_match` does,
+in O(n_requests * n_messages).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .envelope import ANY_SOURCE, ANY_TAG, EnvelopeBatch
+from .result import NO_MATCH, MatchOutcome
+
+__all__ = ["reference_match", "check_mpi_ordering", "SemanticsViolation"]
+
+
+class SemanticsViolation(AssertionError):
+    """An outcome violates MPI matching semantics."""
+
+
+def reference_match(messages: EnvelopeBatch,
+                    requests: EnvelopeBatch) -> MatchOutcome:
+    """Match ``requests`` against ``messages`` with full MPI semantics.
+
+    Messages are in arrival order (the UMQ), requests in posted order (the
+    PRQ).  Returns the canonical assignment.
+    """
+    messages.assert_concrete("message queue")
+    n_msg, n_req = len(messages), len(requests)
+    taken = np.zeros(n_msg, dtype=bool)
+    out = np.full(n_req, NO_MATCH, dtype=np.int64)
+    for j in range(n_req):
+        r_src = int(requests.src[j])
+        r_tag = int(requests.tag[j])
+        r_comm = int(requests.comm[j])
+        ok = ~taken
+        ok &= messages.comm == r_comm
+        if r_src != ANY_SOURCE:
+            ok &= messages.src == r_src
+        if r_tag != ANY_TAG:
+            ok &= messages.tag == r_tag
+        hits = np.nonzero(ok)[0]
+        if hits.size:
+            out[j] = hits[0]
+            taken[hits[0]] = True
+    return MatchOutcome(request_to_message=out, n_messages=n_msg,
+                        n_requests=n_req, meta={"oracle": True})
+
+
+def check_mpi_ordering(messages: EnvelopeBatch, requests: EnvelopeBatch,
+                       outcome: MatchOutcome) -> None:
+    """Validate an outcome against full MPI semantics.
+
+    Checks, raising :class:`SemanticsViolation` on failure:
+
+    1. every reported pair actually matches (src/tag/comm agree modulo
+       wildcards);
+    2. no message is double-matched (already enforced by
+       :class:`~repro.core.result.MatchOutcome`);
+    3. non-overtaking: the outcome assigns exactly the same pairs as the
+       reference oracle.  (For fully MPI-compliant matching the canonical
+       assignment is unique, so equality is the correct check.)
+    """
+    ref = reference_match(messages, requests)
+    got = outcome.request_to_message
+    for j in range(len(requests)):
+        m = int(got[j])
+        if m == NO_MATCH:
+            continue
+        req = requests[j]
+        msg = messages[m]
+        if not req.accepts(msg):
+            raise SemanticsViolation(
+                f"request {j} {req} reported matching message {m} {msg}, "
+                f"but the envelopes do not match")
+    if not np.array_equal(ref.request_to_message, got):
+        diff = np.nonzero(ref.request_to_message != got)[0][:8]
+        raise SemanticsViolation(
+            "assignment differs from MPI reference at requests "
+            f"{diff.tolist()}: expected "
+            f"{ref.request_to_message[diff].tolist()}, got {got[diff].tolist()}")
+
+
+def check_relaxed(messages: EnvelopeBatch, requests: EnvelopeBatch,
+                  outcome: MatchOutcome, *, require_complete: bool = False,
+                  ) -> None:
+    """Validate an outcome under *relaxed* (unordered) semantics.
+
+    Without ordering guarantees any pairing of envelope-compatible
+    messages and requests is legal; we check pair validity, no
+    double-matching, and -- optionally -- completeness (a perfect matching
+    exists in the synthetic workloads where every message has a partner,
+    so an incomplete result would indicate a lost message).
+    """
+    got = outcome.request_to_message
+    for j in range(len(requests)):
+        m = int(got[j])
+        if m == NO_MATCH:
+            continue
+        if not requests[j].accepts(messages[m]):
+            raise SemanticsViolation(
+                f"request {j} {requests[j]} paired with incompatible "
+                f"message {m} {messages[m]}")
+    if require_complete:
+        ref = reference_match(messages, requests)
+        if outcome.matched_count < ref.matched_count:
+            raise SemanticsViolation(
+                f"outcome matched {outcome.matched_count} requests but "
+                f"{ref.matched_count} were matchable")

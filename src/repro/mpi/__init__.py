@@ -1,0 +1,32 @@
+"""Message-passing substrate over the matching core.
+
+A cooperative, single-process simulation of the paper's system model:
+GPUs as autonomous ranks (:mod:`.process`), joined by a global-address-
+space network (:mod:`.network`), each running a communication kernel that
+matches messages with the configured engine (:mod:`.progress`).
+Communicators (:mod:`.communicator`) and BSP collectives
+(:mod:`.collectives`) complete the familiar MPI surface.
+"""
+
+from .collectives import (allgather, allreduce, alltoall, barrier, bcast,
+                          gather, reduce, scan, scatter)
+from .communicator import Communicator
+from .datatypes import EAGER_LIMIT_BYTES, Protocol, payload_nbytes
+from .network import GASNetwork, LinkModel, MessageDescriptor, NVLINK, PCIE3
+from .process import Cluster, RankView
+from .progress import Endpoint
+from .ops import (PersistentRecv, PersistentSend, testall, waitall,
+                  waitany)
+from .request import Request, RequestState, Status
+from .ringbuffer import IngressRings, RingBuffer
+
+__all__ = [
+    "Cluster", "RankView", "Communicator", "Endpoint",
+    "Request", "RequestState", "Status",
+    "GASNetwork", "LinkModel", "MessageDescriptor", "NVLINK", "PCIE3",
+    "EAGER_LIMIT_BYTES", "Protocol", "payload_nbytes",
+    "barrier", "bcast", "gather", "scatter", "allgather", "alltoall",
+    "reduce", "allreduce", "scan",
+    "waitall", "waitany", "testall", "PersistentRecv", "PersistentSend",
+    "RingBuffer", "IngressRings",
+]

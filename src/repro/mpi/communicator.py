@@ -1,0 +1,112 @@
+"""Communicators: isolated matching contexts over a cluster.
+
+A communicator is part of the matching tuple and can never be wildcarded,
+so distinct communicators partition traffic with no cross-dependencies --
+"the communicator ... would inherently offer parallelism", as the paper
+notes (Section IV-A), even though most proxy applications use only one.
+
+:class:`Communicator` binds a cluster to a ``comm`` id and an ordered
+subset of its ranks, translating between *communicator-local* ranks (what
+send/recv take) and *cluster* ranks (what the network routes on) -- the
+same world/sub-communicator split MPI programs use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..core.envelope import ANY_SOURCE, MAX_COMM
+from .process import Cluster, RankView
+from .request import Request
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """An MPI-style communicator over a simulated cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The underlying rank set.
+    comm_id:
+        Matching-tuple communicator value (0 = world default).
+    members:
+        Cluster ranks belonging to this communicator, in local-rank
+        order.  Defaults to all ranks.
+    """
+
+    def __init__(self, cluster: Cluster, comm_id: int = 0,
+                 members: Sequence[int] | None = None) -> None:
+        if not 0 <= comm_id <= MAX_COMM:
+            raise ValueError(f"comm_id out of range: {comm_id}")
+        self.cluster = cluster
+        self.comm_id = comm_id
+        self.members = (list(range(cluster.n_ranks)) if members is None
+                        else list(members))
+        if len(set(self.members)) != len(self.members):
+            raise ValueError("duplicate ranks in communicator")
+        for m in self.members:
+            if not 0 <= m < cluster.n_ranks:
+                raise ValueError(f"rank {m} outside the cluster")
+        self._local_of = {g: l for l, g in enumerate(self.members)}
+
+    # -- topology ---------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of member ranks."""
+        return len(self.members)
+
+    def global_rank(self, local: int) -> int:
+        """Communicator-local rank -> cluster rank."""
+        return self.members[local]
+
+    def local_rank(self, global_rank: int) -> int:
+        """Cluster rank -> communicator-local rank."""
+        return self._local_of[global_rank]
+
+    def split(self, color_of: dict[int, int]) -> dict[int, "Communicator"]:
+        """MPI_Comm_split analogue: one sub-communicator per color.
+
+        ``color_of`` maps local ranks to colors; the sub-communicators get
+        fresh comm ids allocated after this communicator's.
+        """
+        colors = sorted(set(color_of.values()))
+        out = {}
+        for i, color in enumerate(colors):
+            members = [self.members[l] for l in sorted(color_of)
+                       if color_of[l] == color]
+            out[color] = Communicator(self.cluster,
+                                      comm_id=self.comm_id + 1 + i,
+                                      members=members)
+        return out
+
+    # -- point-to-point (local ranks) -----------------------------------------------
+
+    def isend(self, src: int, dst: int, payload: Any = None,
+              tag: int = 0) -> Request:
+        """Nonblocking send from local rank ``src`` to local rank ``dst``."""
+        return self._view(src).isend(self.global_rank(dst), payload, tag,
+                                     comm=self.comm_id)
+
+    def send(self, src: int, dst: int, payload: Any = None,
+             tag: int = 0) -> None:
+        """Blocking send between local ranks."""
+        self.isend(src, dst, payload, tag).wait()
+
+    def irecv(self, dst: int, src: int, tag: int) -> Request:
+        """Nonblocking receive at local rank ``dst`` from local ``src``.
+
+        ``src`` may be ANY_SOURCE (subject to the cluster's relaxations);
+        a concrete source is translated to its cluster rank.
+        """
+        global_src = src if src == ANY_SOURCE else self.global_rank(src)
+        return self._view(dst).irecv(global_src, tag, comm=self.comm_id)
+
+    def recv(self, dst: int, src: int, tag: int) -> Any:
+        """Blocking receive at a local rank; returns the payload."""
+        return self.irecv(dst, src, tag).wait()
+
+    def _view(self, local: int) -> RankView:
+        return self.cluster.rank(self.global_rank(local))

@@ -1,0 +1,67 @@
+"""Datatype descriptors for the message-passing layer.
+
+The matching study only needs envelope metadata, but a usable
+send/recv API has to carry payloads.  Fast paths exist for raw ``bytes``
+and NumPy arrays; any other picklable object is sized and snapshotted via
+pickle (the mpi4py convention).  :func:`payload_nbytes` sizes payloads
+for the eager/rendezvous protocol decision (Section II-B: small messages
+are buffered, large messages are matched first and then transferred
+directly).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["payload_nbytes", "clone_payload", "EAGER_LIMIT_BYTES", "Protocol"]
+
+#: Messages at or below this size use the eager protocol (payload travels
+#: with the envelope and may be buffered as unexpected); larger messages
+#: use rendezvous (payload transferred after the match).  8 KiB mirrors
+#: common MPI eager limits.
+EAGER_LIMIT_BYTES = 8 * 1024
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """Protocol decision for one message."""
+
+    eager: bool
+    nbytes: int
+
+    @classmethod
+    def for_payload(cls, payload: Any) -> "Protocol":
+        """Choose eager vs rendezvous by payload size."""
+        n = payload_nbytes(payload)
+        return cls(eager=n <= EAGER_LIMIT_BYTES, nbytes=n)
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Size of a payload in bytes (0 for ``None``)."""
+    if payload is None:
+        return 0
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (int, float, bool)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode())
+    return len(pickle.dumps(payload))
+
+
+def clone_payload(payload: Any) -> Any:
+    """Snapshot a payload at send time (MPI send buffers are reusable
+    immediately after the call returns for eager sends)."""
+    if payload is None or isinstance(payload, (bytes, int, float, bool, str)):
+        return payload
+    if isinstance(payload, (bytearray, memoryview)):
+        return bytes(payload)
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    return pickle.loads(pickle.dumps(payload))

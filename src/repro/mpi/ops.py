@@ -1,0 +1,99 @@
+"""Request aggregation and persistent operations (MPI_Wait*/MPI_*_init).
+
+``waitall`` / ``waitany`` / ``testall`` complete sets of nonblocking
+requests, pumping cluster progress the way the MPI equivalents do.
+
+:class:`PersistentRecv` / :class:`PersistentSend` model MPI persistent
+requests: the (rank, peer, tag) binding is fixed once and each
+``start()`` re-activates it.  Persistent receives are how well-tuned BSP
+codes pre-post their halo receives every iteration -- the pattern that
+makes the paper's *no unexpected messages* relaxation cheap (LULESH
+"already posts the vast majority of receive requests in advance").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from .process import RankView
+from .request import Request, RequestState
+
+__all__ = ["waitall", "waitany", "testall",
+           "PersistentRecv", "PersistentSend"]
+
+
+def waitall(requests: Sequence[Request], max_rounds: int = 10_000,
+            ) -> list[Any]:
+    """Complete every request; returns their payloads in order."""
+    return [req.wait(max_rounds=max_rounds) for req in requests]
+
+
+def waitany(requests: Sequence[Request], max_rounds: int = 10_000,
+            ) -> tuple[int, Any]:
+    """Block until any one request completes; returns (index, payload).
+
+    Already-completed requests win immediately (lowest index first).
+    """
+    if not requests:
+        raise ValueError("waitany on an empty request list")
+    for _ in range(max_rounds):
+        for i, req in enumerate(requests):
+            if req.state is RequestState.COMPLETE:
+                return i, req.wait()
+        # one progress pass, driven through any request's progress hook
+        requests[0].test()
+    raise RuntimeError(f"waitany made no progress in {max_rounds} rounds: "
+                       "likely deadlock")
+
+
+def testall(requests: Sequence[Request]) -> bool:
+    """Nonblocking: true iff every request has completed."""
+    return all(req.test() for req in requests)
+
+
+class PersistentRecv:
+    """A reusable receive binding (MPI_Recv_init / MPI_Start)."""
+
+    def __init__(self, view: RankView, src: int, tag: int,
+                 comm: int = 0) -> None:
+        self.view = view
+        self.src = src
+        self.tag = tag
+        self.comm = comm
+        self._active: Request | None = None
+
+    def start(self) -> Request:
+        """Activate the binding: posts a fresh receive request."""
+        if self._active is not None and \
+                self._active.state is RequestState.PENDING:
+            raise RuntimeError("persistent receive already active; wait on "
+                               "it before restarting")
+        self._active = self.view.irecv(self.src, self.tag, self.comm)
+        return self._active
+
+    def wait(self) -> Any:
+        """Complete the active incarnation; returns the payload."""
+        if self._active is None:
+            raise RuntimeError("persistent receive never started")
+        payload = self._active.wait()
+        return payload
+
+
+class PersistentSend:
+    """A reusable send binding (MPI_Send_init / MPI_Start).
+
+    The payload may change between starts; the envelope may not.
+    """
+
+    def __init__(self, view: RankView, dst: int, tag: int,
+                 comm: int = 0) -> None:
+        self.view = view
+        self.dst = dst
+        self.tag = tag
+        self.comm = comm
+        self.starts = 0
+
+    def start(self, payload: Any = None) -> Request:
+        """Send ``payload`` on the fixed envelope."""
+        self.starts += 1
+        return self.view.isend(self.dst, payload, self.tag, self.comm)

@@ -1,0 +1,237 @@
+"""Cluster of simulated GPU ranks.
+
+:class:`Cluster` instantiates one :class:`~repro.mpi.progress.Endpoint`
+per rank, wires them to a :class:`~repro.mpi.network.GASNetwork`, and
+exposes rank-local :class:`RankView` handles with the familiar
+send/recv/isend/irecv API.
+
+Execution model: the simulation is cooperative and single-threaded.
+Nonblocking operations enqueue work; blocking ``wait()``/``recv()`` calls
+pump the *whole cluster's* progress (every endpoint's communication
+kernel), which is how a real MPI implementation makes progress inside
+blocking calls.  Rank programs are therefore written phase-structured
+(post receives, send, wait), the natural style of the BSP applications
+the paper targets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..core.engine import MatchingEngine
+from ..core.relaxations import RelaxationSet
+from ..simt.gpu import GPUSpec, PASCAL_GTX1080
+from .datatypes import Protocol, clone_payload
+from .network import GASNetwork, LinkModel, MessageDescriptor, NVLINK
+from .progress import Endpoint
+from .request import Request
+
+__all__ = ["Cluster", "RankView"]
+
+
+class Cluster:
+    """A set of simulated GPU ranks joined by a GAS network.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of ranks (simulated GPUs).
+    gpu:
+        Device spec for every endpoint's communication kernel.
+    relaxations:
+        Matching guarantee set enforced cluster-wide.
+    link:
+        Network link model.
+    engine_factory:
+        Optional override: ``(rank) -> MatchingEngine`` for heterogeneous
+        configurations.
+    ring_capacity:
+        Optional per-peer ingress ring size at every endpoint (GPU
+        queues are statically sized); full rings back-pressure senders.
+        ``None`` (default) models unbounded queues.
+    progress_mode:
+        ``"incremental"`` (default) or ``"snapshot"`` -- see
+        :class:`~repro.mpi.progress.Endpoint`.
+    queue_capacity:
+        Optional hard UMQ/PRQ bound per endpoint (statically sized GPU
+        queues); overflowing raises OverflowError.
+    """
+
+    def __init__(self, n_ranks: int, gpu: GPUSpec = PASCAL_GTX1080,
+                 relaxations: RelaxationSet | None = None,
+                 link: LinkModel = NVLINK,
+                 engine_factory: Callable[[int], MatchingEngine] | None = None,
+                 ring_capacity: int | None = None,
+                 progress_mode: str = "incremental",
+                 queue_capacity: int | None = None,
+                 **engine_kwargs) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be positive")
+        self.n_ranks = n_ranks
+        self.relaxations = (relaxations if relaxations is not None
+                            else RelaxationSet())
+        self.network = GASNetwork(link=link)
+        if engine_factory is None:
+            engine_factory = lambda rank: MatchingEngine(  # noqa: E731
+                gpu=gpu, relaxations=self.relaxations, **engine_kwargs)
+        self.endpoints = [Endpoint(rank, engine_factory(rank), self.network,
+                                   ring_capacity=ring_capacity,
+                                   progress_mode=progress_mode,
+                                   queue_capacity=queue_capacity)
+                          for rank in range(n_ranks)]
+        self.network.attach(self._deliver)
+        self._views = [RankView(self, r) for r in range(n_ranks)]
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def _deliver(self, desc: MessageDescriptor) -> bool:
+        if not 0 <= desc.dst < self.n_ranks:
+            raise ValueError(f"destination rank {desc.dst} out of range")
+        return self.endpoints[desc.dst].deliver(desc)
+
+    # -- user API ----------------------------------------------------------------------
+
+    def rank(self, r: int) -> "RankView":
+        """Rank-local API handle."""
+        return self._views[r]
+
+    def ranks(self) -> list["RankView"]:
+        """All rank handles (convenient for phase-structured programs)."""
+        return list(self._views)
+
+    def progress(self) -> int:
+        """One progress pass: retry back-pressured channels, then run
+        every endpoint's communication kernel; returns total matches."""
+        self.network.retry_held()
+        return sum(ep.progress() for ep in self.endpoints)
+
+    def drain(self, max_rounds: int = 10_000) -> None:
+        """Pump progress until no endpoint can make further matches and
+        no traffic is stuck behind flow control."""
+        for _ in range(max_rounds):
+            if self.progress() == 0 and self.network.held_messages == 0:
+                return
+        raise RuntimeError("cluster did not quiesce; runaway traffic?")
+
+    # -- accounting --------------------------------------------------------------------
+
+    @property
+    def match_seconds(self) -> float:
+        """Total simulated device time spent matching, across ranks."""
+        return sum(ep.match_seconds for ep in self.endpoints)
+
+    @property
+    def transfer_seconds(self) -> float:
+        """Total simulated wire time."""
+        return self.network.transfer_seconds_total
+
+    def stats(self) -> list[dict]:
+        """Per-rank endpoint statistics."""
+        return [ep.stats() for ep in self.endpoints]
+
+
+class RankView:
+    """The message-passing API of one rank."""
+
+    def __init__(self, cluster: Cluster, rank: int) -> None:
+        self.cluster = cluster
+        self.rank = rank
+
+    def __repr__(self) -> str:
+        return f"RankView(rank={self.rank}/{self.cluster.n_ranks})"
+
+    # -- sends -------------------------------------------------------------------------
+
+    def isend(self, dst: int, payload: Any = None, tag: int = 0,
+              comm: int = 0) -> Request:
+        """Nonblocking send: writes the descriptor into the remote queue.
+
+        GAS writes complete immediately from the sender's perspective, so
+        the returned request is already complete (eager) or completes when
+        the payload handle is fetched (rendezvous) -- either way the send
+        buffer is reusable on return, because the payload is snapshotted.
+        """
+        proto = Protocol.for_payload(payload)
+        snapshot = clone_payload(payload)
+        req = Request("send", self.cluster.progress)
+        desc = MessageDescriptor(
+            src=self.rank, dst=dst, tag=tag, comm=comm,
+            nbytes=proto.nbytes, eager=proto.eager,
+            payload=snapshot if proto.eager else None,
+            fetch=(None if proto.eager else (lambda: snapshot)))
+        self.cluster.network.send(desc)
+        from .request import Status
+        req._complete(None, Status(source=self.rank, tag=tag, comm=comm,
+                                   nbytes=proto.nbytes))
+        return req
+
+    def send(self, dst: int, payload: Any = None, tag: int = 0,
+             comm: int = 0) -> None:
+        """Blocking send (completes immediately under the GAS model)."""
+        self.isend(dst, payload, tag, comm).wait()
+
+    # -- receives -----------------------------------------------------------------------
+
+    def irecv(self, src: int, tag: int, comm: int = 0) -> Request:
+        """Nonblocking receive: posts a request into the local PRQ.
+
+        ``src`` may be :data:`~repro.core.envelope.ANY_SOURCE` and ``tag``
+        :data:`~repro.core.envelope.ANY_TAG` **iff** the cluster's
+        relaxation set still permits wildcards.
+        """
+        req = Request("recv", self.cluster.progress)
+        self.cluster.endpoints[self.rank].post_receive(src, tag, comm, req)
+        return req
+
+    def recv(self, src: int, tag: int, comm: int = 0) -> Any:
+        """Blocking receive; returns the payload."""
+        return self.irecv(src, tag, comm).wait()
+
+    # -- probing and combined operations ------------------------------------------------
+
+    def iprobe(self, src: int, tag: int, comm: int = 0):
+        """Nonblocking probe: Status of the earliest matching unexpected
+        message, or None.  Does not consume the message."""
+        return self.cluster.endpoints[self.rank].probe(src, tag, comm)
+
+    def probe(self, src: int, tag: int, comm: int = 0, max_rounds: int = 10_000):
+        """Blocking probe: pump progress until a matching message is
+        queued; returns its Status without consuming it."""
+        for _ in range(max_rounds):
+            status = self.iprobe(src, tag, comm)
+            if status is not None:
+                return status
+            self.cluster.progress()
+        raise RuntimeError("probe found no matching message: likely "
+                           "deadlock (no sender?)")
+
+    def isendrecv(self, dst: int, payload: Any, src: int,
+                  send_tag: int = 0, recv_tag: int | None = None,
+                  comm: int = 0) -> Request:
+        """Nonblocking MPI_Sendrecv: posts the receive, issues the send,
+        returns the receive request.  In the cooperative single-threaded
+        driver, issue every rank's ``isendrecv`` first and then wait the
+        requests -- the standard phase-structured shape."""
+        recv_tag = send_tag if recv_tag is None else recv_tag
+        req = self.irecv(src, recv_tag, comm)
+        self.isend(dst, payload, send_tag, comm)
+        return req
+
+    def sendrecv(self, dst: int, payload: Any, src: int,
+                 send_tag: int = 0, recv_tag: int | None = None,
+                 comm: int = 0) -> Any:
+        """Blocking MPI_Sendrecv (receive posted before the send).
+
+        Note the driver is single-threaded: a blocking sendrecv completes
+        only if the partner's send has already been issued; for symmetric
+        exchanges use :meth:`isendrecv` on every rank first.
+        """
+        return self.isendrecv(dst, payload, src, send_tag, recv_tag,
+                              comm).wait()
+
+    # -- local introspection ---------------------------------------------------------------
+
+    @property
+    def endpoint(self) -> "Endpoint":
+        """This rank's endpoint (queues, statistics)."""
+        return self.cluster.endpoints[self.rank]

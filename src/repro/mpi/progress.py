@@ -1,0 +1,247 @@
+"""Per-endpoint progress engine: the simulated communication kernel.
+
+The paper's model dedicates one SM per GPU to a *communication kernel*
+that performs matching in the background while application CTAs run
+(Section II-C).  :class:`Endpoint` is that kernel's state: the unified
+message queue (UMQ at head), the unified receive-request queue (PRQ at
+head), and a :class:`~repro.core.engine.MatchingEngine` that is invoked
+on every progress pass.  Simulated device time spent matching accumulates
+in :attr:`match_seconds`; queue depth statistics feed the same analysis
+the trace study performs (Figure 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.engine import MatchingEngine
+from ..core.envelope import Envelope
+from ..core.queues import UnifiedQueue
+from ..core.result import NO_MATCH
+from .network import GASNetwork, MessageDescriptor
+from .request import Request, Status
+from .ringbuffer import IngressRings
+
+__all__ = ["Endpoint"]
+
+
+class Endpoint:
+    """Matching endpoint of one simulated GPU (rank).
+
+    Parameters
+    ----------
+    rank:
+        This endpoint's rank id.
+    engine:
+        Matching engine (selects algorithm per the active relaxations).
+    network:
+        Transport used to charge rendezvous fetches.
+    ring_capacity:
+        When given, arrivals land in fixed-size per-peer ingress rings
+        (GPU-resident queues) that the communication kernel drains into
+        the UMQ; a full ring *rejects* the store and the network holds
+        the channel back -- credit-style flow control.  ``None`` keeps
+        the idealized unbounded queue.
+    queue_capacity:
+        Optional hard bound on UMQ/PRQ depth.  GPU queues are statically
+        sized (no in-kernel malloc, Section VII-C); exceeding the bound
+        raises OverflowError -- the failure a real deployment must size
+        against (cf. Figure 2's depth study).
+    progress_mode:
+        ``"incremental"`` (default): each pass only cross-checks the
+        pairs that involve a *new* arrival or a *new* post -- old
+        unmatched pairs can never start matching, so re-scanning them is
+        pure waste.  Matches this protocol order: old requests first get
+        a shot at the new messages (posted-order priority), then new
+        requests search the whole message queue.  ``"snapshot"``: re-run
+        the matcher over the full queues every pass (the paper's batch
+        microbenchmark formulation; quadratic under drip-feed traffic).
+    """
+
+    def __init__(self, rank: int, engine: MatchingEngine,
+                 network: GASNetwork,
+                 ring_capacity: int | None = None,
+                 progress_mode: str = "incremental",
+                 queue_capacity: int | None = None) -> None:
+        if progress_mode not in ("incremental", "snapshot"):
+            raise ValueError("progress_mode must be 'incremental' or "
+                             "'snapshot'")
+        self.rank = rank
+        self.engine = engine
+        self.network = network
+        self.umq = UnifiedQueue(name=f"rank{rank}.UMQ",
+                                capacity=queue_capacity)
+        self.prq = UnifiedQueue(name=f"rank{rank}.PRQ",
+                                capacity=queue_capacity)
+        self.rings = (IngressRings(ring_capacity)
+                      if ring_capacity is not None else None)
+        self.progress_mode = progress_mode
+        self._checked_msg_seq = -1
+        self._checked_req_seq = -1
+        self.match_seconds = 0.0
+        self.match_passes = 0
+        self.matches_total = 0
+        self.pairs_checked = 0
+
+    # -- queue entry points ------------------------------------------------------
+
+    def deliver(self, desc: MessageDescriptor) -> bool:
+        """A remote send stores this descriptor at our endpoint.
+
+        Returns False when a full ingress ring rejected it (flow
+        control); the network must then hold the whole channel to keep
+        pair ordering.
+        """
+        if self.rings is not None:
+            return self.rings.try_push(desc.src, desc)
+        self._umq_append(desc)
+        return True
+
+    def _umq_append(self, desc: MessageDescriptor) -> None:
+        env = Envelope(src=desc.src, tag=desc.tag, comm=desc.comm)
+        self.umq.append(env, payload=desc)
+
+    def post_receive(self, src: int, tag: int, comm: int,
+                     request: Request) -> None:
+        """Post a receive request into the request queue."""
+        env = Envelope(src=src, tag=tag, comm=comm)
+        self.engine.relaxations.validate_requests(
+            _single_batch(env))
+        self.prq.append(env, payload=request)
+
+    # -- the communication kernel's main loop --------------------------------------
+
+    def progress(self) -> int:
+        """One matching pass; returns the number of matches made."""
+        if self.rings is not None:
+            # the communication kernel only dequeues what the (statically
+            # sized) UMQ can hold; the rest waits in the rings as credits
+            budget = (None if self.umq.capacity is None
+                      else self.umq.capacity - len(self.umq))
+            for desc in self.rings.drain(budget=budget):
+                self._umq_append(desc)
+        if len(self.umq) == 0 or len(self.prq) == 0:
+            return 0
+        self.umq.observe_depth()
+        self.prq.observe_depth()
+        self.match_passes += 1
+        if self.progress_mode == "snapshot":
+            return self._match_subset(np.arange(len(self.umq)),
+                                      np.arange(len(self.prq)))
+        return self._progress_incremental()
+
+    def _progress_incremental(self) -> int:
+        """Cross-check only the pairs a new arrival or post creates.
+
+        Phase A: *old* unmatched requests search the new messages first
+        (a message arriving at the endpoint scans the PRQ in posted
+        order).  Phase B: new requests then search the whole remaining
+        message queue (a freshly posted receive scans the UMQ).  The
+        union covers exactly the pairs not yet known non-matching, and
+        the phase order reproduces batch-matching priority.
+        """
+        msg_seq_mark = self.umq.last_seq
+        req_seq_mark = self.prq.last_seq
+        matched = 0
+        new_msgs = self.umq.indices_newer_than(self._checked_msg_seq)
+        old_reqs = self.prq.indices_not_newer_than(self._checked_req_seq)
+        if new_msgs.size and old_reqs.size:
+            matched += self._match_subset(new_msgs, old_reqs)
+        new_reqs = self.prq.indices_newer_than(self._checked_req_seq)
+        if new_reqs.size and len(self.umq):
+            matched += self._match_subset(np.arange(len(self.umq)),
+                                          new_reqs)
+        self._checked_msg_seq = msg_seq_mark
+        self._checked_req_seq = req_seq_mark
+        return matched
+
+    def _match_subset(self, msg_idx: np.ndarray,
+                      req_idx: np.ndarray) -> int:
+        """Match selected UMQ rows against selected PRQ rows and retire
+        the pairs; returns the match count."""
+        messages = self.umq.snapshot().take(msg_idx)
+        requests = self.prq.snapshot().take(req_idx)
+        outcome = self.engine.match(messages, requests)
+        self.match_seconds += outcome.seconds
+        self.pairs_checked += len(messages) * len(requests)
+        matched_requests = np.nonzero(
+            outcome.request_to_message != NO_MATCH)[0]
+        if matched_requests.size == 0:
+            return 0
+        matched_messages = outcome.request_to_message[matched_requests]
+        # Hand each matched request its message payload (rendezvous fetches
+        # the data from the source now, eager already carried it).
+        for r_local, m_local in zip(matched_requests, matched_messages):
+            request: Request = self.prq.payload_at(int(req_idx[r_local]))
+            desc: MessageDescriptor = self.umq.payload_at(
+                int(msg_idx[m_local]))
+            payload = desc.payload
+            if not desc.eager:
+                self.network.charge_fetch(desc.nbytes)
+                payload = desc.fetch() if desc.fetch is not None else None
+            request._complete(payload, Status(source=desc.src, tag=desc.tag,
+                                              comm=desc.comm,
+                                              nbytes=desc.nbytes))
+        # Compact both queues (the matcher already charged the device cost
+        # when compaction is part of the active configuration).
+        self.umq.consume(np.sort(msg_idx[matched_messages]))
+        self.prq.consume(np.sort(req_idx[matched_requests]))
+        self.matches_total += int(matched_requests.size)
+        return int(matched_requests.size)
+
+    # -- probing ----------------------------------------------------------------------
+
+    def probe(self, src: int, tag: int, comm: int = 0) -> "Status | None":
+        """MPI_Iprobe: is a matching message queued, without consuming it?
+
+        Returns the Status of the *earliest* matching unexpected message
+        (MPI semantics), or None.  Probing is a matching attempt and is
+        recorded in the queue statistics.
+        """
+        from ..core.envelope import ANY_SOURCE, ANY_TAG
+        self.umq.observe_depth()
+        snapshot = self.umq.snapshot()
+        for i in range(len(snapshot)):
+            env = snapshot[i]
+            if env.comm != comm:
+                continue
+            if src != ANY_SOURCE and env.src != src:
+                continue
+            if tag != ANY_TAG and env.tag != tag:
+                continue
+            desc = self.umq.payload_at(i)
+            return Status(source=env.src, tag=env.tag, comm=env.comm,
+                          nbytes=desc.nbytes)
+        return None
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def umq_depth(self) -> int:
+        """Current unexpected/unmatched message count."""
+        return len(self.umq)
+
+    @property
+    def prq_depth(self) -> int:
+        """Current posted-receive count."""
+        return len(self.prq)
+
+    def stats(self) -> dict:
+        """Queue and matching statistics for reports."""
+        return {
+            "rank": self.rank,
+            "umq_max": self.umq.stats.max_depth,
+            "umq_mean": self.umq.stats.mean_depth,
+            "prq_max": self.prq.stats.max_depth,
+            "prq_mean": self.prq.stats.mean_depth,
+            "match_passes": self.match_passes,
+            "matches": self.matches_total,
+            "match_seconds": self.match_seconds,
+            "pairs_checked": self.pairs_checked,
+            "rings": self.rings.stats() if self.rings is not None else None,
+        }
+
+
+def _single_batch(env: Envelope):
+    from ..core.envelope import EnvelopeBatch
+    return EnvelopeBatch(src=[env.src], tag=[env.tag], comm=[env.comm])

@@ -1,0 +1,103 @@
+"""Nonblocking-operation handles (MPI_Request equivalents)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["RequestState", "Request", "Status"]
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of a nonblocking operation."""
+
+    PENDING = "pending"
+    COMPLETE = "complete"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Status:
+    """Completion metadata (MPI_Status equivalent)."""
+
+    source: int
+    tag: int
+    comm: int
+    nbytes: int
+
+
+class Request:
+    """Handle for a nonblocking send or receive.
+
+    ``wait()`` drives the owning cluster's progress engine until the
+    operation completes, mirroring how MPI progress happens inside
+    blocking calls.
+    """
+
+    def __init__(self, kind: str, progress_fn: Callable[[], None]) -> None:
+        if kind not in ("send", "recv"):
+            raise ValueError("kind must be 'send' or 'recv'")
+        self.kind = kind
+        self._progress = progress_fn
+        self._state = RequestState.PENDING
+        self._payload: Any = None
+        self._status: Status | None = None
+
+    # -- completion plumbing (called by the progress engine) ------------------
+
+    def _complete(self, payload: Any, status: Status) -> None:
+        if self._state is not RequestState.PENDING:
+            raise RuntimeError(f"completing a {self._state.value} request")
+        self._payload = payload
+        self._status = status
+        self._state = RequestState.COMPLETE
+
+    def cancel(self) -> None:
+        """Cancel a pending request (only valid before completion)."""
+        if self._state is RequestState.COMPLETE:
+            raise RuntimeError("cannot cancel a completed request")
+        self._state = RequestState.CANCELLED
+
+    # -- user API ----------------------------------------------------------------
+
+    @property
+    def state(self) -> RequestState:
+        """Current lifecycle state."""
+        return self._state
+
+    def test(self) -> bool:
+        """Nonblocking completion check (drives one progress pass)."""
+        if self._state is RequestState.PENDING:
+            self._progress()
+        return self._state is RequestState.COMPLETE
+
+    def wait(self, max_rounds: int = 10_000) -> Any:
+        """Block until complete; returns the received payload (None for
+        sends).
+
+        Raises
+        ------
+        RuntimeError
+            If the request cannot complete within ``max_rounds`` progress
+            passes -- the simulation's deadlock detector.
+        """
+        rounds = 0
+        while self._state is RequestState.PENDING:
+            self._progress()
+            rounds += 1
+            if rounds > max_rounds:
+                raise RuntimeError(
+                    f"{self.kind} request did not complete after "
+                    f"{max_rounds} progress rounds: likely deadlock "
+                    "(missing matching send/recv)")
+        if self._state is RequestState.CANCELLED:
+            raise RuntimeError("waited on a cancelled request")
+        return self._payload
+
+    @property
+    def status(self) -> Status:
+        """Completion status; only valid after completion."""
+        if self._status is None:
+            raise RuntimeError("request not complete; no status available")
+        return self._status

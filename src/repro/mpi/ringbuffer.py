@@ -1,0 +1,143 @@
+"""Fixed-capacity ingress rings: GPU-resident message queues.
+
+The paper's system model gives every GPU "a message queue" into which
+remote sends write directly (GAS stores).  On a real GPU these rings are
+**statically sized** -- Section VII-C laments the lack of "dynamic memory
+management within GPU kernels" -- so a full ring must push back on the
+producer.  :class:`RingBuffer` models one single-producer/single-consumer
+ring with head/tail counters and occupancy statistics;
+:class:`IngressRings` aggregates one ring per peer at a receiving
+endpoint, which is the paper's "keeps connections to its peers" layout
+and also what makes per-source ordering trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["RingBuffer", "IngressRings"]
+
+
+class RingBuffer:
+    """Single-producer single-consumer ring with monotonic counters.
+
+    ``tail`` counts pushes, ``head`` counts pops; occupancy is their
+    difference and slot indices are the counters modulo capacity --
+    exactly the two-pointer protocol a GAS sender and the communication
+    kernel would run against device memory.
+    """
+
+    __slots__ = ("capacity", "_slots", "_head", "_tail", "pushes",
+                 "rejected", "high_watermark")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._slots: list[Any] = [None] * capacity
+        self._head = 0
+        self._tail = 0
+        self.pushes = 0
+        self.rejected = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    @property
+    def free_slots(self) -> int:
+        """Remaining capacity (the producer's credit count)."""
+        return self.capacity - len(self)
+
+    @property
+    def full(self) -> bool:
+        return len(self) == self.capacity
+
+    def try_push(self, item: Any) -> bool:
+        """Producer side: append if a slot is free; False on a full ring."""
+        if self.full:
+            self.rejected += 1
+            return False
+        self._slots[self._tail % self.capacity] = item
+        self._tail += 1
+        self.pushes += 1
+        self.high_watermark = max(self.high_watermark, len(self))
+        return True
+
+    def pop(self) -> Any | None:
+        """Consumer side: remove and return the oldest item, or None."""
+        if len(self) == 0:
+            return None
+        item = self._slots[self._head % self.capacity]
+        self._slots[self._head % self.capacity] = None
+        self._head += 1
+        return item
+
+    def peek(self) -> Any | None:
+        """Oldest item without removing it."""
+        if len(self) == 0:
+            return None
+        return self._slots[self._head % self.capacity]
+
+
+@dataclass
+class IngressRings:
+    """Per-peer ingress rings of one endpoint.
+
+    Rings are created lazily per source rank; per-source FIFO order is a
+    structural property (one ring per source, SPSC).
+    """
+
+    capacity: int
+    rings: dict[int, RingBuffer] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be positive")
+
+    def ring_for(self, src: int) -> RingBuffer:
+        """The (lazily created) ring receiving from ``src``."""
+        ring = self.rings.get(src)
+        if ring is None:
+            ring = RingBuffer(self.capacity)
+            self.rings[src] = ring
+        return ring
+
+    def try_push(self, src: int, item: Any) -> bool:
+        """Producer entry point (the remote GAS store)."""
+        return self.ring_for(src).try_push(item)
+
+    def drain(self, budget: int | None = None) -> list[Any]:
+        """Consumer side: pop up to ``budget`` items, round-robin over
+        peers (the communication kernel's dequeue loop)."""
+        out: list[Any] = []
+        remaining = budget if budget is not None else float("inf")
+        progress = True
+        while remaining > 0 and progress:
+            progress = False
+            for ring in self.rings.values():
+                if remaining <= 0:
+                    break
+                item = ring.pop()
+                if item is not None:
+                    out.append(item)
+                    remaining -= 1
+                    progress = True
+        return out
+
+    @property
+    def queued(self) -> int:
+        """Items currently waiting across all rings."""
+        return sum(len(r) for r in self.rings.values())
+
+    def stats(self) -> dict:
+        """Aggregate ring statistics."""
+        return {
+            "peers": len(self.rings),
+            "queued": self.queued,
+            "pushes": sum(r.pushes for r in self.rings.values()),
+            "rejected": sum(r.rejected for r in self.rings.values()),
+            "high_watermark": max(
+                (r.high_watermark for r in self.rings.values()), default=0),
+        }

@@ -1,0 +1,35 @@
+"""Functional SIMT simulator substrate.
+
+Implements the GPU execution model the paper's algorithms are written
+against: warps with ballot/ffs/shuffle intrinsics (:mod:`.warp`), CTAs
+with shared memory and barriers (:mod:`.cta`), an occupancy calculator
+(:mod:`.occupancy`), a memory transaction model (:mod:`.memory`), device
+descriptors for the paper's Kepler/Maxwell/Pascal testbeds (:mod:`.gpu`),
+and a calibrated throughput timing model (:mod:`.timing`, :mod:`.kernel`).
+"""
+
+from .cta import CTA, MAX_WARPS_PER_CTA
+from .gpu import GPU, GPUSpec, KEPLER_K80, MAXWELL_M40, PASCAL_GTX1080
+from .kernel import KernelLaunch, LaunchResult
+from .memory import (GlobalMemory, SharedMemory, bank_conflicts,
+                     coalesced_transactions)
+from .occupancy import (KernelResources, OccupancyResult, occupancy,
+                        serialization_factor)
+from .sm import ScheduleResult, SMScheduler, WarpStream, streams_from_mix
+from .timing import CostLedger, PhaseCost, TimingBreakdown, TimingModel
+from .warp import (FULL_MASK, WARP_SIZE, Warp, WarpDivergenceError, brev32,
+                   clz32, ffs32, lane_ids, lanemask_lt, pack_ballot, popc32,
+                   unpack_ballot)
+
+__all__ = [
+    "CTA", "MAX_WARPS_PER_CTA",
+    "GPU", "GPUSpec", "KEPLER_K80", "MAXWELL_M40", "PASCAL_GTX1080",
+    "KernelLaunch", "LaunchResult",
+    "GlobalMemory", "SharedMemory", "bank_conflicts", "coalesced_transactions",
+    "KernelResources", "OccupancyResult", "occupancy", "serialization_factor",
+    "SMScheduler", "ScheduleResult", "WarpStream", "streams_from_mix",
+    "CostLedger", "PhaseCost", "TimingBreakdown", "TimingModel",
+    "FULL_MASK", "WARP_SIZE", "Warp", "WarpDivergenceError",
+    "brev32", "clz32", "ffs32", "lane_ids", "lanemask_lt",
+    "pack_ballot", "popc32", "unpack_ballot",
+]

@@ -1,0 +1,75 @@
+"""Cooperative Thread Arrays (CTAs).
+
+A CTA groups up to 32 warps that share a scratchpad (:class:`SharedMemory`)
+and can barrier-synchronize.  The matrix matcher maps one warp per 32
+messages and is therefore limited to 1024 messages per CTA -- exactly the
+constraint the paper derives: *"as so far all NVIDIA GPUs only support 32
+warps per CTA, the matrix height is limited to 32"* (Section V-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .memory import SharedMemory
+from .timing import CostLedger
+from .warp import WARP_SIZE, Warp
+
+__all__ = ["CTA", "MAX_WARPS_PER_CTA"]
+
+#: Hardware limit on warps per CTA (1024 threads / 32 lanes).
+MAX_WARPS_PER_CTA = 32
+
+
+class CTA:
+    """A simulated cooperative thread array.
+
+    Parameters
+    ----------
+    num_warps:
+        Warps in this CTA (1..32).
+    shared_words:
+        Words of shared memory to allocate for the CTA's scratchpad.
+    ledger:
+        Cost ledger shared by the CTA's warps and shared memory; one is
+        created if omitted.
+    cta_id:
+        Index within the grid.
+    """
+
+    def __init__(self, num_warps: int, shared_words: int = 0,
+                 ledger: CostLedger | None = None, cta_id: int = 0) -> None:
+        if not 1 <= num_warps <= MAX_WARPS_PER_CTA:
+            raise ValueError(
+                f"num_warps must be in [1, {MAX_WARPS_PER_CTA}], got {num_warps}")
+        self.cta_id = cta_id
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.warps = [Warp(warp_id=w, ledger=self.ledger)
+                      for w in range(num_warps)]
+        self.shared = (SharedMemory(shared_words, ledger=self.ledger)
+                       if shared_words > 0 else None)
+        self._barrier_count = 0
+
+    @property
+    def num_warps(self) -> int:
+        """Number of warps in the CTA."""
+        return len(self.warps)
+
+    @property
+    def num_threads(self) -> int:
+        """Total threads (warps x 32)."""
+        return self.num_warps * WARP_SIZE
+
+    def thread_ids(self) -> np.ndarray:
+        """Global thread indices within the CTA, warp-major."""
+        return np.arange(self.num_threads, dtype=np.int64)
+
+    def syncthreads(self) -> None:
+        """CTA-wide barrier (``__syncthreads``); charged once per warp."""
+        self._barrier_count += 1
+        self.ledger.issue("sync", float(self.num_warps))
+
+    @property
+    def barrier_count(self) -> int:
+        """Barriers executed so far (useful in tests)."""
+        return self._barrier_count

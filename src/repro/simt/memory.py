@@ -1,0 +1,209 @@
+"""Memory system model: global and shared memory with transaction analysis.
+
+The matching queues live in GPU global memory ("Both queues reside in
+global memory on the GPU", Section V) and the vote matrix in shared
+memory.  This module provides
+
+* :class:`GlobalMemory` / :class:`SharedMemory` -- addressable NumPy-backed
+  simulated memories used by kernels that want explicit buffers, and
+* :func:`coalesced_transactions` / :func:`bank_conflicts` -- the access
+  pattern analyses the cost model uses to turn a warp's 32 lane addresses
+  into a transaction count (global) or a conflict multiplier (shared).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "GlobalMemory",
+    "SharedMemory",
+    "coalesced_transactions",
+    "bank_conflicts",
+    "MemoryError_",
+]
+
+#: Global memory transaction granularity in bytes (L1 line / sector size).
+TRANSACTION_BYTES = 128
+
+#: Shared memory banks on all simulated generations.
+SMEM_BANKS = 32
+
+
+class MemoryError_(RuntimeError):
+    """Out-of-bounds or misuse of a simulated memory."""
+
+
+def coalesced_transactions(addresses: np.ndarray,
+                           access_bytes: int = 4,
+                           transaction_bytes: int = TRANSACTION_BYTES) -> int:
+    """Number of global-memory transactions for one warp access.
+
+    A warp's 32 lane addresses are serviced by as many
+    ``transaction_bytes``-sized aligned segments as they touch: a fully
+    coalesced unit-stride 4-byte access costs 1 transaction, a random
+    scatter costs up to 32.
+
+    >>> import numpy as np
+    >>> coalesced_transactions(np.arange(32) * 4)
+    1
+    >>> coalesced_transactions(np.arange(32) * 128)
+    32
+    """
+    addrs = np.asarray(addresses, dtype=np.int64)
+    if addrs.size == 0:
+        return 0
+    if (addrs < 0).any():
+        raise MemoryError_("negative address in warp access")
+    first = addrs // transaction_bytes
+    last = (addrs + access_bytes - 1) // transaction_bytes
+    segments = np.union1d(np.unique(first), np.unique(last))
+    return int(segments.size)
+
+
+def bank_conflicts(addresses: np.ndarray, word_bytes: int = 4,
+                   banks: int = SMEM_BANKS) -> int:
+    """Shared-memory conflict degree for one warp access.
+
+    Returns the replay factor: 1 for conflict-free (or broadcast) access,
+    N when some bank is hit by N lanes with *different* words.  Accesses by
+    multiple lanes to the same word broadcast and do not conflict.
+    """
+    addrs = np.asarray(addresses, dtype=np.int64)
+    if addrs.size == 0:
+        return 1
+    words = addrs // word_bytes
+    bank = words % banks
+    worst = 1
+    for b in np.unique(bank):
+        distinct_words = np.unique(words[bank == b]).size
+        worst = max(worst, int(distinct_words))
+    return worst
+
+
+class GlobalMemory:
+    """A flat, word-addressed simulated global memory.
+
+    Kernels allocate named regions and read/write them with lane-address
+    vectors; every access reports its transaction count to the ledger.
+    """
+
+    def __init__(self, size_words: int, ledger: "object | None" = None) -> None:
+        if size_words < 1:
+            raise ValueError("size_words must be positive")
+        self.data = np.zeros(size_words, dtype=np.int64)
+        self.ledger = ledger
+        self._regions: dict[str, tuple[int, int]] = {}
+        self._next_free = 0
+
+    def alloc(self, name: str, words: int) -> int:
+        """Reserve a region; returns its base word address."""
+        if words < 0:
+            raise ValueError("allocation size cannot be negative")
+        if name in self._regions:
+            raise MemoryError_(f"region {name!r} already allocated")
+        base = self._next_free
+        if base + words > self.data.size:
+            raise MemoryError_("simulated global memory exhausted")
+        self._regions[name] = (base, words)
+        self._next_free += words
+        return base
+
+    def region(self, name: str) -> tuple[int, int]:
+        """(base, length) of a named region."""
+        return self._regions[name]
+
+    def _charge(self, kind: str, addresses: np.ndarray) -> None:
+        if self.ledger is not None:
+            txns = coalesced_transactions(addresses * 8, access_bytes=8)
+            self.ledger.issue(kind, txns)
+
+    def load(self, addresses: np.ndarray) -> np.ndarray:
+        """Warp gather: one value per lane address."""
+        addrs = np.asarray(addresses, dtype=np.int64)
+        if (addrs < 0).any() or (addrs >= self.data.size).any():
+            raise MemoryError_("global load out of bounds")
+        self._charge("gmem_load", addrs)
+        return self.data[addrs].copy()
+
+    def store(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """Warp scatter: one value per lane address."""
+        addrs = np.asarray(addresses, dtype=np.int64)
+        if (addrs < 0).any() or (addrs >= self.data.size).any():
+            raise MemoryError_("global store out of bounds")
+        self._charge("gmem_store", addrs)
+        self.data[addrs] = np.asarray(values, dtype=np.int64)
+
+    def atomic_cas(self, addresses: np.ndarray, expected: np.ndarray,
+                   desired: np.ndarray,
+                   active: np.ndarray | None = None) -> np.ndarray:
+        """Warp-wide compare-and-swap; returns each lane's success flag.
+
+        Hardware semantics: atomics from one warp to the same address
+        serialize, and exactly one of several lanes CASing the same
+        location from the same expected value wins.  Lanes are resolved
+        lowest-first (the order the coalescer retires them).  Inactive
+        lanes do not participate.
+        """
+        addrs = np.asarray(addresses, dtype=np.int64)
+        if (addrs < 0).any() or (addrs >= self.data.size).any():
+            raise MemoryError_("atomic out of bounds")
+        expected = np.asarray(expected, dtype=np.int64)
+        desired = np.asarray(desired, dtype=np.int64)
+        n = addrs.size
+        mask = (np.ones(n, dtype=bool) if active is None
+                else np.asarray(active, dtype=bool))
+        if self.ledger is not None:
+            # each distinct address is one atomic transaction; same-address
+            # lanes replay
+            self.ledger.issue("atomic", float(np.unique(addrs[mask]).size
+                                              if mask.any() else 0))
+        success = np.zeros(n, dtype=bool)
+        for lane in range(n):
+            if not mask[lane]:
+                continue
+            if self.data[addrs[lane]] == expected[lane]:
+                self.data[addrs[lane]] = desired[lane]
+                success[lane] = True
+        return success
+
+
+class SharedMemory:
+    """Per-CTA scratchpad with bank-conflict accounting.
+
+    The vote matrix of the matrix matcher lives here: 32 warps x window
+    words.  Capacity is enforced against the CTA limit of the device the
+    kernel was launched on.
+    """
+
+    def __init__(self, size_words: int, ledger: "object | None" = None) -> None:
+        if size_words < 1:
+            raise ValueError("size_words must be positive")
+        self.data = np.zeros(size_words, dtype=np.int64)
+        self.ledger = ledger
+
+    @property
+    def size_bytes(self) -> int:
+        """Footprint in bytes (4-byte words, matching the int32 vote rows)."""
+        return self.data.size * 4
+
+    def _charge(self, kind: str, addresses: np.ndarray) -> None:
+        if self.ledger is not None:
+            replay = bank_conflicts(np.asarray(addresses) * 4)
+            self.ledger.issue(kind, float(replay))
+
+    def load(self, addresses: np.ndarray) -> np.ndarray:
+        """Warp gather from shared memory."""
+        addrs = np.asarray(addresses, dtype=np.int64)
+        if (addrs < 0).any() or (addrs >= self.data.size).any():
+            raise MemoryError_("shared load out of bounds")
+        self._charge("smem_load", addrs)
+        return self.data[addrs].copy()
+
+    def store(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """Warp scatter to shared memory."""
+        addrs = np.asarray(addresses, dtype=np.int64)
+        if (addrs < 0).any() or (addrs >= self.data.size).any():
+            raise MemoryError_("shared store out of bounds")
+        self._charge("smem_store", addrs)
+        self.data[addrs] = np.asarray(values, dtype=np.int64)

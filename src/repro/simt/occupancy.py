@@ -1,0 +1,119 @@
+"""Occupancy calculator.
+
+Mirrors NVIDIA's occupancy calculator: given a kernel's resource footprint
+(threads per CTA, shared memory per CTA, registers per thread) and a
+:class:`~repro.simt.gpu.GPUSpec`, compute how many CTAs can be co-resident
+on one SM.  The paper relies on this: *"According to NVIDIA's occupancy
+calculator, this algorithm allows two CTAs to run in parallel.  Hence,
+more CTAs leads to serialization"* (Section VI-A).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .gpu import GPUSpec
+
+__all__ = ["KernelResources", "OccupancyResult", "occupancy", "serialization_factor"]
+
+#: Register allocation granularity (registers are allocated per warp in
+#: blocks of this many).
+_REG_ALLOC_UNIT = 256
+
+#: Shared memory allocation granularity in bytes.
+_SMEM_ALLOC_UNIT = 256
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-CTA resource footprint of a kernel launch."""
+
+    threads_per_cta: int
+    shared_mem_per_cta: int = 0
+    regs_per_thread: int = 32
+
+    def __post_init__(self) -> None:
+        if self.threads_per_cta < 1:
+            raise ValueError("threads_per_cta must be positive")
+        if self.shared_mem_per_cta < 0 or self.regs_per_thread < 0:
+            raise ValueError("resource sizes cannot be negative")
+
+    @property
+    def warps_per_cta(self) -> int:
+        """Warps per CTA (32-thread granularity, rounded up)."""
+        return math.ceil(self.threads_per_cta / 32)
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of an occupancy computation."""
+
+    max_resident_ctas: int
+    limiting_resource: str
+    active_warps_per_sm: int
+    occupancy_fraction: float
+
+
+def occupancy(spec: GPUSpec, res: KernelResources) -> OccupancyResult:
+    """Maximum co-resident CTAs per SM and the limiting resource.
+
+    Raises
+    ------
+    ValueError
+        If a single CTA does not fit on the SM at all.
+    """
+    if res.threads_per_cta > spec.max_threads_per_cta:
+        raise ValueError(
+            f"{res.threads_per_cta} threads/CTA exceeds device limit "
+            f"{spec.max_threads_per_cta}")
+
+    limits: dict[str, int] = {}
+    limits["ctas"] = spec.max_ctas_per_sm
+    limits["warps"] = spec.max_warps_per_sm // res.warps_per_cta
+
+    if res.shared_mem_per_cta > 0:
+        if res.shared_mem_per_cta > spec.shared_mem_per_cta:
+            raise ValueError(
+                f"{res.shared_mem_per_cta} B shared/CTA exceeds per-CTA limit "
+                f"{spec.shared_mem_per_cta}")
+        smem = _round_up(res.shared_mem_per_cta, _SMEM_ALLOC_UNIT)
+        limits["shared_mem"] = spec.shared_mem_per_sm // smem
+
+    regs_per_warp = _round_up(res.regs_per_thread * 32, _REG_ALLOC_UNIT)
+    if regs_per_warp > 0:
+        regs_per_cta = regs_per_warp * res.warps_per_cta
+        limits["registers"] = spec.registers_per_sm // regs_per_cta
+
+    limiting = min(limits, key=lambda k: limits[k])
+    max_ctas = limits[limiting]
+    if max_ctas < 1:
+        raise ValueError(f"kernel does not fit on {spec.name}: "
+                         f"limited by {limiting}")
+    active_warps = max_ctas * res.warps_per_cta
+    return OccupancyResult(
+        max_resident_ctas=max_ctas,
+        limiting_resource=limiting,
+        active_warps_per_sm=min(active_warps, spec.max_warps_per_sm),
+        occupancy_fraction=min(active_warps, spec.max_warps_per_sm)
+        / spec.max_warps_per_sm,
+    )
+
+
+def serialization_factor(spec: GPUSpec, res: KernelResources,
+                         launched_ctas: int, sm_count: int = 1) -> float:
+    """How many waves the launch needs on ``sm_count`` SMs.
+
+    The paper pins all matching CTAs to a single SM (``sm_count=1``), so
+    launching more CTAs than the occupancy bound serializes them into
+    waves: 5 CTAs at 2-resident run as ceil(5/2) = 3 waves, i.e. a 3x
+    slowdown relative to a single wave of parallel CTAs.
+    """
+    if launched_ctas < 1:
+        raise ValueError("launched_ctas must be positive")
+    resident = occupancy(spec, res).max_resident_ctas * max(1, sm_count)
+    return math.ceil(launched_ctas / resident)
+
+
+def _round_up(value: int, unit: int) -> int:
+    return ((value + unit - 1) // unit) * unit

@@ -1,0 +1,136 @@
+"""Table I statistics over a trace.
+
+Computes the characteristics the paper extracts from the dumpi traces
+(Section IV-A): wildcard usage, communicator count, peer counts, tag/src
+space size and distribution, and the rank-usage uniformity that decides
+whether statically partitioned queues stay balanced (Section VI-A).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .events import Trace
+
+__all__ = ["TableIRow", "analyze", "rank_usage_uniformity",
+           "tag_distribution", "normalized_entropy"]
+
+
+@dataclass(frozen=True)
+class TableIRow:
+    """One application's row of (our reconstruction of) Table I."""
+
+    app: str
+    n_ranks: int
+    sends: int
+    src_wildcards: int
+    tag_wildcards: int
+    n_communicators: int
+    peers_mean: float
+    peers_max: int
+    n_tags: int
+    tag_bits_needed: int
+    rank_usage_cov: float
+    tag_entropy: float
+
+    @property
+    def tags_hashable(self) -> bool:
+        """Is the tag usage diverse enough for hash tables / balanced
+        enough for tag partitioning?  (Normalized entropy > 0.5 means no
+        single tag dominates.)"""
+        return self.tag_entropy > 0.5
+
+    @property
+    def uses_src_wildcard(self) -> bool:
+        """Does the app post any MPI_ANY_SOURCE receive?"""
+        return self.src_wildcards > 0
+
+    @property
+    def uses_tag_wildcard(self) -> bool:
+        """Does the app post any MPI_ANY_TAG receive?"""
+        return self.tag_wildcards > 0
+
+    @property
+    def header_fits_64bit(self) -> bool:
+        """Can {src, tag, comm} pack into one 64-bit word (16-bit tags)?
+
+        The paper: "none of the applications needs tag values longer than
+        16 bits ... the entire header could fit into a single 64-bit
+        word."
+        """
+        return self.tag_bits_needed <= 16
+
+
+def analyze(trace: Trace) -> TableIRow:
+    """Compute the Table I row for one trace."""
+    sends = trace.sends()
+    posts = trace.recv_posts()
+    src_wc = sum(1 for p in posts if p.src == -1)
+    tag_wc = sum(1 for p in posts if p.tag == -1)
+    comms = {e.comm for e in sends} | {p.comm for p in posts}
+    peers: dict[int, set[int]] = defaultdict(set)
+    for s in sends:
+        peers[s.rank].add(s.dst)
+        peers[s.dst].add(s.rank)
+    peer_counts = np.array([len(peers[r]) for r in range(trace.n_ranks)])
+    tags = {s.tag for s in sends}
+    max_tag = max(tags) if tags else 0
+    tag_counts = Counter(s.tag for s in sends)
+    return TableIRow(
+        app=trace.app,
+        n_ranks=trace.n_ranks,
+        sends=len(sends),
+        src_wildcards=src_wc,
+        tag_wildcards=tag_wc,
+        n_communicators=len(comms),
+        peers_mean=float(peer_counts.mean()) if peer_counts.size else 0.0,
+        peers_max=int(peer_counts.max()) if peer_counts.size else 0,
+        n_tags=len(tags),
+        tag_bits_needed=int(max_tag).bit_length(),
+        rank_usage_cov=rank_usage_uniformity(trace),
+        tag_entropy=normalized_entropy(list(tag_counts.values())),
+    )
+
+
+def rank_usage_uniformity(trace: Trace) -> float:
+    """Coefficient of variation of per-destination message counts.
+
+    The paper: "We analyzed how often a given rank addresses any other
+    rank.  While most of the applications show a regular and uniform
+    behavior, CESAR Nekbone and AMR Boxlib showed a rather irregular
+    communication behavior."  A near-zero CoV is uniform (queues balance
+    under static partitioning); a large CoV is irregular.
+    """
+    counts = Counter(s.dst for s in trace.sends())
+    if not counts:
+        return 0.0
+    arr = np.array([counts.get(r, 0) for r in range(trace.n_ranks)],
+                   dtype=float)
+    mean = arr.mean()
+    return float(arr.std() / mean) if mean else 0.0
+
+
+def normalized_entropy(counts) -> float:
+    """Shannon entropy of a count vector, normalized to [0, 1].
+
+    1.0 = perfectly uniform usage, 0.0 = a single value dominates (or
+    only one value exists).  The paper's "Distribution of src and tag
+    space" paragraph observes that this "varies significantly across the
+    applications" -- and it decides whether tag partitioning balances
+    (EXT3) and how hash tables collide (Figure 6(a)).
+    """
+    arr = np.asarray(list(counts), dtype=float)
+    arr = arr[arr > 0]
+    if arr.size <= 1:
+        return 0.0
+    p = arr / arr.sum()
+    h = -(p * np.log2(p)).sum()
+    return float(h / np.log2(arr.size))
+
+
+def tag_distribution(trace: Trace) -> dict[int, int]:
+    """Messages per tag value (the raw distribution behind the entropy)."""
+    return dict(Counter(s.tag for s in trace.sends()))

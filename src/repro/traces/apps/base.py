@@ -1,0 +1,252 @@
+"""Common machinery for the synthetic proxy-application models.
+
+Each application model is an :class:`AppModel` subclass that declares its
+Table-I-visible identity (suite, wildcard usage, communicator count) and
+implements :meth:`build` using the :class:`TraceBuilder` and the topology
+helpers below.  The models are *communication skeletons*: they reproduce
+the pattern, tag discipline, posting discipline, and volume of the real
+mini-app's point-to-point traffic -- the properties the paper's matching
+analysis depends on -- not its numerics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..events import BarrierEvent, RecvPostEvent, SendEvent, Trace
+
+__all__ = ["AppModel", "TraceBuilder", "grid_dims", "grid_neighbors",
+           "ring_neighbors", "random_neighbors", "skewed_neighbors"]
+
+
+class TraceBuilder:
+    """Accumulates events with a monotonically increasing clock.
+
+    The synthetic clock has no physical meaning; only the *order* of
+    events matters to the analyses (it decides queue interleavings).
+    """
+
+    def __init__(self) -> None:
+        self._events: list = []
+        self._t = 0.0
+
+    def _tick(self) -> float:
+        self._t += 1.0
+        return self._t
+
+    def send(self, rank: int, dst: int, tag: int, comm: int = 0,
+             nbytes: int = 8) -> None:
+        """Record a send."""
+        self._events.append(SendEvent(time=self._tick(), rank=rank, dst=dst,
+                                      tag=tag, comm=comm, nbytes=nbytes))
+
+    def post(self, rank: int, src: int, tag: int, comm: int = 0) -> None:
+        """Record a receive post (src/tag may be -1)."""
+        self._events.append(RecvPostEvent(time=self._tick(), rank=rank,
+                                          src=src, tag=tag, comm=comm))
+
+    def barrier(self, n_ranks: int) -> None:
+        """Record a superstep boundary on every rank."""
+        t = self._tick()
+        for r in range(n_ranks):
+            self._events.append(BarrierEvent(time=t, rank=r))
+
+    def exchange(self, pairs: Sequence[tuple[int, int]],
+                 tag_of: Callable[[int, int, int], int],
+                 comm_of: Callable[[int, int, int], int] | None = None,
+                 msgs_per_pair: int = 1,
+                 prepost_fraction: float = 1.0,
+                 rng: np.random.Generator | None = None,
+                 wildcard_src_fraction: float = 0.0,
+                 nbytes: int = 8) -> None:
+        """One exchange phase over directed ``(src, dst)`` pairs.
+
+        ``tag_of(src, dst, k)`` names the tag of the k-th message on a
+        pair; ``comm_of`` likewise for the communicator (default 0).
+
+        ``prepost_fraction`` of the receives are posted *before* any send
+        of the phase (they land in the PRQ and wait); the rest are posted
+        after all sends (those messages sit in the UMQ as unexpected).
+        ``wildcard_src_fraction`` of the receives use MPI_ANY_SOURCE.
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        comm_of = comm_of if comm_of is not None else (lambda s, d, k: 0)
+        recvs = []
+        for (src, dst) in pairs:
+            for k in range(msgs_per_pair):
+                use_wc = rng.random() < wildcard_src_fraction
+                recvs.append((dst, -1 if use_wc else src,
+                              tag_of(src, dst, k), comm_of(src, dst, k)))
+        rng.shuffle(recvs)
+        n_pre = int(round(prepost_fraction * len(recvs)))
+        for (dst, src, tag, comm) in recvs[:n_pre]:
+            self.post(dst, src, tag, comm)
+        order = list(range(len(pairs)))
+        rng.shuffle(order)
+        for i in order:
+            src, dst = pairs[i]
+            for k in range(msgs_per_pair):
+                self.send(src, dst, tag_of(src, dst, k),
+                          comm_of(src, dst, k), nbytes=nbytes)
+        for (dst, src, tag, comm) in recvs[n_pre:]:
+            self.post(dst, src, tag, comm)
+
+    def build(self, app: str, n_ranks: int, meta: dict | None = None) -> Trace:
+        """Finalize into a :class:`Trace`."""
+        return Trace(app=app, n_ranks=n_ranks, events=self._events,
+                     meta=meta)
+
+
+class AppModel:
+    """Base class for application communication models.
+
+    Subclasses override the class attributes and implement :meth:`build`.
+    (Deliberately *not* a dataclass: the identity fields are class-level
+    constants of each model, not per-instance state.)
+    """
+
+    #: short identifier, e.g. ``"exmatex_lulesh"``
+    name: str = "base"
+    #: human-readable name as it appears in the paper's Table I
+    full_name: str = "base"
+    #: proxy-app suite (designforward / cesar / exact / exmatex / amr)
+    suite: str = "none"
+    #: one-line description of the modelled communication skeleton
+    description: str = ""
+    #: does the app post MPI_ANY_SOURCE receives? (Table I: only
+    #: Design Forward MiniDFT and MiniFE do)
+    uses_src_wildcard: bool = False
+    #: does the app use MPI_ANY_TAG? (Table I: none do)
+    uses_tag_wildcard: bool = False
+    #: distinct communicators carrying point-to-point traffic
+    n_communicators: int = 1
+    #: default rank count for `generate()`
+    default_ranks: int = 32
+    #: default superstep count
+    default_steps: int = 10
+
+    def generate(self, n_ranks: int | None = None, steps: int | None = None,
+                 seed: int = 0) -> Trace:
+        """Generate a trace at the given scale (defaults per app)."""
+        n_ranks = self.default_ranks if n_ranks is None else n_ranks
+        steps = self.default_steps if steps is None else steps
+        if n_ranks < 2:
+            raise ValueError("need at least 2 ranks to communicate")
+        if steps < 1:
+            raise ValueError("steps must be positive")
+        rng = np.random.default_rng(seed + 0x5EED)
+        builder = TraceBuilder()
+        self.build(builder, n_ranks, steps, rng)
+        return builder.build(self.name, n_ranks,
+                             meta={"steps": steps, "seed": seed,
+                                   "suite": self.suite})
+
+    def build(self, b: TraceBuilder, n_ranks: int, steps: int,
+              rng: np.random.Generator) -> None:
+        """Emit the app's events into the builder (subclass hook)."""
+        raise NotImplementedError
+
+
+# -- topology helpers ------------------------------------------------------------
+
+
+def grid_dims(n_ranks: int, ndim: int) -> tuple[int, ...]:
+    """Near-cubic process grid factorization of ``n_ranks``.
+
+    >>> grid_dims(64, 3)
+    (4, 4, 4)
+    """
+    dims = [1] * ndim
+    n = n_ranks
+    f = 2
+    factors = []
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for p in sorted(factors, reverse=True):
+        dims[int(np.argmin(dims))] *= p
+    return tuple(sorted(dims, reverse=True))
+
+
+def grid_neighbors(n_ranks: int, ndim: int = 3, corners: bool = False,
+                   ) -> list[list[int]]:
+    """Cartesian halo neighbors (non-periodic) for every rank.
+
+    ``corners=False`` gives the 2*ndim face stencil; ``corners=True`` the
+    full Moore neighborhood (8 in 2-D, 26 in 3-D) that halo codes like
+    LULESH exchange with.
+    """
+    dims = grid_dims(n_ranks, ndim)
+    coords = [np.unravel_index(r, dims) for r in range(n_ranks)]
+    index = {c: r for r, c in enumerate(coords)}
+    offsets: list[tuple[int, ...]] = []
+    if corners:
+        grids = np.meshgrid(*[[-1, 0, 1]] * ndim, indexing="ij")
+        for off in zip(*[g.ravel() for g in grids]):
+            if any(off):
+                offsets.append(off)
+    else:
+        for d in range(ndim):
+            for s in (-1, 1):
+                off = [0] * ndim
+                off[d] = s
+                offsets.append(tuple(off))
+    out: list[list[int]] = []
+    for r in range(n_ranks):
+        mine = []
+        for off in offsets:
+            c = tuple(int(x) + int(o) for x, o in zip(coords[r], off))
+            if all(0 <= ci < di for ci, di in zip(c, dims)):
+                mine.append(index[c])
+        out.append(mine)
+    return out
+
+
+def ring_neighbors(n_ranks: int, hops: int = 1) -> list[list[int]]:
+    """Bidirectional ring with ``hops`` neighbors on each side."""
+    return [[(r + d) % n_ranks for d in range(-hops, hops + 1) if d != 0]
+            for r in range(n_ranks)]
+
+
+def random_neighbors(n_ranks: int, k: int,
+                     rng: np.random.Generator) -> list[list[int]]:
+    """Uniform random ``k``-neighbor sets (symmetrized, so degrees are
+    approximately ``k`` and communication is two-way like real halo
+    exchanges)."""
+    k = min(k, n_ranks - 1)
+    nbrs = [set() for _ in range(n_ranks)]
+    for r in range(n_ranks):
+        choices = rng.choice([x for x in range(n_ranks) if x != r],
+                             size=k, replace=False)
+        for c in choices:
+            nbrs[r].add(int(c))
+            nbrs[int(c)].add(r)
+    return [sorted(s) for s in nbrs]
+
+
+def skewed_neighbors(n_ranks: int, k_min: int, k_max: int,
+                     rng: np.random.Generator,
+                     hot_fraction: float = 0.1) -> list[list[int]]:
+    """Irregular neighbor sets: a few 'hot' ranks talk to many peers.
+
+    Models the irregular rank-usage distribution the paper observes for
+    CESAR Nekbone and AMR Boxlib (Section VI-A), which unbalances
+    statically partitioned queues.
+    """
+    hot = max(1, int(hot_fraction * n_ranks))
+    nbrs = [set() for _ in range(n_ranks)]
+    for r in range(n_ranks):
+        k = k_max if r < hot else k_min
+        k = min(k, n_ranks - 1)
+        choices = rng.choice([x for x in range(n_ranks) if x != r],
+                             size=k, replace=False)
+        for c in choices:
+            nbrs[r].add(int(c))
+            nbrs[int(c)].add(r)
+    return [sorted(s) for s in nbrs]

@@ -1,0 +1,111 @@
+"""Trace (de)serialization: a compact dumpi-like text format.
+
+One JSON object per line; the first line is a header record.  The format
+round-trips everything the analyses consume, so traces can be generated
+once and replayed many times (or produced by an external tool -- e.g. an
+actual dumpi converter -- and fed to this package's analyzers).
+
+Event records::
+
+    {"k": "h", "app": ..., "ranks": N, "meta": {...}}     header
+    {"k": "s", "t": time, "r": rank, "d": dst, "g": tag,
+     "c": comm, "b": nbytes}                              send
+    {"k": "p", "t": time, "r": rank, "s": src, "g": tag,
+     "c": comm}                                           recv post
+    {"k": "b", "t": time, "r": rank}                      barrier
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .events import BarrierEvent, RecvPostEvent, SendEvent, Trace
+
+__all__ = ["save_trace", "load_trace", "dumps", "loads"]
+
+_FORMAT_VERSION = 1
+
+
+def _records(trace: Trace) -> Iterator[dict]:
+    yield {"k": "h", "v": _FORMAT_VERSION, "app": trace.app,
+           "ranks": trace.n_ranks, "meta": trace.meta}
+    for ev in trace.events:
+        if ev.kind == "send":
+            yield {"k": "s", "t": ev.time, "r": ev.rank, "d": ev.dst,
+                   "g": ev.tag, "c": ev.comm, "b": ev.nbytes}
+        elif ev.kind == "post_recv":
+            yield {"k": "p", "t": ev.time, "r": ev.rank, "s": ev.src,
+                   "g": ev.tag, "c": ev.comm}
+        elif ev.kind == "barrier":
+            yield {"k": "b", "t": ev.time, "r": ev.rank}
+        else:  # pragma: no cover - schema guard
+            raise ValueError(f"unknown event kind {ev.kind!r}")
+
+
+def _parse(lines: Iterable[str]) -> Trace:
+    header: dict | None = None
+    events: list = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: invalid JSON: {exc}") from None
+        kind = rec.get("k")
+        if kind == "h":
+            if header is not None:
+                raise ValueError(f"line {lineno}: duplicate header")
+            if rec.get("v") != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported trace format version {rec.get('v')!r}")
+            header = rec
+        elif header is None:
+            raise ValueError(f"line {lineno}: event before header")
+        elif kind == "s":
+            events.append(SendEvent(time=rec["t"], rank=rec["r"],
+                                    dst=rec["d"], tag=rec["g"],
+                                    comm=rec.get("c", 0),
+                                    nbytes=rec.get("b", 8)))
+        elif kind == "p":
+            events.append(RecvPostEvent(time=rec["t"], rank=rec["r"],
+                                        src=rec["s"], tag=rec["g"],
+                                        comm=rec.get("c", 0)))
+        elif kind == "b":
+            events.append(BarrierEvent(time=rec["t"], rank=rec["r"]))
+        else:
+            raise ValueError(f"line {lineno}: unknown record kind {kind!r}")
+    if header is None:
+        raise ValueError("empty trace file (no header)")
+    return Trace(app=header["app"], n_ranks=header["ranks"], events=events,
+                 meta=header.get("meta"))
+
+
+def dumps(trace: Trace) -> str:
+    """Serialize a trace to a JSONL string."""
+    return "\n".join(json.dumps(rec, separators=(",", ":"))
+                     for rec in _records(trace)) + "\n"
+
+
+def loads(text: str) -> Trace:
+    """Parse a trace from a JSONL string."""
+    return _parse(text.splitlines())
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write a trace to ``path`` (JSONL); returns the path."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for rec in _records(trace):
+            fh.write(json.dumps(rec, separators=(",", ":")))
+            fh.write("\n")
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with Path(path).open() as fh:
+        return _parse(fh)

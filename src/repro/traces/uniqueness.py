@@ -1,0 +1,63 @@
+"""{src, tag} tuple uniqueness (the Figure 6(a) analysis).
+
+"In Figure 6(a) we show the uniqueness of {src, tag} tuples among all
+destinations within an application.  For example, a value of 50% means
+that a single tuple appears in 50% of all messages to a given
+destination.  This would be a bad case for hash tables ..."  Most
+applications land in single-digit percentages, supporting the two-level
+hash table of Section VI-C.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from .events import Trace
+
+__all__ = ["tuple_uniqueness", "per_destination_shares"]
+
+
+def per_destination_shares(trace: Trace) -> dict[int, float]:
+    """Per destination: the share of its traffic owned by its most
+    common {src, tag} tuple (1.0 = every message identical)."""
+    per_dst: dict[int, Counter] = defaultdict(Counter)
+    for s in trace.sends():
+        per_dst[s.dst][(s.rank, s.tag)] += 1
+    out = {}
+    for dst, counts in per_dst.items():
+        total = sum(counts.values())
+        out[dst] = counts.most_common(1)[0][1] / total
+    return out
+
+
+def tuple_uniqueness(trace: Trace) -> dict:
+    """Figure 6(a)'s statistic for one application.
+
+    Returns the mean/median/max over destinations of the dominant-tuple
+    share, plus the overall duplicate fraction (messages whose tuple has
+    already been sent to the same destination).
+    """
+    shares = per_destination_shares(trace)
+    if not shares:
+        return {"app": trace.app, "dominant_share_mean": 0.0,
+                "dominant_share_median": 0.0, "dominant_share_max": 0.0,
+                "duplicate_fraction": 0.0}
+    vals = np.array(list(shares.values()))
+    seen: dict[int, set] = defaultdict(set)
+    dups = 0
+    total = 0
+    for s in trace.sends():
+        key = (s.rank, s.tag)
+        total += 1
+        if key in seen[s.dst]:
+            dups += 1
+        seen[s.dst].add(key)
+    return {
+        "app": trace.app,
+        "dominant_share_mean": float(vals.mean()),
+        "dominant_share_median": float(np.median(vals)),
+        "dominant_share_max": float(vals.max()),
+        "duplicate_fraction": dups / total if total else 0.0,
+    }

@@ -1,0 +1,50 @@
+"""Shared fixtures and workload builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import ANY_SOURCE, ANY_TAG, EnvelopeBatch
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests needing other seeds construct their own."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def permuted_pair(rng: np.random.Generator, n: int, n_ranks: int = 16,
+                  n_tags: int = 8, comm: int = 0,
+                  ) -> tuple[EnvelopeBatch, EnvelopeBatch]:
+    """A fully-matchable workload: requests are a permutation of messages."""
+    msgs = EnvelopeBatch.random(n, n_ranks=n_ranks, n_tags=n_tags, comm=comm,
+                                rng=rng)
+    reqs = msgs.take(rng.permutation(n))
+    return msgs, reqs
+
+
+def with_wildcards(rng: np.random.Generator, reqs: EnvelopeBatch,
+                   p_src: float = 0.15, p_tag: float = 0.15) -> EnvelopeBatch:
+    """Replace a random subset of request fields with wildcards."""
+    n = len(reqs)
+    src = np.where(rng.random(n) < p_src, ANY_SOURCE, reqs.src)
+    tag = np.where(rng.random(n) < p_tag, ANY_TAG, reqs.tag)
+    return EnvelopeBatch(src, tag, reqs.comm)
+
+
+def partial_match_pair(rng: np.random.Generator, n: int, match_fraction: float,
+                       n_ranks: int = 16, n_tags: int = 8,
+                       ) -> tuple[EnvelopeBatch, EnvelopeBatch]:
+    """A workload where only ``match_fraction`` of requests can match.
+
+    Non-matching requests point at ranks beyond the message rank space, so
+    they can never be satisfied.
+    """
+    msgs = EnvelopeBatch.random(n, n_ranks=n_ranks, n_tags=n_tags, rng=rng)
+    reqs = msgs.take(rng.permutation(n))
+    n_dead = n - int(round(match_fraction * n))
+    dead = rng.choice(n, size=n_dead, replace=False)
+    src = reqs.src.copy()
+    src[dead] = n_ranks + 1000  # unreachable rank
+    return msgs, EnvelopeBatch(src, reqs.tag, reqs.comm)

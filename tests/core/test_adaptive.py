@@ -1,0 +1,101 @@
+"""Adaptive (dynamic-parallelism) matcher tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import (AdaptiveMatcher, MatchPlan,
+                                 RELAUNCH_OVERHEAD_CYCLES)
+from repro.core.envelope import ANY_SOURCE, EnvelopeBatch
+from repro.core.matrix_matching import MatrixMatcher
+from repro.core.partitioned import PartitionedMatcher
+from repro.core.verify import check_mpi_ordering
+from tests.conftest import permuted_pair, with_wildcards
+
+
+class TestPlanning:
+    def test_wildcards_force_single_matrix(self, rng):
+        msgs, reqs = permuted_pair(rng, 2048, n_ranks=64)
+        reqs = with_wildcards(rng, reqs, p_src=0.2, p_tag=0.0)
+        plan = AdaptiveMatcher().plan(msgs, reqs)
+        assert plan.structure == "matrix"
+        assert plan.n_queues == 1
+
+    def test_small_queue_stays_single(self, rng):
+        msgs, reqs = permuted_pair(rng, 48, n_ranks=64)
+        plan = AdaptiveMatcher().plan(msgs, reqs)
+        assert plan.structure == "matrix"
+
+    def test_deep_queue_partitions(self, rng):
+        msgs, reqs = permuted_pair(rng, 4096, n_ranks=64)
+        plan = AdaptiveMatcher().plan(msgs, reqs)
+        assert plan.structure == "partitioned"
+        assert plan.n_queues == 32  # min(max_queues=32, 64 srcs, 4096/32)
+
+    def test_queue_count_bounded_by_sources(self):
+        # 4096 messages but only 3 distinct sources
+        msgs = EnvelopeBatch(src=np.arange(4096) % 3,
+                             tag=np.arange(4096) % 7)
+        reqs = msgs
+        plan = AdaptiveMatcher().plan(msgs, reqs)
+        assert plan.n_queues <= 3
+
+    def test_queue_count_bounded_by_max(self, rng):
+        msgs, reqs = permuted_pair(rng, 40960, n_ranks=256, n_tags=4)
+        plan = AdaptiveMatcher(max_queues=16).plan(msgs, reqs)
+        assert plan.n_queues == 16
+
+    def test_narrow_warps_for_shallow_queues(self):
+        assert AdaptiveMatcher._pick_warp_size(8) < 32
+        assert AdaptiveMatcher._pick_warp_size(512) == 32
+        assert AdaptiveMatcher._pick_warp_size(1) >= 4
+
+    def test_plan_describe(self):
+        assert MatchPlan("matrix", 1, 32).describe() == "matrix/w32"
+        assert "q8" in MatchPlan("partitioned", 8, 16).describe()
+
+
+class TestMatching:
+    def test_correct_under_mpi_semantics(self, rng):
+        for n in (64, 600, 3000):
+            msgs, reqs = permuted_pair(rng, n, n_ranks=32, n_tags=8)
+            out = AdaptiveMatcher().match(msgs, reqs)
+            check_mpi_ordering(msgs, reqs, out)
+
+    def test_wildcard_workload_correct(self, rng):
+        msgs, reqs = permuted_pair(rng, 500, n_ranks=16, n_tags=4)
+        reqs = with_wildcards(rng, reqs)
+        out = AdaptiveMatcher().match(msgs, reqs)
+        check_mpi_ordering(msgs, reqs, out)
+        assert out.meta["plan"].startswith("matrix")
+
+    def test_beats_fixed_matrix_on_deep_queues(self, rng):
+        msgs, reqs = permuted_pair(rng, 8192, n_ranks=64, n_tags=8)
+        adaptive = AdaptiveMatcher().match(msgs, reqs)
+        fixed = MatrixMatcher().match(msgs, reqs)
+        assert adaptive.matches_per_second() > 3 * fixed.matches_per_second()
+
+    def test_beats_fixed_partitioning_on_tiny_workloads(self, rng):
+        """A fixed 32-queue launch wastes coordination on a 48-entry
+        workload; the planner stays single-queue."""
+        msgs, reqs = permuted_pair(rng, 48, n_ranks=64, n_tags=8)
+        adaptive = AdaptiveMatcher().match(msgs, reqs)
+        fixed = PartitionedMatcher(n_queues=32).match(msgs, reqs)
+        assert adaptive.matches_per_second() > fixed.matches_per_second()
+
+    def test_relaunch_overhead_charged_on_config_change(self, rng):
+        m = AdaptiveMatcher()
+        small = permuted_pair(rng, 50, n_ranks=16)
+        big = permuted_pair(rng, 4000, n_ranks=64)
+        m.match(*small)
+        assert m.relaunches == 0
+        out = m.match(*big)          # config changed -> relaunch
+        assert m.relaunches == 1
+        assert out.cycles > RELAUNCH_OVERHEAD_CYCLES
+        m.match(*big)                # same shape -> no new relaunch
+        assert m.relaunches == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AdaptiveMatcher(max_queues=0)

@@ -1,0 +1,143 @@
+"""Relaxation sets, workload validation, and the engine facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MatchingEngine
+from repro.core.envelope import ANY_SOURCE, ANY_TAG, EnvelopeBatch
+from repro.core.hash_matching import HashMatcher
+from repro.core.matrix_matching import MatrixMatcher
+from repro.core.partitioned import PartitionedMatcher
+from repro.core.relaxations import (TABLE_II_CONFIGS, RelaxationSet,
+                                    WorkloadViolation)
+from repro.simt.gpu import GPU
+from tests.conftest import permuted_pair
+
+
+class TestRelaxationSet:
+    def test_default_is_mpi_compliant(self):
+        rel = RelaxationSet()
+        assert rel.mpi_compliant
+        assert rel.data_structure == "matrix"
+        assert not rel.partitionable
+        assert rel.user_implication == "none"
+
+    def test_unordered_requires_no_wildcards(self):
+        with pytest.raises(ValueError):
+            RelaxationSet(wildcards=True, ordering=False)
+
+    def test_partitionable_iff_no_wildcards(self):
+        assert RelaxationSet(wildcards=False).partitionable
+        assert not RelaxationSet(wildcards=True).partitionable
+
+    def test_table_ii_has_six_rows(self):
+        assert len(TABLE_II_CONFIGS) == 6
+        assert len({r.label() for r in TABLE_II_CONFIGS}) == 6
+
+    def test_table_ii_row_properties(self):
+        """The Part. / Data structure / User implication columns of
+        Table II, row by row."""
+        expected = [
+            (False, "matrix", "none"),
+            (False, "matrix", "medium"),
+            (True, "matrix", "low"),
+            (True, "matrix", "medium"),
+            (True, "hash", "high"),
+            (True, "hash", "high"),
+        ]
+        got = [(r.partitionable, r.data_structure, r.user_implication)
+               for r in TABLE_II_CONFIGS]
+        assert got == expected
+
+    def test_compaction_needed_iff_unexpected(self):
+        assert RelaxationSet(unexpected=True).needs_compaction
+        assert not RelaxationSet(unexpected=False).needs_compaction
+
+    def test_validate_requests(self):
+        rel = RelaxationSet(wildcards=False)
+        rel.validate_requests(EnvelopeBatch(src=[1], tag=[2]))
+        with pytest.raises(WorkloadViolation):
+            rel.validate_requests(EnvelopeBatch(src=[ANY_SOURCE], tag=[2]))
+        with pytest.raises(WorkloadViolation):
+            rel.validate_requests(EnvelopeBatch(src=[1], tag=[ANY_TAG]))
+
+    def test_validate_unexpected(self):
+        RelaxationSet(unexpected=False).validate_unexpected(0)
+        with pytest.raises(WorkloadViolation):
+            RelaxationSet(unexpected=False).validate_unexpected(3)
+        RelaxationSet(unexpected=True).validate_unexpected(100)
+
+    def test_labels(self):
+        assert RelaxationSet().label() == "wc+ord+unexp"
+        assert RelaxationSet(wildcards=False, ordering=False,
+                             unexpected=False).label() == "nowc+noord+pre"
+
+
+class TestMatchingEngine:
+    def test_matcher_selection(self):
+        assert isinstance(MatchingEngine().matcher, MatrixMatcher)
+        assert isinstance(
+            MatchingEngine(relaxations=RelaxationSet(wildcards=False)).matcher,
+            PartitionedMatcher)
+        assert isinstance(
+            MatchingEngine(relaxations=RelaxationSet(
+                wildcards=False, ordering=False)).matcher,
+            HashMatcher)
+
+    def test_compaction_follows_unexpected(self):
+        on = MatchingEngine(relaxations=RelaxationSet())
+        off = MatchingEngine(relaxations=RelaxationSet(unexpected=False))
+        assert on.matcher.compaction
+        assert not off.matcher.compaction
+
+    def test_rejects_wildcards_under_restriction(self, rng):
+        eng = MatchingEngine(relaxations=RelaxationSet(wildcards=False))
+        msgs = EnvelopeBatch(src=[1], tag=[0])
+        reqs = EnvelopeBatch(src=[ANY_SOURCE], tag=[0])
+        with pytest.raises(WorkloadViolation):
+            eng.match(msgs, reqs)
+
+    def test_rejects_unexpected_under_prepost(self):
+        eng = MatchingEngine(relaxations=RelaxationSet(unexpected=False))
+        msgs = EnvelopeBatch(src=[1, 2], tag=[0, 0])
+        reqs = EnvelopeBatch(src=[1], tag=[0])  # message from 2 is unexpected
+        with pytest.raises(WorkloadViolation):
+            eng.match(msgs, reqs)
+
+    @pytest.mark.parametrize("rel", TABLE_II_CONFIGS,
+                             ids=[r.label() for r in TABLE_II_CONFIGS])
+    def test_all_configs_match_and_verify(self, rel, rng):
+        msgs, reqs = permuted_pair(rng, 200, n_ranks=32, n_tags=16)
+        eng = MatchingEngine(relaxations=rel, verify=True)
+        out = eng.match(msgs, reqs)
+        assert out.matched_count == 200
+        assert out.seconds > 0
+
+    def test_performance_tiers(self, rng):
+        """Table II's Low < High < Very High performance ordering."""
+        msgs, reqs = permuted_pair(rng, 1024, n_ranks=64, n_tags=64)
+        rates = []
+        for rel in (RelaxationSet(),
+                    RelaxationSet(wildcards=False),
+                    RelaxationSet(wildcards=False, ordering=False)):
+            eng = MatchingEngine(relaxations=rel, n_queues=16, n_ctas=32)
+            rates.append(eng.match(msgs, reqs).matches_per_second())
+        assert rates[0] < rates[1] < rates[2]
+        assert rates[1] > 5 * rates[0]     # partitioning ~10x
+        assert rates[2] > 10 * rates[1]    # hashing another order
+
+    def test_reference_and_cpu_baseline(self, rng):
+        msgs, reqs = permuted_pair(rng, 64)
+        eng = MatchingEngine()
+        ref = eng.reference(msgs, reqs)
+        cpu = eng.cpu_baseline(msgs, reqs)
+        assert np.array_equal(ref.request_to_message, cpu.request_to_message)
+        assert eng.data_structure == "matrix"
+
+    def test_gpu_parameter_threads_through(self, rng):
+        msgs, reqs = permuted_pair(rng, 256)
+        slow = MatchingEngine(gpu=GPU.kepler_k80()).match(msgs, reqs)
+        fast = MatchingEngine(gpu=GPU.pascal_gtx1080()).match(msgs, reqs)
+        assert fast.matches_per_second() > slow.matches_per_second()

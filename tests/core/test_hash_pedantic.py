@@ -1,0 +1,108 @@
+"""Warp-level (atomic-CAS) hash matching path and the memory atomics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.envelope import ANY_SOURCE, EnvelopeBatch
+from repro.core.hash_matching import HashMatcher, HashTableConfig
+from repro.core.verify import check_relaxed
+from repro.simt.memory import GlobalMemory, MemoryError_
+
+
+class TestAtomicCAS:
+    def test_single_winner_per_address(self):
+        mem = GlobalMemory(4)
+        ok = mem.atomic_cas(np.array([1, 1, 1, 1]),
+                            np.zeros(4, dtype=np.int64),
+                            np.array([10, 20, 30, 40]))
+        assert ok.sum() == 1 and ok[0]
+        assert mem.data[1] == 10
+
+    def test_distinct_addresses_all_win(self):
+        mem = GlobalMemory(8)
+        ok = mem.atomic_cas(np.arange(4), np.zeros(4, dtype=np.int64),
+                            np.arange(4) + 100)
+        assert ok.all()
+        assert list(mem.data[:4]) == [100, 101, 102, 103]
+
+    def test_expected_mismatch_fails(self):
+        mem = GlobalMemory(2)
+        mem.store(np.array([0]), np.array([5]))
+        ok = mem.atomic_cas(np.array([0]), np.array([0]), np.array([9]))
+        assert not ok[0]
+        assert mem.data[0] == 5
+
+    def test_inactive_lanes_do_not_participate(self):
+        mem = GlobalMemory(2)
+        ok = mem.atomic_cas(np.array([0, 0]), np.zeros(2, dtype=np.int64),
+                            np.array([1, 2]),
+                            active=np.array([False, True]))
+        assert list(ok) == [False, True]
+        assert mem.data[0] == 2
+
+    def test_oob(self):
+        with pytest.raises(MemoryError_):
+            GlobalMemory(2).atomic_cas(np.array([5]), np.array([0]),
+                                       np.array([1]))
+
+    def test_charges_per_distinct_address(self):
+        from repro.simt.timing import CostLedger
+        led = CostLedger()
+        mem = GlobalMemory(8, ledger=led)
+        mem.atomic_cas(np.array([1, 1, 2]), np.zeros(3, dtype=np.int64),
+                       np.arange(3))
+        assert led.total("atomic") == 2.0
+
+
+class TestPedanticHash:
+    @given(st.integers(min_value=0, max_value=200),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_complete_on_matchable_workloads(self, n, seed):
+        rng = np.random.default_rng(seed)
+        msgs = EnvelopeBatch.random(n, n_ranks=8, n_tags=4, rng=rng)
+        reqs = msgs.take(rng.permutation(n))
+        out = HashMatcher().match_pedantic(msgs, reqs)
+        check_relaxed(msgs, reqs, out, require_complete=True)
+        assert out.matched_count == n
+
+    def test_heavy_duplicates(self):
+        dup = EnvelopeBatch(src=[1] * 128, tag=[2] * 128)
+        out = HashMatcher().match_pedantic(dup, dup)
+        check_relaxed(dup, dup, out, require_complete=True)
+        assert out.iterations > 32  # two slots drain ~4/round
+
+    def test_matched_counts_agree_with_fast_path(self):
+        rng = np.random.default_rng(9)
+        msgs = EnvelopeBatch.random(300, n_ranks=32, n_tags=8, rng=rng)
+        reqs = msgs.take(rng.permutation(300))
+        fast = HashMatcher().match(msgs, reqs)
+        slow = HashMatcher().match_pedantic(msgs, reqs)
+        assert fast.matched_count == slow.matched_count == 300
+
+    def test_unmatchable_surplus_terminates(self):
+        msgs = EnvelopeBatch(src=[1, 2, 3], tag=[0, 0, 0])
+        reqs = EnvelopeBatch(src=[1], tag=[0])
+        out = HashMatcher().match_pedantic(msgs, reqs)
+        assert out.matched_count == 1
+
+    def test_rejects_wildcards_and_probing(self):
+        msgs = EnvelopeBatch(src=[0], tag=[0])
+        with pytest.raises(ValueError):
+            HashMatcher().match_pedantic(
+                msgs, EnvelopeBatch(src=[ANY_SOURCE], tag=[0]))
+        with pytest.raises(ValueError):
+            HashMatcher(config=HashTableConfig(probe_depth=2)).match_pedantic(
+                msgs, msgs)
+
+    def test_charges_atomics(self):
+        rng = np.random.default_rng(4)
+        msgs = EnvelopeBatch.random(64, n_ranks=16, n_tags=4, rng=rng)
+        reqs = msgs.take(rng.permutation(64))
+        out = HashMatcher().match_pedantic(msgs, reqs)
+        assert out.seconds > 0
+        assert "pedantic" in out.meta["phase_cycles"]

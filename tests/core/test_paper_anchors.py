@@ -1,0 +1,191 @@
+"""Regression net for the paper's quantitative anchors.
+
+These tests pin the calibrated model to the numbers the paper reports.
+If a model change moves an anchor by more than the stated tolerance, a
+test here fails -- re-run the calibration (see DESIGN.md section 5)
+rather than loosening the tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import EnvelopeBatch
+from repro.core.hash_matching import HashMatcher
+from repro.core.list_matching import ListMatcher
+from repro.core.matrix_matching import MatrixMatcher
+from repro.core.partitioned import PartitionedMatcher
+from repro.simt.gpu import GPU
+from tests.conftest import partial_match_pair, permuted_pair
+
+
+@pytest.fixture(scope="module")
+def wl512():
+    rng = np.random.default_rng(1234)
+    msgs = EnvelopeBatch.random(512, n_ranks=64, n_tags=64, rng=rng)
+    return msgs, msgs.take(rng.permutation(512))
+
+
+@pytest.fixture(scope="module")
+def wl1024():
+    rng = np.random.default_rng(1234)
+    msgs = EnvelopeBatch.random(1024, n_ranks=64, n_tags=64, rng=rng)
+    return msgs, msgs.take(rng.permutation(1024))
+
+
+def mps(outcome) -> float:
+    return outcome.matches_per_second() / 1e6
+
+
+class TestFigure4Anchors:
+    """Single-CTA matrix matching: ~3 / ~3.5 / ~6 Mmatches/s steady."""
+
+    @pytest.mark.parametrize("gen,rate", [("kepler", 3.0), ("maxwell", 3.5),
+                                          ("pascal", 6.0)])
+    def test_steady_rate(self, wl512, gen, rate):
+        out = MatrixMatcher(spec=GPU.by_name(gen)).match(*wl512)
+        assert mps(out) == pytest.approx(rate, rel=0.15)
+
+    def test_rate_flat_below_1024(self):
+        """'The performance of our algorithm is steady' across queue
+        lengths below the 1024 knee."""
+        rng = np.random.default_rng(5)
+        rates = []
+        for n in (64, 128, 256, 512):
+            msgs = EnvelopeBatch.random(n, n_ranks=32, n_tags=32, rng=rng)
+            reqs = msgs.take(rng.permutation(n))
+            rates.append(mps(MatrixMatcher().match(msgs, reqs)))
+        assert max(rates) / min(rates) < 1.35
+
+    def test_knee_at_1024(self, wl512, wl1024):
+        """'At a queue length of 1024, the performance drops because ...
+        the reduce phase cannot be overlapped anymore.'"""
+        r512 = mps(MatrixMatcher().match(*wl512))
+        r1024 = mps(MatrixMatcher().match(*wl1024))
+        assert r1024 < 0.8 * r512
+
+    def test_decay_beyond_1024(self):
+        """'Queues that contain more than 1024 elements require multiple
+        iterations and the performance drops accordingly.'"""
+        rng = np.random.default_rng(6)
+        rates = []
+        for n in (1024, 2048, 4096):
+            msgs = EnvelopeBatch.random(n, n_ranks=64, n_tags=64, rng=rng)
+            reqs = msgs.take(rng.permutation(n))
+            out = MatrixMatcher().match(msgs, reqs)
+            assert out.iterations == n // 1024
+            rates.append(mps(out))
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_generation_ordering(self, wl512):
+        rates = [mps(MatrixMatcher(spec=g).match(*wl512))
+                 for g in GPU.all_generations()]
+        assert rates[0] < rates[1] < rates[2]
+
+
+class TestFigure5Anchors:
+    """Partitioned matching: linear-ish scaling, ~60M ceiling, waves."""
+
+    def test_scaling_with_queue_count(self, wl1024):
+        rates = {q: mps(PartitionedMatcher(n_queues=q).match(*wl1024))
+                 for q in (1, 2, 4, 8, 16, 32)}
+        assert rates[2] > 1.8 * rates[1] / 2 * 2  # monotone growth
+        for lo, hi in [(1, 2), (2, 4), (4, 8), (8, 16), (16, 32)]:
+            assert rates[hi] > rates[lo]
+        # ~60 Mmatches/s ceiling at 32 queues on Pascal (abstract)
+        assert rates[32] == pytest.approx(60.0, rel=0.2)
+
+    def test_average_speedup_over_older_generations(self):
+        """'the GTX1080 yields an average speedup of 2.12x over the Kepler
+        K80 and 1.56x over the Maxwell M40'."""
+        rng = np.random.default_rng(77)
+        msgs = EnvelopeBatch.random(2048, n_ranks=64, n_tags=8, rng=rng)
+        reqs = msgs.take(rng.permutation(2048))
+        ratios_k, ratios_m = [], []
+        for q in (1, 2, 4, 8, 16, 32):
+            rp = mps(PartitionedMatcher(spec=GPU.pascal_gtx1080(),
+                                        n_queues=q).match(msgs, reqs))
+            rk = mps(PartitionedMatcher(spec=GPU.kepler_k80(),
+                                        n_queues=q).match(msgs, reqs))
+            rm = mps(PartitionedMatcher(spec=GPU.maxwell_m40(),
+                                        n_queues=q).match(msgs, reqs))
+            ratios_k.append(rp / rk)
+            ratios_m.append(rp / rm)
+        assert np.mean(ratios_k) == pytest.approx(2.12, rel=0.15)
+        assert np.mean(ratios_m) == pytest.approx(1.56, rel=0.15)
+
+    def test_serialization_beyond_two_ctas(self):
+        """Longer totals need more CTAs; beyond two resident they wave."""
+        rng = np.random.default_rng(8)
+        msgs = EnvelopeBatch.random(8192, n_ranks=64, n_tags=8, rng=rng)
+        reqs = msgs.take(rng.permutation(8192))
+        out = PartitionedMatcher(n_queues=8).match(msgs, reqs)
+        assert out.meta["ctas"] == 8
+        assert out.meta["waves"] == 4
+
+
+class TestFigure6bAnchors:
+    """Hash matching: 110/150 Kepler, ~500 Pascal 32-CTA."""
+
+    @pytest.mark.parametrize("gen,ctas,rate", [
+        ("kepler", 1, 110.0), ("kepler", 32, 150.0),
+        ("pascal", 32, 500.0),
+    ])
+    def test_paper_stated_rates(self, wl1024, gen, ctas, rate):
+        out = HashMatcher(spec=GPU.by_name(gen), n_ctas=ctas).match(*wl1024)
+        assert mps(out) == pytest.approx(rate, rel=0.15)
+
+    def test_pascal_speedup_over_kepler(self, wl1024):
+        """'This translates into a speedup of 3.3x over Kepler.'"""
+        p = mps(HashMatcher(spec=GPU.pascal_gtx1080(), n_ctas=32).match(
+            *wl1024))
+        k = mps(HashMatcher(spec=GPU.kepler_k80(), n_ctas=32).match(*wl1024))
+        assert p / k == pytest.approx(3.3, rel=0.15)
+
+    def test_hash_beats_matrix_by_80x(self, wl512, wl1024):
+        """Abstract: 'speedups of ... 80x by allowing out-of-order message
+        delivery' on Pascal -- the hash rate against the matrix matcher's
+        steady headline rate (~6M), which is how the paper's 500/6 ~ 80x
+        arithmetic works."""
+        h = mps(HashMatcher(n_ctas=32).match(*wl1024))
+        m = mps(MatrixMatcher().match(*wl512))
+        assert h / m == pytest.approx(80.0, rel=0.25)
+
+
+class TestSectionVIAnchors:
+    """Compaction (~10%) and match-fraction (~linear) statements."""
+
+    def test_compaction_costs_about_ten_percent(self, wl1024):
+        on = mps(MatrixMatcher(compaction=True).match(*wl1024))
+        off = mps(MatrixMatcher(compaction=False).match(*wl1024))
+        assert 0.05 < 1 - on / off < 0.2
+
+    def test_rate_linear_in_match_fraction(self):
+        rng = np.random.default_rng(11)
+        msgs, reqs_half = partial_match_pair(rng, 1024, 0.5, n_ranks=64,
+                                             n_tags=64)
+        rng2 = np.random.default_rng(11)
+        msgs_f, reqs_full = permuted_pair(rng2, 1024, n_ranks=64, n_tags=64)
+        half = MatrixMatcher().match(msgs, reqs_half)
+        full = MatrixMatcher().match(msgs_f, reqs_full)
+        assert half.matched_count == 512
+        ratio = half.matches_per_second() / full.matches_per_second()
+        assert ratio == pytest.approx(0.5, abs=0.12)
+
+
+class TestCPUBaselineAnchors:
+    """Section II-C: ~30M matches/s short queues, <5M beyond 512."""
+
+    def test_short_queue_rate(self):
+        msgs = EnvelopeBatch(src=[0] * 1000, tag=[0] * 1000)
+        out = ListMatcher().match(msgs, msgs)
+        assert mps(out) == pytest.approx(30.0, rel=0.15)
+
+    def test_long_queue_rate_below_5m(self):
+        n = 1024
+        rng = np.random.default_rng(3)
+        msgs = EnvelopeBatch(src=list(range(n)), tag=[0] * n)
+        reqs = msgs.take(rng.permutation(n))
+        out = ListMatcher().match(msgs, reqs)
+        assert mps(out) < 5.0

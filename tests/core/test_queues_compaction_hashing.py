@@ -1,0 +1,160 @@
+"""Unified queues, compaction utilities, and hash functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compaction import compact_batch, compaction_map
+from repro.core.envelope import Envelope, EnvelopeBatch
+from repro.core.hashing import (HASH_FUNCTIONS, alu_cost, fibonacci32,
+                                fnv1a32, fold64, identity32, jenkins32)
+from repro.core.queues import QueueStats, UnifiedQueue
+
+
+class TestCompaction:
+    def test_map_basic(self):
+        keep = np.array([True, False, True, True, False])
+        assert list(compaction_map(keep)) == [0, -1, 1, 2, -1]
+
+    @given(st.lists(st.booleans(), max_size=200))
+    @settings(max_examples=50)
+    def test_map_property(self, bits):
+        keep = np.array(bits, dtype=bool)
+        mapping = compaction_map(keep)
+        kept = mapping[keep]
+        # kept entries get consecutive slots starting at 0, order preserved
+        assert list(kept) == list(range(keep.sum()))
+        assert (mapping[~keep] == -1).all()
+
+    def test_compact_batch(self):
+        b = EnvelopeBatch(src=[1, 2, 3], tag=[4, 5, 6])
+        out, mapping = compact_batch(b, np.array([True, False, True]))
+        assert list(out) == [Envelope(1, 4), Envelope(3, 6)]
+        assert list(mapping) == [0, -1, 1]
+
+    def test_compact_batch_shape_check(self):
+        b = EnvelopeBatch(src=[1], tag=[2])
+        with pytest.raises(ValueError):
+            compact_batch(b, np.array([True, False]))
+
+
+class TestUnifiedQueue:
+    def test_append_and_snapshot(self):
+        q = UnifiedQueue("UMQ")
+        q.append(Envelope(1, 2), payload="a")
+        q.append(Envelope(3, 4), payload="b")
+        snap = q.snapshot()
+        assert len(q) == 2 and len(snap) == 2
+        assert snap[1] == Envelope(3, 4)
+        assert q.payload_at(0) == "a"
+
+    def test_sequence_numbers_monotonic(self):
+        q = UnifiedQueue()
+        s0 = q.append(Envelope(0, 0))
+        s1 = q.append(Envelope(0, 0))
+        assert s1 == s0 + 1
+        q.consume(np.array([0]))
+        assert q.seq_at(0) == s1  # survivor keeps its number
+
+    def test_consume_preserves_order_and_returns_payloads(self):
+        q = UnifiedQueue()
+        for i in range(5):
+            q.append(Envelope(i, 0), payload=i * 10)
+        got = q.consume(np.array([1, 3]))
+        assert got == [10, 30]
+        assert [e.src for e in q.snapshot()] == [0, 2, 4]
+        assert [q.payload_at(i) for i in range(3)] == [0, 20, 40]
+
+    def test_consume_validation(self):
+        q = UnifiedQueue()
+        q.append(Envelope(0, 0))
+        with pytest.raises(IndexError):
+            q.consume(np.array([5]))
+        with pytest.raises(ValueError):
+            q.consume(np.array([0, 0]))
+        assert q.consume(np.array([], dtype=np.int64)) == []
+
+    def test_capacity_overflow(self):
+        q = UnifiedQueue(capacity=2)
+        q.append(Envelope(0, 0))
+        q.append(Envelope(0, 0))
+        with pytest.raises(OverflowError):
+            q.append(Envelope(0, 0))
+
+    def test_extend(self):
+        q = UnifiedQueue()
+        q.extend(EnvelopeBatch(src=[1, 2], tag=[0, 0]), payloads=["x", "y"])
+        assert q.payload_at(1) == "y"
+        with pytest.raises(ValueError):
+            q.extend(EnvelopeBatch(src=[1], tag=[0]), payloads=["x", "y"])
+
+    def test_stats(self):
+        q = UnifiedQueue()
+        q.append(Envelope(0, 0))
+        q.observe_depth()
+        q.append(Envelope(0, 0))
+        q.observe_depth()
+        assert q.stats.max_depth == 2
+        assert q.stats.mean_depth == pytest.approx(1.5)
+        assert q.stats.appended == 2
+        fresh = QueueStats()
+        assert fresh.mean_depth == 0.0
+
+
+class TestHashFunctions:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100)
+    def test_all_stay_in_u32(self, key):
+        for fn in HASH_FUNCTIONS.values():
+            h = int(fn(np.array([key]))[0])
+            assert 0 <= h < 2**32
+
+    def test_deterministic_and_vectorized(self):
+        keys = np.arange(1000)
+        for fn in HASH_FUNCTIONS.values():
+            a = fn(keys)
+            b = np.array([int(fn(np.array([k]))[0]) for k in keys])
+            assert np.array_equal(a, b)
+
+    def test_jenkins_known_mixing(self):
+        """Sequential keys must spread: no two adjacent keys may map to
+        adjacent hashes (the property the matcher relies on)."""
+        keys = np.arange(4096)
+        h = jenkins32(keys)
+        assert np.unique(h).size == 4096  # injective on this range
+        adjacent = np.abs(np.diff(h.astype(np.int64)))
+        assert (adjacent > 1).mean() > 0.99
+
+    def test_identity_does_not_mix(self):
+        keys = np.arange(16)
+        assert np.array_equal(identity32(keys), keys)
+
+    def test_bucket_uniformity(self):
+        """Chi-square-ish check: jenkins/fnv/fibonacci spread sequential
+        keys evenly over 64 buckets."""
+        keys = np.arange(64 * 256)
+        for name in ("jenkins", "fnv1a", "fibonacci"):
+            counts = np.bincount(HASH_FUNCTIONS[name](keys) % 64,
+                                 minlength=64)
+            assert counts.min() > 0.5 * counts.mean(), name
+            assert counts.max() < 2.0 * counts.mean(), name
+
+    def test_alu_costs(self):
+        assert alu_cost("jenkins") > alu_cost("fibonacci") > alu_cost(
+            "identity")
+        with pytest.raises(KeyError):
+            alu_cost("sha256")
+
+    def test_fold64_uses_both_halves(self):
+        a = fold64(np.array([0x0000000100000000]))
+        b = fold64(np.array([0x0000000000000001]))
+        c = fold64(np.array([0]))
+        assert a[0] != c[0] and b[0] != c[0]
+
+    def test_fnv_fib_differ_from_jenkins(self):
+        keys = np.arange(100)
+        assert not np.array_equal(jenkins32(keys), fnv1a32(keys))
+        assert not np.array_equal(jenkins32(keys), fibonacci32(keys))

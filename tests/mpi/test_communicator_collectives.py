@@ -1,0 +1,144 @@
+"""Communicators and BSP collectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relaxations import RelaxationSet
+from repro.mpi import (Cluster, Communicator, alltoall, barrier, bcast,
+                       gather, reduce)
+
+
+def make_comm(p: int, **kw) -> Communicator:
+    return Communicator(Cluster(p, **kw))
+
+
+class TestCommunicator:
+    def test_world_defaults(self):
+        comm = make_comm(4)
+        assert comm.size == 4
+        assert comm.global_rank(2) == 2
+        assert comm.local_rank(3) == 3
+
+    def test_subset_translation(self):
+        c = Cluster(6)
+        comm = Communicator(c, comm_id=1, members=[4, 2, 0])
+        assert comm.size == 3
+        assert comm.global_rank(0) == 4
+        assert comm.local_rank(2) == 1
+
+    def test_validation(self):
+        c = Cluster(2)
+        with pytest.raises(ValueError):
+            Communicator(c, members=[0, 0])
+        with pytest.raises(ValueError):
+            Communicator(c, members=[5])
+        with pytest.raises(ValueError):
+            Communicator(c, comm_id=-1)
+
+    def test_isolation_between_communicators(self):
+        """Same src/tag on different communicators never cross-match."""
+        c = Cluster(2)
+        comm_a = Communicator(c, comm_id=0)
+        comm_b = Communicator(c, comm_id=1)
+        req_b = comm_b.irecv(1, 0, tag=5)
+        comm_a.isend(0, 1, b"on-a", tag=5)
+        assert not req_b.test()
+        req_a = comm_a.irecv(1, 0, tag=5)
+        assert req_a.wait() == b"on-a"
+        comm_b.isend(0, 1, b"on-b", tag=5)
+        assert req_b.wait() == b"on-b"
+
+    def test_split(self):
+        comm = make_comm(4)
+        subs = comm.split({0: 0, 1: 1, 2: 0, 3: 1})
+        assert subs[0].members == [0, 2]
+        assert subs[1].members == [1, 3]
+        assert subs[0].comm_id != subs[1].comm_id != comm.comm_id
+
+    def test_sub_communicator_traffic(self):
+        comm = make_comm(4)
+        sub = comm.split({0: 0, 1: 0, 2: 1, 3: 1})[1]  # ranks 2,3
+        req = sub.irecv(1, 0, tag=0)  # local 1 = cluster 3
+        sub.isend(0, 1, b"q", tag=0)
+        assert req.wait() == b"q"
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+    def test_barrier_all_sizes(self, p):
+        barrier(make_comm(p))  # must terminate without deadlock
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_bcast(self, p):
+        comm = make_comm(p)
+        for root in range(p):
+            assert bcast(comm, root, ("v", root)) == [("v", root)] * p
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_gather(self, p):
+        comm = make_comm(p)
+        vals = [f"r{i}" for i in range(p)]
+        for root in range(p):
+            assert gather(comm, root, vals) == vals
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 5])
+    def test_alltoall(self, p):
+        comm = make_comm(p)
+        send = [[(i, j) for j in range(p)] for i in range(p)]
+        out = alltoall(comm, send)
+        for j in range(p):
+            for i in range(p):
+                assert out[j][i] == (i, j)
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 6, 8])
+    def test_reduce_sum(self, p):
+        comm = make_comm(p)
+        vals = list(range(1, p + 1))
+        for root in range(p):
+            assert reduce(comm, root, vals, lambda a, b: a + b) == sum(vals)
+
+    def test_reduce_noncommutative_order(self):
+        """Tree reduction of string concatenation must respect rank order
+        relative to the root for associative ops."""
+        comm = make_comm(4)
+        got = reduce(comm, 0, ["a", "b", "c", "d"], lambda a, b: a + b)
+        assert sorted(got) == list("abcd") and got[0] == "a"
+
+    def test_shape_validation(self):
+        comm = make_comm(3)
+        with pytest.raises(ValueError):
+            gather(comm, 0, [1, 2])
+        with pytest.raises(ValueError):
+            reduce(comm, 0, [1], lambda a, b: a + b)
+        with pytest.raises(ValueError):
+            alltoall(comm, [[1, 2], [3, 4]])
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_bcast_property(self, p, root_seed):
+        comm = make_comm(p)
+        root = root_seed % p
+        payload = list(range(root))
+        assert bcast(comm, root, payload) == [payload] * p
+
+    def test_collectives_under_relaxed_matching(self):
+        """Collectives use concrete src/tags, so they run unchanged under
+        the strictest relaxation set (the paper's BSP argument)."""
+        comm = make_comm(4, relaxations=RelaxationSet(
+            wildcards=False, ordering=False))
+        barrier(comm)
+        assert bcast(comm, 1, 42) == [42] * 4
+        assert reduce(comm, 0, [1, 1, 1, 1], lambda a, b: a + b) == 4
+
+    def test_collective_after_p2p_same_tag_space(self):
+        """Reserved collective tags never collide with application tags."""
+        comm = make_comm(2)
+        req = comm.irecv(1, 0, tag=0)
+        barrier(comm)
+        comm.isend(0, 1, b"app", tag=0)
+        assert req.wait() == b"app"

@@ -1,0 +1,176 @@
+"""Probe, sendrecv, request aggregation, persistent ops, new collectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import ANY_SOURCE, ANY_TAG
+import repro.mpi as mpi
+from repro.mpi import (Cluster, Communicator, PersistentRecv, PersistentSend,
+                       allgather, allreduce, scan, scatter, waitall, waitany)
+
+
+class TestProbe:
+    def test_iprobe_miss(self):
+        c = Cluster(2)
+        assert c.rank(0).iprobe(src=1, tag=0) is None
+
+    def test_iprobe_hit_without_consuming(self):
+        c = Cluster(2)
+        c.rank(0).send(1, b"abc", tag=5)
+        st1 = c.rank(1).iprobe(src=0, tag=5)
+        st2 = c.rank(1).iprobe(src=0, tag=5)
+        assert st1.nbytes == st2.nbytes == 3
+        assert c.rank(1).endpoint.umq_depth == 1  # still queued
+        assert c.rank(1).recv(src=0, tag=5) == b"abc"
+
+    def test_iprobe_respects_envelope(self):
+        c = Cluster(3)
+        c.rank(0).send(2, b"x", tag=1)
+        assert c.rank(2).iprobe(src=1, tag=1) is None
+        assert c.rank(2).iprobe(src=0, tag=9) is None
+        assert c.rank(2).iprobe(src=0, tag=1) is not None
+
+    def test_iprobe_wildcards(self):
+        c = Cluster(3)
+        c.rank(1).send(2, b"y", tag=42)
+        st = c.rank(2).iprobe(src=ANY_SOURCE, tag=ANY_TAG)
+        assert (st.source, st.tag) == (1, 42)
+
+    def test_iprobe_earliest_message(self):
+        c = Cluster(2)
+        c.rank(0).send(1, b"first", tag=1)
+        c.rank(0).send(1, b"second", tag=2)
+        st = c.rank(1).iprobe(src=0, tag=ANY_TAG)
+        assert st.tag == 1
+
+    def test_blocking_probe_deadlock_detection(self):
+        c = Cluster(2)
+        with pytest.raises(RuntimeError):
+            c.rank(0).probe(src=1, tag=0, max_rounds=5)
+
+
+class TestSendrecv:
+    def test_ring_exchange(self):
+        c = Cluster(5)
+        reqs = [c.rank(r).isendrecv((r + 1) % 5, r * 100, (r - 1) % 5,
+                                    send_tag=3) for r in range(5)]
+        vals = [req.wait() for req in reqs]
+        assert vals == [((r - 1) % 5) * 100 for r in range(5)]
+
+    def test_blocking_sendrecv_with_ready_partner(self):
+        c = Cluster(2)
+        c.rank(1).isend(0, b"from1", tag=7)
+        got = c.rank(0).sendrecv(1, b"from0", 1, send_tag=7)
+        assert got == b"from1"
+        assert c.rank(1).recv(src=0, tag=7) == b"from0"
+
+    def test_distinct_send_recv_tags(self):
+        c = Cluster(2)
+        c.rank(1).isend(0, b"r", tag=9)
+        got = c.rank(0).sendrecv(1, b"s", 1, send_tag=4, recv_tag=9)
+        assert got == b"r"
+        assert c.rank(1).recv(src=0, tag=4) == b"s"
+
+
+class TestRequestOps:
+    def test_waitall(self):
+        c = Cluster(2)
+        reqs = [c.rank(1).irecv(src=0, tag=t) for t in range(8)]
+        for t in range(8):
+            c.rank(0).isend(1, t, tag=t)
+        assert waitall(reqs) == list(range(8))
+
+    def test_waitany_picks_completed(self):
+        c = Cluster(2)
+        reqs = [c.rank(1).irecv(src=0, tag=t) for t in (1, 2)]
+        c.rank(0).isend(1, b"two", tag=2)
+        idx, payload = waitany(reqs)
+        assert (idx, payload) == (1, b"two")
+
+    def test_waitany_empty(self):
+        with pytest.raises(ValueError):
+            waitany([])
+
+    def test_waitany_deadlock(self):
+        c = Cluster(2)
+        reqs = [c.rank(1).irecv(src=0, tag=1)]
+        with pytest.raises(RuntimeError):
+            waitany(reqs, max_rounds=5)
+
+    def test_testall(self):
+        c = Cluster(2)
+        reqs = [c.rank(1).irecv(src=0, tag=t) for t in (1, 2)]
+        c.rank(0).isend(1, b"a", tag=1)
+        assert not mpi.testall(reqs)
+        c.rank(0).isend(1, b"b", tag=2)
+        assert mpi.testall(reqs)
+
+
+class TestPersistent:
+    def test_recv_reuse_across_iterations(self):
+        c = Cluster(2)
+        precv = PersistentRecv(c.rank(1), src=0, tag=6)
+        psend = PersistentSend(c.rank(0), dst=1, tag=6)
+        for i in range(5):
+            precv.start()
+            psend.start(np.full(3, i))
+            assert np.array_equal(precv.wait(), np.full(3, i))
+        assert psend.starts == 5
+
+    def test_double_start_rejected(self):
+        c = Cluster(2)
+        precv = PersistentRecv(c.rank(1), src=0, tag=6)
+        precv.start()
+        with pytest.raises(RuntimeError):
+            precv.start()
+
+    def test_wait_before_start_rejected(self):
+        c = Cluster(2)
+        with pytest.raises(RuntimeError):
+            PersistentRecv(c.rank(1), src=0, tag=6).wait()
+
+
+class TestNewCollectives:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_scatter(self, p):
+        comm = Communicator(Cluster(p))
+        for root in range(p):
+            payloads = [f"{root}->{r}" for r in range(p)]
+            assert scatter(comm, root, payloads) == payloads
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_allgather(self, p):
+        comm = Communicator(Cluster(p))
+        vals = [f"r{i}" for i in range(p)]
+        out = allgather(comm, vals)
+        assert all(view == vals for view in out)
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 7])
+    def test_allreduce(self, p):
+        comm = Communicator(Cluster(p))
+        vals = list(range(1, p + 1))
+        assert allreduce(comm, vals, lambda a, b: a + b) == [sum(vals)] * p
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 7])
+    def test_scan_prefixes(self, p):
+        comm = Communicator(Cluster(p))
+        vals = list(range(1, p + 1))
+        got = scan(comm, vals, lambda a, b: a + b)
+        import itertools
+        assert got == list(itertools.accumulate(vals))
+
+    def test_scan_noncommutative(self):
+        comm = Communicator(Cluster(4))
+        got = scan(comm, list("abcd"), lambda a, b: a + b)
+        assert got == ["a", "ab", "abc", "abcd"]
+
+    def test_shape_validation(self):
+        comm = Communicator(Cluster(3))
+        with pytest.raises(ValueError):
+            scatter(comm, 0, [1])
+        with pytest.raises(ValueError):
+            allgather(comm, [1])
+        with pytest.raises(ValueError):
+            scan(comm, [1], lambda a, b: a + b)

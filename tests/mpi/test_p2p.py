@@ -1,0 +1,204 @@
+"""Point-to-point message passing over the simulated cluster."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import ANY_SOURCE, ANY_TAG
+from repro.core.relaxations import RelaxationSet, WorkloadViolation
+from repro.mpi import (Cluster, EAGER_LIMIT_BYTES, PCIE3, RequestState,
+                       payload_nbytes)
+from repro.simt.gpu import GPU
+
+
+class TestBasicSendRecv:
+    def test_recv_after_send(self):
+        c = Cluster(2)
+        c.rank(0).send(1, b"hi", tag=7)
+        assert c.rank(1).recv(src=0, tag=7) == b"hi"
+
+    def test_recv_before_send(self):
+        c = Cluster(2)
+        req = c.rank(1).irecv(src=0, tag=7)
+        assert not req.test()
+        c.rank(0).send(1, b"later", tag=7)
+        assert req.wait() == b"later"
+
+    def test_numpy_payload_snapshotted(self):
+        c = Cluster(2)
+        buf = np.arange(8)
+        c.rank(0).send(1, buf, tag=0)
+        buf[:] = -1  # sender reuses the buffer immediately
+        assert np.array_equal(c.rank(1).recv(src=0, tag=0), np.arange(8))
+
+    def test_none_payload(self):
+        c = Cluster(2)
+        c.rank(0).send(1, None, tag=0)
+        assert c.rank(1).recv(src=0, tag=0) is None
+
+    def test_status_fields(self):
+        c = Cluster(3)
+        req = c.rank(2).irecv(src=1, tag=9)
+        c.rank(1).send(2, b"abcd", tag=9)
+        req.wait()
+        st = req.status
+        assert (st.source, st.tag, st.nbytes) == (1, 9, 4)
+
+    def test_tag_discrimination(self):
+        c = Cluster(2)
+        c.rank(0).send(1, b"a", tag=1)
+        c.rank(0).send(1, b"b", tag=2)
+        assert c.rank(1).recv(src=0, tag=2) == b"b"
+        assert c.rank(1).recv(src=0, tag=1) == b"a"
+
+    def test_source_discrimination(self):
+        c = Cluster(3)
+        c.rank(0).send(2, b"from0", tag=0)
+        c.rank(1).send(2, b"from1", tag=0)
+        assert c.rank(2).recv(src=1, tag=0) == b"from1"
+        assert c.rank(2).recv(src=0, tag=0) == b"from0"
+
+
+class TestOrderingGuarantee:
+    def test_pair_order_preserved(self):
+        c = Cluster(2)
+        for i in range(50):
+            c.rank(0).send(1, i, tag=3)
+        got = [c.rank(1).recv(src=0, tag=3) for _ in range(50)]
+        assert got == list(range(50))
+
+    def test_wildcard_recv_takes_earliest(self):
+        c = Cluster(2)
+        c.rank(0).send(1, b"first", tag=1)
+        c.rank(0).send(1, b"second", tag=2)
+        assert c.rank(1).recv(src=ANY_SOURCE, tag=ANY_TAG) == b"first"
+
+
+class TestWildcards:
+    def test_any_source(self):
+        c = Cluster(3)
+        req = c.rank(0).irecv(src=ANY_SOURCE, tag=4)
+        c.rank(2).send(0, b"x", tag=4)
+        assert req.wait() == b"x"
+        assert req.status.source == 2
+
+    def test_any_tag(self):
+        c = Cluster(2)
+        req = c.rank(1).irecv(src=0, tag=ANY_TAG)
+        c.rank(0).send(1, b"y", tag=123)
+        assert req.wait() == b"y"
+        assert req.status.tag == 123
+
+    def test_wildcards_rejected_under_relaxation(self):
+        c = Cluster(2, relaxations=RelaxationSet(wildcards=False))
+        with pytest.raises(WorkloadViolation):
+            c.rank(0).irecv(src=ANY_SOURCE, tag=0)
+        with pytest.raises(WorkloadViolation):
+            c.rank(0).irecv(src=1, tag=ANY_TAG)
+
+
+class TestProtocols:
+    def test_small_messages_are_eager(self):
+        c = Cluster(2)
+        c.rank(0).send(1, b"x" * 100, tag=0)
+        desc = c.rank(1).endpoint.umq.payload_at(0)
+        assert desc.eager
+
+    def test_large_messages_rendezvous(self):
+        c = Cluster(2)
+        big = np.zeros(EAGER_LIMIT_BYTES)  # 8x the limit in bytes
+        c.rank(0).send(1, big, tag=0)
+        desc = c.rank(1).endpoint.umq.payload_at(0)
+        assert not desc.eager
+        assert desc.payload is None  # data stays at the source until match
+        got = c.rank(1).recv(src=0, tag=0)
+        assert np.array_equal(got, big)
+
+    def test_rendezvous_charges_transfer_at_match(self):
+        c = Cluster(2)
+        big = np.zeros(1_000_000)
+        c.rank(0).send(1, big, tag=0)
+        before = c.transfer_seconds
+        c.rank(1).recv(src=0, tag=0)
+        # the 8 MB payload moves only after the match
+        assert c.transfer_seconds - before > big.nbytes / (30e9)
+
+    def test_payload_nbytes(self):
+        assert payload_nbytes(None) == 0
+        assert payload_nbytes(b"abc") == 3
+        assert payload_nbytes(np.zeros(4, dtype=np.float64)) == 32
+        assert payload_nbytes(7) == 8
+        assert payload_nbytes("hi") == 2
+        assert payload_nbytes((1, 2)) > 0  # pickled
+
+    def test_link_model_selection(self):
+        fastc = Cluster(2)
+        slowc = Cluster(2, link=PCIE3)
+        payload = np.zeros(100_000)
+        fastc.rank(0).send(1, payload, tag=0)
+        slowc.rank(0).send(1, payload, tag=0)
+        fastc.rank(1).recv(src=0, tag=0)
+        slowc.rank(1).recv(src=0, tag=0)
+        assert slowc.transfer_seconds > fastc.transfer_seconds
+
+
+class TestRequests:
+    def test_deadlock_detection(self):
+        c = Cluster(2)
+        req = c.rank(0).irecv(src=1, tag=0)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            req.wait(max_rounds=10)
+
+    def test_cancel(self):
+        c = Cluster(2)
+        req = c.rank(0).irecv(src=1, tag=0)
+        req.cancel()
+        assert req.state is RequestState.CANCELLED
+        with pytest.raises(RuntimeError):
+            req.wait()
+
+    def test_status_before_completion_raises(self):
+        c = Cluster(2)
+        req = c.rank(0).irecv(src=1, tag=0)
+        with pytest.raises(RuntimeError):
+            _ = req.status
+
+    def test_send_completes_immediately(self):
+        c = Cluster(2)
+        req = c.rank(0).isend(1, b"x", tag=0)
+        assert req.state is RequestState.COMPLETE
+
+
+class TestClusterAccounting:
+    def test_match_time_accumulates(self):
+        c = Cluster(2, gpu=GPU.pascal_gtx1080())
+        for i in range(20):
+            c.rank(0).send(1, i, tag=i)
+        for i in range(20):
+            c.rank(1).recv(src=0, tag=i)
+        assert c.match_seconds > 0
+        stats = c.stats()
+        assert stats[1]["matches"] == 20
+        assert stats[1]["umq_max"] >= 1
+
+    def test_unexpected_messages_tracked(self):
+        c = Cluster(2)
+        for i in range(5):
+            c.rank(0).send(1, i, tag=0)
+        assert c.rank(1).endpoint.umq_depth == 5
+        for _ in range(5):
+            c.rank(1).recv(src=0, tag=0)
+        assert c.rank(1).endpoint.umq_depth == 0
+
+    def test_drain_quiesces(self):
+        c = Cluster(2)
+        reqs = [c.rank(1).irecv(src=0, tag=i) for i in range(4)]
+        for i in range(4):
+            c.rank(0).send(1, i, tag=i)
+        c.drain()
+        assert all(r.test() for r in reqs)
+
+    def test_invalid_cluster(self):
+        with pytest.raises(ValueError):
+            Cluster(0)

@@ -1,0 +1,201 @@
+"""Ingress rings and credit-style flow control."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import Cluster
+from repro.mpi.ringbuffer import IngressRings, RingBuffer
+
+
+class TestRingBuffer:
+    def test_fifo(self):
+        ring = RingBuffer(4)
+        for i in range(4):
+            assert ring.try_push(i)
+        assert [ring.pop() for _ in range(4)] == [0, 1, 2, 3]
+        assert ring.pop() is None
+
+    def test_full_rejects(self):
+        ring = RingBuffer(2)
+        assert ring.try_push("a") and ring.try_push("b")
+        assert ring.full
+        assert not ring.try_push("c")
+        assert ring.rejected == 1
+        ring.pop()
+        assert ring.try_push("c")
+
+    def test_wraparound(self):
+        ring = RingBuffer(3)
+        for i in range(100):
+            assert ring.try_push(i)
+            assert ring.pop() == i
+        assert len(ring) == 0
+        assert ring.pushes == 100
+
+    def test_peek(self):
+        ring = RingBuffer(2)
+        assert ring.peek() is None
+        ring.try_push("x")
+        assert ring.peek() == "x"
+        assert len(ring) == 1  # not consumed
+
+    def test_high_watermark(self):
+        ring = RingBuffer(8)
+        for i in range(5):
+            ring.try_push(i)
+        ring.pop()
+        assert ring.high_watermark == 5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=200),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_deque(self, ops, capacity):
+        """Ring behaviour == bounded FIFO for any push/pop interleaving."""
+        from collections import deque
+        ring = RingBuffer(capacity)
+        ref: deque = deque()
+        counter = 0
+        for op in ops:
+            if op == "push":
+                ok = ring.try_push(counter)
+                assert ok == (len(ref) < capacity)
+                if ok:
+                    ref.append(counter)
+                counter += 1
+            else:
+                got = ring.pop()
+                want = ref.popleft() if ref else None
+                assert got == want
+        assert len(ring) == len(ref)
+
+
+class TestIngressRings:
+    def test_per_peer_isolation(self):
+        rings = IngressRings(capacity=2)
+        assert rings.try_push(0, "a0")
+        assert rings.try_push(1, "b0")
+        assert rings.try_push(0, "a1")
+        assert not rings.try_push(0, "a2")  # peer 0 full
+        assert rings.try_push(1, "b1")      # peer 1 unaffected
+        assert rings.queued == 4
+
+    def test_drain_round_robin_with_budget(self):
+        rings = IngressRings(capacity=8)
+        for i in range(4):
+            rings.try_push(0, f"a{i}")
+            rings.try_push(1, f"b{i}")
+        first = rings.drain(budget=4)
+        assert len(first) == 4
+        # round-robin: both peers drained evenly
+        assert sum(x.startswith("a") for x in first) == 2
+        rest = rings.drain()
+        assert len(rest) == 4
+
+    def test_stats(self):
+        rings = IngressRings(capacity=1)
+        rings.try_push(3, "x")
+        rings.try_push(3, "y")
+        st_ = rings.stats()
+        assert st_["peers"] == 1
+        assert st_["pushes"] == 1
+        assert st_["rejected"] == 1
+        assert st_["high_watermark"] == 1
+
+
+class TestClusterFlowControl:
+    def test_overflow_holds_channel_and_preserves_order(self):
+        c = Cluster(2, ring_capacity=4)
+        for i in range(12):
+            c.rank(0).isend(1, i, tag=i)
+        assert c.network.held_messages == 8
+        got = [c.rank(1).recv(src=0, tag=i) for i in range(12)]
+        assert got == list(range(12))
+        assert c.network.held_messages == 0
+
+    def test_per_channel_isolation(self):
+        c = Cluster(3, ring_capacity=2)
+        for i in range(6):
+            c.rank(0).isend(2, i, tag=i)   # overflows 0->2
+        c.rank(1).isend(2, b"ok", tag=99)  # 1->2 ring is its own
+        assert c.rank(2).recv(src=1, tag=99) == b"ok"
+
+    def test_pair_ordering_survives_backpressure(self):
+        """Messages released from the hold queue must not overtake."""
+        c = Cluster(2, ring_capacity=1)
+        for i in range(20):
+            c.rank(0).isend(1, i, tag=7)
+        got = [c.rank(1).recv(src=0, tag=7) for _ in range(20)]
+        assert got == list(range(20))
+
+    def test_drain_flushes_held_traffic(self):
+        c = Cluster(2, ring_capacity=2)
+        reqs = [c.rank(1).irecv(src=0, tag=i) for i in range(10)]
+        for i in range(10):
+            c.rank(0).isend(1, i, tag=i)
+        c.drain()
+        assert all(r.test() for r in reqs)
+        assert c.network.held_messages == 0
+
+    def test_ring_stats_exposed(self):
+        c = Cluster(2, ring_capacity=4)
+        c.rank(0).isend(1, b"x", tag=0)
+        c.rank(1).recv(src=0, tag=0)
+        rings = c.stats()[1]["rings"]
+        assert rings["pushes"] == 1 and rings["peers"] == 1
+
+    def test_default_cluster_has_no_rings(self):
+        c = Cluster(2)
+        assert c.stats()[0]["rings"] is None
+
+    def test_collectives_under_tight_rings(self):
+        """Whole collectives complete through capacity-1 rings."""
+        from repro.mpi import Communicator, alltoall, barrier
+        comm = Communicator(Cluster(4, ring_capacity=1))
+        barrier(comm)
+        out = alltoall(comm, [[(i, j) for j in range(4)] for i in range(4)])
+        assert out[3][1] == (1, 3)
+
+
+class TestStaticQueueCapacity:
+    def test_umq_overflow_raises(self):
+        import pytest as _pytest
+        c = Cluster(2, queue_capacity=8)
+        for i in range(8):
+            c.rank(0).isend(1, i, tag=i)
+        with _pytest.raises(OverflowError, match="statically sized"):
+            c.rank(0).isend(1, 99, tag=99)
+
+    def test_prq_overflow_raises(self):
+        import pytest as _pytest
+        c = Cluster(2, queue_capacity=4)
+        for t in range(4):
+            c.rank(1).irecv(src=0, tag=t)
+        with _pytest.raises(OverflowError):
+            c.rank(1).irecv(src=0, tag=99)
+
+    def test_consumed_entries_free_capacity(self):
+        c = Cluster(2, queue_capacity=4)
+        for round_ in range(5):
+            reqs = [c.rank(1).irecv(src=0, tag=t) for t in range(4)]
+            for t in range(4):
+                c.rank(0).isend(1, (round_, t), tag=t)
+            assert [r.wait() for r in reqs] == [(round_, t)
+                                                for t in range(4)]
+
+    def test_rings_protect_the_umq(self):
+        """With ingress rings in front, a flood backs up in the network
+        holds instead of overflowing the static UMQ."""
+        c = Cluster(2, queue_capacity=8, ring_capacity=8)
+        for i in range(64):
+            c.rank(0).isend(1, i, tag=5)
+        # nothing overflowed; traffic is parked at rings + channel holds
+        got = [c.rank(1).recv(src=0, tag=5) for _ in range(64)]
+        assert got == list(range(64))

@@ -1,0 +1,216 @@
+"""Memory transaction analysis, simulated memories, occupancy, CTAs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simt.cta import CTA, MAX_WARPS_PER_CTA
+from repro.simt.gpu import GPU, KEPLER_K80, PASCAL_GTX1080
+from repro.simt.kernel import KernelLaunch
+from repro.simt.memory import (GlobalMemory, MemoryError_, SharedMemory,
+                               bank_conflicts, coalesced_transactions)
+from repro.simt.occupancy import (KernelResources, occupancy,
+                                  serialization_factor)
+from repro.simt.timing import CostLedger
+
+
+class TestCoalescing:
+    def test_unit_stride_is_one_transaction(self):
+        assert coalesced_transactions(np.arange(32) * 4) == 1
+
+    def test_full_scatter_is_32(self):
+        assert coalesced_transactions(np.arange(32) * 128) == 32
+
+    def test_stride_two_is_two(self):
+        assert coalesced_transactions(np.arange(32) * 8) == 2
+
+    def test_same_address_broadcast(self):
+        assert coalesced_transactions(np.full(32, 1024)) == 1
+
+    def test_straddling_access(self):
+        # one 4-byte access crossing a 128B boundary touches 2 segments
+        assert coalesced_transactions(np.array([126]), access_bytes=4) == 2
+
+    def test_empty(self):
+        assert coalesced_transactions(np.array([], dtype=np.int64)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(MemoryError_):
+            coalesced_transactions(np.array([-4]))
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=32))
+    @settings(max_examples=50)
+    def test_bounds(self, addrs):
+        txns = coalesced_transactions(np.array(addrs))
+        assert 1 <= txns <= 2 * len(addrs)
+
+
+class TestBankConflicts:
+    def test_conflict_free_unit_stride(self):
+        assert bank_conflicts(np.arange(32) * 4) == 1
+
+    def test_broadcast_is_free(self):
+        assert bank_conflicts(np.full(32, 64)) == 1
+
+    def test_stride_32_words_worst_case(self):
+        # all lanes hit bank 0 with distinct words -> 32-way replay
+        assert bank_conflicts(np.arange(32) * 32 * 4) == 32
+
+    def test_two_way(self):
+        addrs = np.concatenate([np.arange(16) * 4, np.arange(16) * 4 + 32 * 4])
+        assert bank_conflicts(addrs) == 2
+
+
+class TestSimulatedMemories:
+    def test_global_alloc_load_store(self):
+        led = CostLedger()
+        mem = GlobalMemory(1024, ledger=led)
+        base = mem.alloc("queue", 256)
+        addrs = base + np.arange(32)
+        mem.store(addrs, np.arange(32))
+        assert np.array_equal(mem.load(addrs), np.arange(32))
+        assert led.total("gmem_store") >= 1
+        assert led.total("gmem_load") >= 1
+
+    def test_global_oob(self):
+        mem = GlobalMemory(64)
+        with pytest.raises(MemoryError_):
+            mem.load(np.array([64]))
+        with pytest.raises(MemoryError_):
+            mem.store(np.array([-1]), np.array([0]))
+
+    def test_alloc_exhaustion_and_duplicates(self):
+        mem = GlobalMemory(64)
+        mem.alloc("a", 60)
+        with pytest.raises(MemoryError_):
+            mem.alloc("b", 10)
+        with pytest.raises(MemoryError_):
+            mem.alloc("a", 1)
+
+    def test_region_lookup(self):
+        mem = GlobalMemory(64)
+        base = mem.alloc("a", 10)
+        assert mem.region("a") == (base, 10)
+
+    def test_shared_memory_conflict_charging(self):
+        led = CostLedger()
+        smem = SharedMemory(4096, ledger=led)
+        smem.store(np.arange(32) * 32, np.ones(32))  # 32-way conflict
+        assert led.total("smem_store") == 32.0
+
+    def test_shared_oob(self):
+        smem = SharedMemory(16)
+        with pytest.raises(MemoryError_):
+            smem.load(np.array([16]))
+
+
+class TestOccupancy:
+    def test_warp_limited_matrix_kernel(self):
+        """The paper's matrix kernel (1024 threads) allows exactly two
+        resident CTAs (Section VI-A)."""
+        res = KernelResources(threads_per_cta=1024,
+                              shared_mem_per_cta=16 * 1024,
+                              regs_per_thread=32)
+        for spec in GPU.all_generations():
+            occ = occupancy(spec, res)
+            assert occ.max_resident_ctas == 2
+
+    def test_small_cta_allows_many(self):
+        res = KernelResources(threads_per_cta=64, regs_per_thread=16)
+        occ = occupancy(PASCAL_GTX1080, res)
+        assert occ.max_resident_ctas == PASCAL_GTX1080.max_ctas_per_sm
+
+    def test_kepler_cta_slot_limit(self):
+        res = KernelResources(threads_per_cta=32, regs_per_thread=16)
+        assert occupancy(KEPLER_K80, res).max_resident_ctas == 16
+
+    def test_shared_memory_limited(self):
+        res = KernelResources(threads_per_cta=64,
+                              shared_mem_per_cta=48 * 1024,
+                              regs_per_thread=16)
+        occ = occupancy(PASCAL_GTX1080, res)
+        assert occ.limiting_resource == "shared_mem"
+        assert occ.max_resident_ctas == 2  # 96 KiB / 48 KiB
+
+    def test_oversized_cta_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(PASCAL_GTX1080,
+                      KernelResources(threads_per_cta=2048))
+
+    def test_oversized_shared_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(PASCAL_GTX1080,
+                      KernelResources(threads_per_cta=32,
+                                      shared_mem_per_cta=64 * 1024))
+
+    def test_serialization_waves(self):
+        res = KernelResources(threads_per_cta=1024, regs_per_thread=32)
+        assert serialization_factor(PASCAL_GTX1080, res, 1) == 1
+        assert serialization_factor(PASCAL_GTX1080, res, 2) == 1
+        assert serialization_factor(PASCAL_GTX1080, res, 3) == 2
+        assert serialization_factor(PASCAL_GTX1080, res, 32) == 16
+
+    def test_serialization_multiple_sms(self):
+        res = KernelResources(threads_per_cta=1024, regs_per_thread=32)
+        assert serialization_factor(PASCAL_GTX1080, res, 32, sm_count=16) == 1
+
+    def test_occupancy_fraction(self):
+        res = KernelResources(threads_per_cta=1024, regs_per_thread=32)
+        occ = occupancy(PASCAL_GTX1080, res)
+        assert occ.occupancy_fraction == pytest.approx(1.0)
+
+
+class TestCTA:
+    def test_limits(self):
+        with pytest.raises(ValueError):
+            CTA(num_warps=0)
+        with pytest.raises(ValueError):
+            CTA(num_warps=MAX_WARPS_PER_CTA + 1)
+
+    def test_threads_and_ids(self):
+        cta = CTA(num_warps=4)
+        assert cta.num_threads == 128
+        assert np.array_equal(cta.thread_ids(), np.arange(128))
+
+    def test_syncthreads_charges_all_warps(self):
+        cta = CTA(num_warps=8)
+        cta.syncthreads()
+        assert cta.barrier_count == 1
+        assert cta.ledger.total("sync") == 8.0
+
+    def test_shared_allocation(self):
+        cta = CTA(num_warps=2, shared_words=128)
+        assert cta.shared is not None
+        assert cta.shared.size_bytes == 512
+        assert CTA(num_warps=2).shared is None
+
+
+class TestKernelLaunch:
+    def test_functional_outputs_per_cta(self):
+        launch = KernelLaunch(PASCAL_GTX1080, grid_ctas=3, warps_per_cta=2)
+        result = launch.run(lambda cta: cta.cta_id * 10)
+        assert result.outputs == [0, 10, 20]
+
+    def test_waves_scale_time_not_results(self):
+        def body(cta):
+            cta.ledger.phase("work", active_warps=cta.num_warps)
+            cta.ledger.issue("alu", 1000)
+            return cta.cta_id
+
+        r2 = KernelLaunch(PASCAL_GTX1080, grid_ctas=2,
+                          warps_per_cta=32).run(body)
+        r4 = KernelLaunch(PASCAL_GTX1080, grid_ctas=4,
+                          warps_per_cta=32).run(body)
+        assert r2.waves == 1 and r4.waves == 2
+        # 4 CTAs in 2 waves take ~2x the time of 2 CTAs in 1 wave
+        assert r4.seconds == pytest.approx(2 * r2.seconds, rel=0.01)
+
+    def test_invalid_launch(self):
+        with pytest.raises(ValueError):
+            KernelLaunch(PASCAL_GTX1080, grid_ctas=0)
+        with pytest.raises(ValueError):
+            KernelLaunch(PASCAL_GTX1080, sm_count=999)

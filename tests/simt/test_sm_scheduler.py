@@ -1,0 +1,115 @@
+"""Cycle-level scheduler semantics + analytic-model cross-validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simt.gpu import KEPLER_K80, PASCAL_GTX1080
+from repro.simt.sm import (BARRIER, ScheduleResult, SMScheduler, WarpStream,
+                           streams_from_mix)
+from repro.simt.timing import CostLedger, SYNC_OVERHEAD_CYCLES, TimingModel
+
+
+def analytic_cycles(spec, active_warps: int, mix) -> float:
+    led = CostLedger()
+    phase = led.phase("p", active_warps=active_warps)
+    for kind, count in mix:
+        phase.add(kind, count * active_warps)
+    return TimingModel(spec).phase_cycles(phase)
+
+
+class TestSchedulerSemantics:
+    def test_empty(self):
+        r = SMScheduler().run([])
+        assert r.cycles == 0 and r.issued == 0
+
+    def test_alu_issue_bound(self):
+        """Pure ALU streams run at the scheduler issue width."""
+        r = SMScheduler().run(streams_from_mix(8, [("alu", 1000)]))
+        assert r.cycles == pytest.approx(8 * 1000 / 4, rel=0.02)
+        assert r.ipc == pytest.approx(4.0, rel=0.02)
+
+    def test_single_warp_cannot_exceed_one_ipc(self):
+        r = SMScheduler().run(streams_from_mix(1, [("alu", 500)]))
+        assert r.ipc <= 1.0
+        assert r.cycles >= 500
+
+    def test_dependent_loads_serialize_per_warp(self):
+        spec = PASCAL_GTX1080
+        r = SMScheduler(spec).run(streams_from_mix(1, [("gmem_load", 50)]))
+        assert r.cycles == pytest.approx(50 * (spec.gmem_latency + 1),
+                                         rel=0.05)
+
+    def test_parallel_warps_overlap_their_chains(self):
+        """N warps of equal chains finish in ~one chain's time, not N."""
+        spec = PASCAL_GTX1080
+        one = SMScheduler(spec).run(streams_from_mix(1, [("gmem_load", 50)]))
+        many = SMScheduler(spec).run(streams_from_mix(16,
+                                                      [("gmem_load", 50)]))
+        assert many.cycles < 1.3 * one.cycles
+
+    def test_barrier_blocks_until_all_arrive(self):
+        # warp 0: long work then barrier; warp 1: barrier immediately
+        s0 = WarpStream(0, ["alu"] * 100 + [BARRIER, "alu"])
+        s1 = WarpStream(1, [BARRIER, "alu"])
+        r = SMScheduler().run([s0, s1])
+        # warp 1's final alu cannot issue before warp 0 reaches the
+        # barrier (~100 cycles, 1 IPC for the greedy warp) + release
+        assert r.cycles > 100 + SYNC_OVERHEAD_CYCLES
+
+    def test_policies_both_complete(self):
+        mix = [("alu", 50), ("gmem_load", 10)]
+        for policy in ("rr", "gto"):
+            r = SMScheduler(policy=policy).run(streams_from_mix(4, mix))
+            assert r.issued == 4 * 60
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            SMScheduler(policy="fifo")
+
+    def test_runaway_guard(self):
+        with pytest.raises(RuntimeError):
+            SMScheduler().run(streams_from_mix(1, [("alu", 100)]),
+                              max_cycles=10)
+
+    def test_streams_from_mix_interleaves(self):
+        streams = streams_from_mix(2, [("alu", 2), ("gmem_load", 2)])
+        assert streams[0].instructions == ["alu", "gmem_load", "alu",
+                                           "gmem_load"]
+
+
+class TestAnalyticValidation:
+    """The closed-form TimingModel must track the scheduled cycles."""
+
+    REGIMES = [
+        # (label, warps, mix) spanning issue-bound to latency-bound
+        ("issue-bound alu", 32, [("alu", 400)]),
+        ("latency chain 1w", 1, [("gmem_load", 60)]),
+        ("latency chain 32w", 32, [("gmem_load", 60)]),
+        ("mixed 4w", 4, [("alu", 200), ("smem_load", 50),
+                         ("gmem_load", 10)]),
+        ("smem-heavy 8w", 8, [("smem_load", 300), ("alu", 100)]),
+        ("ballot reduce-like 1w", 1, [("smem_load", 100), ("ballot", 100),
+                                      ("alu", 400)]),
+    ]
+
+    @pytest.mark.parametrize("label,warps,mix",
+                             REGIMES, ids=[r[0] for r in REGIMES])
+    @pytest.mark.parametrize("spec", [PASCAL_GTX1080, KEPLER_K80],
+                             ids=["pascal", "kepler"])
+    def test_within_factor_two(self, label, warps, mix, spec):
+        scheduled = SMScheduler(spec).run(streams_from_mix(warps, mix))
+        analytic = analytic_cycles(spec, warps, mix)
+        ratio = analytic / scheduled.cycles
+        assert 0.5 < ratio < 2.0, (label, analytic, scheduled.cycles)
+
+    def test_agreement_tight_in_pure_regimes(self):
+        """In the two pure regimes the models agree within 15%."""
+        spec = PASCAL_GTX1080
+        for warps, mix in ((32, [("alu", 400)]),
+                           (1, [("gmem_load", 60)]),
+                           (32, [("gmem_load", 60)])):
+            scheduled = SMScheduler(spec).run(streams_from_mix(warps, mix))
+            analytic = analytic_cycles(spec, warps, mix)
+            assert analytic == pytest.approx(scheduled.cycles, rel=0.15), (
+                warps, mix)

@@ -1,0 +1,179 @@
+"""Warp primitive tests: bit intrinsics, ballots, shuffles, reductions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simt.timing import CostLedger
+from repro.simt.warp import (FULL_MASK, WARP_SIZE, Warp, WarpDivergenceError,
+                             brev32, clz32, ffs32, lane_ids, lanemask_lt,
+                             pack_ballot, popc32, unpack_ballot)
+
+u32 = st.integers(min_value=0, max_value=FULL_MASK)
+
+
+class TestBitIntrinsics:
+    def test_ffs_zero(self):
+        assert ffs32(0) == 0
+
+    def test_ffs_one_based(self):
+        assert ffs32(1) == 1
+        assert ffs32(0b1000) == 4
+        assert ffs32(1 << 31) == 32
+
+    @given(u32)
+    def test_ffs_matches_definition(self, x):
+        if x == 0:
+            assert ffs32(x) == 0
+        else:
+            pos = ffs32(x)
+            assert (x >> (pos - 1)) & 1
+            assert x & ((1 << (pos - 1)) - 1) == 0
+
+    def test_clz(self):
+        assert clz32(0) == 32
+        assert clz32(1) == 31
+        assert clz32(FULL_MASK) == 0
+
+    @given(u32)
+    def test_clz_popc_brev_consistency(self, x):
+        # brev maps leading zeros to trailing zeros
+        assert popc32(brev32(x)) == popc32(x)
+        if x:
+            assert clz32(x) == ffs32(brev32(x)) - 1
+
+    @given(u32)
+    def test_brev_involution(self, x):
+        assert brev32(brev32(x)) == x
+
+    def test_popc(self):
+        assert popc32(0) == 0
+        assert popc32(FULL_MASK) == 32
+        assert popc32(0b1011) == 3
+
+    def test_lanemask_lt(self):
+        assert lanemask_lt(0) == 0
+        assert lanemask_lt(5) == 0b11111
+        with pytest.raises(ValueError):
+            lanemask_lt(32)
+
+
+class TestBallotPacking:
+    def test_roundtrip_full(self):
+        bits = np.zeros(32, dtype=bool)
+        bits[[0, 3, 31]] = True
+        word = pack_ballot(bits)
+        assert word == 1 | (1 << 3) | (1 << 31)
+        assert np.array_equal(unpack_ballot(word), bits)
+
+    @given(st.lists(st.booleans(), min_size=32, max_size=32))
+    def test_roundtrip_property(self, bits):
+        arr = np.array(bits, dtype=bool)
+        assert np.array_equal(unpack_ballot(pack_ballot(arr)), arr)
+
+    def test_short_warp(self):
+        assert pack_ballot(np.array([True, False, True])) == 0b101
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            pack_ballot(np.ones(33, dtype=bool))
+
+
+class TestWarp:
+    def test_ballot_masks_inactive_lanes(self):
+        w = Warp()
+        w.active[:16] = False
+        vote = w.ballot(np.ones(WARP_SIZE, dtype=bool))
+        assert vote == (FULL_MASK >> 16) << 16
+
+    def test_ballot_requires_full_predicate(self):
+        with pytest.raises(ValueError):
+            Warp().ballot(np.ones(5, dtype=bool))
+
+    def test_any_all(self):
+        w = Warp()
+        pred = np.zeros(WARP_SIZE, dtype=bool)
+        assert not w.any(pred)
+        assert not w.all(pred)
+        pred[7] = True
+        assert w.any(pred)
+        pred[:] = True
+        assert w.all(pred)
+
+    def test_all_ignores_inactive(self):
+        w = Warp()
+        pred = np.ones(WARP_SIZE, dtype=bool)
+        pred[3] = False
+        w.active[3] = False
+        assert w.all(pred)
+
+    def test_shfl_broadcast(self):
+        w = Warp()
+        vals = np.arange(WARP_SIZE)
+        assert np.all(w.shfl(vals, 7) == 7)
+
+    def test_shfl_from_inactive_raises(self):
+        w = Warp()
+        w.active[7] = False
+        with pytest.raises(WarpDivergenceError):
+            w.shfl(np.arange(WARP_SIZE), 7)
+
+    def test_shfl_up_down(self):
+        w = Warp()
+        vals = np.arange(WARP_SIZE)
+        up = w.shfl_up(vals, 1)
+        assert up[0] == 0 and np.all(up[1:] == vals[:-1])
+        down = w.shfl_down(vals, 1)
+        assert down[-1] == 31 and np.all(down[:-1] == vals[1:])
+
+    def test_shfl_xor_butterfly(self):
+        w = Warp()
+        vals = np.arange(WARP_SIZE)
+        assert np.all(w.shfl_xor(vals, 1) == (vals ^ 1))
+
+    def test_reduce_sum(self):
+        w = Warp()
+        assert w.reduce_sum(np.ones(WARP_SIZE, dtype=np.int64)) == WARP_SIZE
+        assert w.reduce_sum(np.arange(WARP_SIZE)) == sum(range(WARP_SIZE))
+
+    def test_reduce_sum_respects_mask(self):
+        w = Warp()
+        w.active[16:] = False
+        assert w.reduce_sum(np.ones(WARP_SIZE, dtype=np.int64)) == 16
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100),
+                    min_size=32, max_size=32))
+    @settings(max_examples=25)
+    def test_scan_property(self, values):
+        w = Warp()
+        vals = np.array(values, dtype=np.int64)
+        inc = w.inclusive_scan(vals)
+        assert np.array_equal(inc, np.cumsum(vals))
+        exc = w.exclusive_scan(vals)
+        assert np.array_equal(exc, np.cumsum(vals) - vals)
+
+    def test_push_pop_mask(self):
+        w = Warp()
+        saved = w.push_mask(lane_ids() < 8)
+        assert w.active.sum() == 8
+        w.pop_mask(saved)
+        assert w.active.all()
+
+    def test_ledger_records_issues(self):
+        led = CostLedger()
+        w = Warp(ledger=led)
+        w.ballot(np.ones(WARP_SIZE, dtype=bool))
+        w.shfl_down(np.arange(WARP_SIZE), 1)
+        w.any(np.ones(WARP_SIZE, dtype=bool))
+        assert led.total("ballot") == 1
+        assert led.total("shfl") == 1
+        assert led.total("vote") == 1
+
+    def test_invalid_warp_size(self):
+        with pytest.raises(ValueError):
+            Warp(warp_size=0)
+        with pytest.raises(ValueError):
+            Warp(warp_size=64)

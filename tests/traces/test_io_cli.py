@@ -1,0 +1,106 @@
+"""Trace serialization round-trips and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.traces import generate_trace
+from repro.traces.events import SendEvent, Trace
+from repro.traces.io import dumps, load_trace, loads, save_trace
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("app", ["exmatex_lulesh", "df_minidft",
+                                     "cesar_crystalrouter"])
+    def test_roundtrip_preserves_everything(self, app):
+        trace = generate_trace(app, n_ranks=8, steps=2, seed=3)
+        again = loads(dumps(trace))
+        assert again.app == trace.app
+        assert again.n_ranks == trace.n_ranks
+        assert again.meta == trace.meta
+        assert len(again) == len(trace)
+        for a, b in zip(trace.events, again.events):
+            assert type(a) is type(b)
+            assert a == b
+
+    def test_roundtrip_through_file(self, tmp_path):
+        trace = generate_trace("df_snap", n_ranks=8, steps=1)
+        path = save_trace(trace, tmp_path / "t.jsonl")
+        again = load_trace(path)
+        assert [e.kind for e in again] == [e.kind for e in trace]
+
+    def test_analyses_identical_after_roundtrip(self):
+        from repro.traces import analyze, figure2_summary
+        trace = generate_trace("df_partisn", n_ranks=8, steps=1)
+        again = loads(dumps(trace))
+        assert analyze(again) == analyze(trace)
+        assert figure2_summary(again) == figure2_summary(trace)
+
+
+class TestFormatErrors:
+    def test_empty(self):
+        with pytest.raises(ValueError, match="header"):
+            loads("")
+
+    def test_event_before_header(self):
+        with pytest.raises(ValueError, match="before header"):
+            loads('{"k":"s","t":1,"r":0,"d":1,"g":0}')
+
+    def test_duplicate_header(self):
+        h = '{"k":"h","v":1,"app":"x","ranks":2,"meta":{}}'
+        with pytest.raises(ValueError, match="duplicate"):
+            loads(h + "\n" + h)
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError, match="version"):
+            loads('{"k":"h","v":99,"app":"x","ranks":2,"meta":{}}')
+
+    def test_unknown_kind(self):
+        h = '{"k":"h","v":1,"app":"x","ranks":2,"meta":{}}'
+        with pytest.raises(ValueError, match="unknown record"):
+            loads(h + '\n{"k":"z"}')
+
+    def test_invalid_json_line(self):
+        h = '{"k":"h","v":1,"app":"x","ranks":2,"meta":{}}'
+        with pytest.raises(ValueError, match="invalid JSON"):
+            loads(h + "\nnot json")
+
+    def test_blank_lines_tolerated(self):
+        h = '{"k":"h","v":1,"app":"x","ranks":2,"meta":{}}'
+        trace = loads(h + "\n\n\n")
+        assert len(trace) == 0
+
+    def test_jsonl_lines_are_json(self):
+        trace = Trace(app="x", n_ranks=2,
+                      events=[SendEvent(time=1, rank=0, dst=1, tag=0)])
+        for line in dumps(trace).strip().splitlines():
+            json.loads(line)
+
+
+class TestCLI:
+    def test_apps(self, capsys):
+        assert cli_main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "exmatex_lulesh" in out and "df_amg" in out
+
+    def test_analyze_single(self, capsys):
+        assert cli_main(["analyze", "df_snap"]) == 0
+        assert "df_snap" in capsys.readouterr().out
+
+    def test_trace_and_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "x.jsonl")
+        assert cli_main(["trace", "exmatex_cmc", path,
+                         "--ranks", "8", "--steps", "1"]) == 0
+        assert cli_main(["replay", path]) == 0
+        assert "exmatex_cmc" in capsys.readouterr().out
+
+    def test_match(self, capsys):
+        assert cli_main(["match", "256", "--relaxation",
+                         "nowc+noord+pre"]) == 0
+        assert "Mmatches/s" in capsys.readouterr().out
+
+    def test_match_bad_relaxation(self, capsys):
+        assert cli_main(["match", "64", "--relaxation", "nope"]) == 2
