@@ -1,0 +1,73 @@
+"""Host throughput gate: how fast the *simulator itself* matches.
+
+Not a paper figure.  Every other bench reports modeled GPU rates; this
+one times the host-side fast paths (array-native reduce, blockwise scan,
+vectorized hash rounds) and appends a labeled entry to
+``BENCH_host_perf.json`` at the repository root so perf regressions are
+visible PR-over-PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_host_perf.py [--quick]
+        [--label LABEL] [--no-json]
+
+``--quick`` drops the 64k deep-queue point for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import Table, format_rate, write_result
+from repro.bench.regression import (DEFAULT_SIZES, QUICK_SIZES,
+                                    HostPerfRecord, append_entry,
+                                    default_report_path, run_suite)
+
+
+def host_perf_table(records: list[HostPerfRecord],
+                    title: str = "Host-side simulator throughput") -> Table:
+    table = Table(title=title,
+                  columns=["matcher", "queue", "host time", "rate"])
+    for r in records:
+        table.add(r.matcher, r.n, f"{r.seconds:.3f}s",
+                  format_rate(r.matches_per_second))
+    table.note("wall-clock matches/s of the simulator on the host "
+               "(best of repeats), not a modeled GPU rate")
+    return table
+
+
+def test_report_host_perf():
+    """Smoke entry for ``pytest benchmarks/``: shallow queue only, and no
+    report-file write so the committed BENCH_host_perf.json stays put."""
+    records = run_suite(sizes=(1_000,), repeats=1)
+    table = host_perf_table(records,
+                            title="Host-side simulator throughput (smoke)")
+    write_result("host_perf", table.show())
+    assert len(records) == 3
+    assert all(r.matched == 1_000 for r in records)
+    assert all(r.matches_per_second > 0 for r in records)
+
+
+def main(argv: list[str] | None = None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="shallow queues only (CI smoke)")
+    ap.add_argument("--label", default="dev",
+                    help="entry label in BENCH_host_perf.json")
+    ap.add_argument("--no-json", action="store_true",
+                    help="print the table without touching the report file")
+    args = ap.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else DEFAULT_SIZES
+    records = run_suite(
+        sizes=sizes,
+        progress=lambda r: print(f"  {r.matcher} n={r.n}: {r.seconds:.3f}s "
+                                 f"{format_rate(r.matches_per_second)}"))
+    host_perf_table(records).show()
+    if not args.no_json:
+        append_entry(records, label=args.label)
+        print(f"appended entry {args.label!r} to {default_report_path()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -237,12 +237,29 @@ class EnvelopeBatch:
         ``self`` is the message side (concrete); ``requests`` may carry
         wildcards.  This is the functional content of the scan phase.
         """
+        return self.match_block(requests, 0, len(self))
+
+    def match_block(self, requests: "EnvelopeBatch", lo: int,
+                    hi: int) -> np.ndarray:
+        """Boolean matrix for the message slice ``[lo, hi)`` only.
+
+        ``M[i, j]`` = message ``lo + i`` matches request ``j``.  Kernels
+        that walk the message queue in fixed-size blocks use this instead
+        of :meth:`match_matrix` so their peak footprint is
+        O(block x n_req) rather than O(n_msg x n_req).
+        """
         self.assert_concrete("message batch")
+        if not 0 <= lo <= hi <= len(self):
+            raise ValueError(f"invalid block [{lo}, {hi}) for a batch "
+                             f"of {len(self)} messages")
+        src = self.src[lo:hi]
+        tag = self.tag[lo:hi]
+        comm = self.comm[lo:hi]
         src_ok = ((requests.src[None, :] == ANY_SOURCE)
-                  | (self.src[:, None] == requests.src[None, :]))
+                  | (src[:, None] == requests.src[None, :]))
         tag_ok = ((requests.tag[None, :] == ANY_TAG)
-                  | (self.tag[:, None] == requests.tag[None, :]))
-        comm_ok = self.comm[:, None] == requests.comm[None, :]
+                  | (tag[:, None] == requests.tag[None, :]))
+        comm_ok = comm[:, None] == requests.comm[None, :]
         return src_ok & tag_ok & comm_ok
 
     def concatenate(self, other: "EnvelopeBatch") -> "EnvelopeBatch":

@@ -53,6 +53,11 @@ __all__ = ["HashMatcher", "HashTableConfig"]
 _SECONDARY_SALT = 0x5BD1E995
 
 
+def _take(table: np.ndarray | None, indices: np.ndarray) -> np.ndarray | None:
+    """Gather from a precomputed slot table (``None`` passes through)."""
+    return None if table is None else table[indices]
+
+
 @dataclass(frozen=True)
 class HashTableConfig:
     """Sizing and hashing knobs of the two-level table.
@@ -126,6 +131,14 @@ class HashMatcher:
         rates aggregate.
     config:
         Table sizing/hash configuration.
+    precompute_slots:
+        Host-side optimization (default on): hash every key's slot in
+        each level once per :meth:`match` instead of re-hashing the
+        pending set every round.  Hashing is deterministic, so rounds,
+        assignments, and the cost ledger are identical either way (the
+        *modeled* GPU still hashes per round and is charged for it);
+        ``False`` keeps the per-round hashing as the equivalence-test
+        reference.
 
     Notes
     -----
@@ -137,12 +150,14 @@ class HashMatcher:
     name = "hash"
 
     def __init__(self, spec: GPUSpec = PASCAL_GTX1080, n_ctas: int = 1,
-                 config: HashTableConfig | None = None) -> None:
+                 config: HashTableConfig | None = None,
+                 precompute_slots: bool = True) -> None:
         if n_ctas < 1:
             raise ValueError("n_ctas must be positive")
         self.spec = spec
         self.n_ctas = n_ctas
         self.config = config if config is not None else HashTableConfig()
+        self.precompute_slots = precompute_slots
         self._hash = HASH_FUNCTIONS[self.config.hash_name]
         self._hash_alu = alu_cost(self.config.hash_name)
         self._workload_warps = 1
@@ -169,6 +184,15 @@ class HashMatcher:
         primary_slots, secondary_slots = self.config.sizes(max(n_msg, n_req))
         primary = _Level(primary_slots)
         secondary = _Level(secondary_slots)
+        if self.precompute_slots:
+            # Hash each key once per level up front; rounds then index the
+            # tables instead of re-hashing the whole pending set.
+            req_slots = (self._slot_of(req_keys, primary, 0),
+                         self._slot_of(req_keys, secondary, _SECONDARY_SALT))
+            msg_slots = (self._slot_of(msg_keys, primary, 0),
+                         self._slot_of(msg_keys, secondary, _SECONDARY_SALT))
+        else:
+            req_slots = msg_slots = (None, None)
 
         pending_req = np.arange(n_req, dtype=np.int64)
         pending_msg = np.arange(n_msg, dtype=np.int64)
@@ -179,9 +203,10 @@ class HashMatcher:
                                     or self._live(primary, secondary)):
             rounds += 1
             pending_req, ins_collisions = self._insert_round(
-                primary, secondary, pending_req, req_keys, ledger)
+                primary, secondary, pending_req, req_keys, req_slots, ledger)
             pending_msg, matched = self._query_round(
-                primary, secondary, pending_msg, msg_keys, out, ledger)
+                primary, secondary, pending_msg, msg_keys, msg_slots, out,
+                ledger)
             collisions += ins_collisions
             if matched == 0 and ins_collisions == 0 and pending_req.size == 0:
                 # Nothing inserted, nothing matched: the remaining messages
@@ -203,7 +228,8 @@ class HashMatcher:
 
     def _insert_round(self, primary: _Level, secondary: _Level,
                       pending_req: np.ndarray, req_keys: np.ndarray,
-                      ledger: CostLedger) -> tuple[np.ndarray, int]:
+                      req_slots: tuple, ledger: CostLedger,
+                      ) -> tuple[np.ndarray, int]:
         """Phase 1: try to place every pending request; returns deferred set."""
         if pending_req.size == 0:
             return pending_req, 0
@@ -214,8 +240,9 @@ class HashMatcher:
         phase.add("alu", self._warp_instr(pending_req.size) * self._hash_alu)
 
         phase.add("sync", float(self._warps_per_cta()))
-        lost_primary, placed_p = self._try_place(primary, pending_req, keys,
-                                                 salt=0)
+        lost_primary, placed_p = self._try_place(
+            primary, pending_req, keys, salt=0,
+            base_slots=_take(req_slots[0], pending_req))
         phase.add("atomic", self._warp_instr(pending_req.size)
                   * self.config.probe_depth)
         collisions = int(lost_primary.size)
@@ -227,25 +254,32 @@ class HashMatcher:
                       * self.config.probe_depth)
             deferred, placed_s = self._try_place(
                 secondary, lost_primary, req_keys[lost_primary],
-                salt=_SECONDARY_SALT)
+                salt=_SECONDARY_SALT,
+                base_slots=_take(req_slots[1], lost_primary))
             collisions += int(deferred.size)
         return deferred, collisions
 
     def _try_place(self, level: _Level, req_indices: np.ndarray,
-                   keys: np.ndarray, salt: int) -> tuple[np.ndarray, int]:
+                   keys: np.ndarray, salt: int,
+                   base_slots: np.ndarray | None = None,
+                   ) -> tuple[np.ndarray, int]:
         """Atomic-CAS placement with linear probing.
 
         Each probe offset is one more CAS attempt on the next slot; one
         winner per empty slot per round.  Depth 1 is the paper's policy.
+        ``base_slots`` optionally carries the precomputed offset-0 slot of
+        every pending key (identical to hashing in place).
         """
         pending = req_indices
         pending_keys = keys
+        pending_slots = base_slots
         placed = 0
         for offset in range(self.config.probe_depth):
             if pending.size == 0:
                 break
-            slots = (self._slot_of(pending_keys, level, salt)
-                     + offset) % level.keys.size
+            base = (self._slot_of(pending_keys, level, salt)
+                    if pending_slots is None else pending_slots)
+            slots = (base + offset) % level.keys.size
             order = np.argsort(slots, kind="stable")
             sorted_slots = slots[order]
             first_of_slot = np.ones(sorted_slots.size, dtype=bool)
@@ -260,11 +294,13 @@ class HashMatcher:
             level.used[slots[sel]] = True
             pending = pending[~can_place]
             pending_keys = pending_keys[~can_place]
+            if pending_slots is not None:
+                pending_slots = pending_slots[~can_place]
         return pending, placed
 
     def _query_round(self, primary: _Level, secondary: _Level,
                      pending_msg: np.ndarray, msg_keys: np.ndarray,
-                     out: np.ndarray, ledger: CostLedger,
+                     msg_slots: tuple, out: np.ndarray, ledger: CostLedger,
                      ) -> tuple[np.ndarray, int]:
         """Phase 2: probe both levels for every pending message."""
         phase = ledger.phase("query", active_warps=self._active_warps(
@@ -275,8 +311,9 @@ class HashMatcher:
         phase.add("gmem_load", self._warp_instr(pending_msg.size)
                   * self.config.probe_depth)
 
-        remaining, matched_p = self._try_claim(primary, pending_msg, keys,
-                                               salt=0, out=out)
+        remaining, matched_p = self._try_claim(
+            primary, pending_msg, keys, salt=0, out=out,
+            base_slots=_take(msg_slots[0], pending_msg))
         matched = matched_p
         if remaining.size:
             phase.add("alu",
@@ -285,7 +322,8 @@ class HashMatcher:
                       * self.config.probe_depth)
             remaining, matched_s = self._try_claim(
                 secondary, remaining, msg_keys[remaining],
-                salt=_SECONDARY_SALT, out=out)
+                salt=_SECONDARY_SALT, out=out,
+                base_slots=_take(msg_slots[1], remaining))
             matched += matched_s
         phase.add("atomic", self._warp_instr(matched))
         phase.add("gmem_store", self._warp_instr(matched))
@@ -293,16 +331,19 @@ class HashMatcher:
 
     def _try_claim(self, level: _Level, msg_indices: np.ndarray,
                    keys: np.ndarray, salt: int, out: np.ndarray,
+                   base_slots: np.ndarray | None = None,
                    ) -> tuple[np.ndarray, int]:
         """Claim matching live entries, probing like the placement side."""
         pending = msg_indices
         pending_keys = keys
+        pending_slots = base_slots
         matched = 0
         for offset in range(self.config.probe_depth):
             if pending.size == 0:
                 break
-            slots = (self._slot_of(pending_keys, level, salt)
-                     + offset) % level.keys.size
+            base = (self._slot_of(pending_keys, level, salt)
+                    if pending_slots is None else pending_slots)
+            slots = (base + offset) % level.keys.size
             hit = level.used[slots] & (level.keys[slots] == pending_keys)
             # Only hitting threads attempt the claim CAS, so the
             # one-per-slot winner is chosen among hits; non-matching
@@ -321,6 +362,8 @@ class HashMatcher:
             level.used[slots[sel]] = False  # free for reinsertion
             pending = pending[~claim]
             pending_keys = pending_keys[~claim]
+            if pending_slots is not None:
+                pending_slots = pending_slots[~claim]
         return pending, matched
 
     def _slot_of(self, keys: np.ndarray, level: _Level, salt: int) -> np.ndarray:

@@ -22,13 +22,22 @@ the scan warps fill the next.  The pipelining collapses at 1024 messages
 
 Two interchangeable implementations are provided:
 
-* :meth:`MatrixMatcher.match` -- window/block loops in Python, 32-lane
-  inner operations vectorized with NumPy, costs charged analytically with
-  the same counts the pedantic path would record.  Used by benchmarks.
+* :meth:`MatrixMatcher.match` -- array-native fast path: the scan builds
+  its vote matrix per message block (peak memory O(block x open columns),
+  never the full dense matrix), and the reduce resolves whole batches of
+  columns per NumPy step, falling back to a scalar pick only inside a
+  conflicting group (two columns bidding on the same warp-word).  Costs
+  are charged analytically with *batched* ``add`` calls whose totals are
+  bit-identical to the per-column charging they replace.  Used by
+  benchmarks.
 * :meth:`MatrixMatcher.match_pedantic` -- executes Algorithms 1 and 2
   verbatim on the :class:`~repro.simt.cta.CTA` / :class:`~repro.simt.warp.Warp`
   simulator, one warp instruction at a time.  Used by tests to validate
   the fast path (identical assignments).
+
+The pre-batching scalar reduce is retained as ``reduce_impl="scalar"``
+and is asserted bit-identical (match vector and per-op ledger totals) to
+the batched reduce by ``tests/core/test_fastpath_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -41,7 +50,7 @@ import numpy as np
 from ..simt.cta import CTA, MAX_WARPS_PER_CTA
 from ..simt.gpu import GPUSpec, PASCAL_GTX1080
 from ..simt.timing import CostLedger, TimingModel
-from ..simt.warp import WARP_SIZE, ffs32
+from ..simt.warp import WARP_SIZE, ffs32, full_active
 from .envelope import EnvelopeBatch
 from .result import NO_MATCH, MatchOutcome
 
@@ -52,6 +61,10 @@ __all__ = ["MatrixMatcher", "DEFAULT_WINDOW"]
 #: buffering for the scan/reduce pipeline stays well under the 48 KiB
 #: per-CTA limit.
 DEFAULT_WINDOW = 64
+
+#: Columns the batched reduce resolves per vectorized step.  Purely a
+#: host-side knob: any value produces the same matches and ledger.
+REDUCE_BATCH = 256
 
 
 @dataclass
@@ -93,6 +106,11 @@ class MatrixMatcher:
         for short queues (Section VII-C): narrow warps waste fewer lanes
         on queues shorter than 32 and let more matrix rows pack into the
         same thread budget.
+    reduce_impl:
+        ``"batched"`` (default) resolves whole batches of reduce columns
+        per NumPy step; ``"scalar"`` is the pre-batching per-column loop,
+        kept as the bit-identical reference for equivalence tests.  Both
+        produce the same matches and the same ledger totals.
     """
 
     name = "matrix"
@@ -102,10 +120,13 @@ class MatrixMatcher:
                  window: int = DEFAULT_WINDOW,
                  compaction: bool = False,
                  warp_size: int = WARP_SIZE,
-                 compaction_policy: str = "always") -> None:
+                 compaction_policy: str = "always",
+                 reduce_impl: str = "batched") -> None:
         if compaction_policy not in ("always", "adaptive"):
             raise ValueError("compaction_policy must be 'always' or "
                              "'adaptive'")
+        if reduce_impl not in ("batched", "scalar"):
+            raise ValueError("reduce_impl must be 'batched' or 'scalar'")
         if not 1 <= warps_per_cta <= MAX_WARPS_PER_CTA:
             raise ValueError("warps_per_cta must be in [1, 32]")
         if window < 1:
@@ -126,6 +147,7 @@ class MatrixMatcher:
         self.compaction = compaction
         self.compaction_policy = compaction_policy
         self.warp_size = warp_size
+        self.reduce_impl = reduce_impl
 
     # -- public API ------------------------------------------------------------
 
@@ -156,20 +178,26 @@ class MatrixMatcher:
         if n_msg == 0 or n_req == 0:
             return out, 0
 
-        match_mtx = messages.match_matrix(requests)  # (n_msg, n_req) bool
         block = self.messages_per_iteration
         n_blocks = math.ceil(n_msg / block)
         unmatched_cols = np.ones(n_req, dtype=bool)
+        reduce = (self._reduce_block if self.reduce_impl == "batched"
+                  else self._reduce_block_scalar)
 
         for b in range(n_blocks):
             lo, hi = b * block, min((b + 1) * block, n_msg)
-            open_cols = int(np.count_nonzero(unmatched_cols))
+            open_idx = np.nonzero(unmatched_cols)[0]
+            open_cols = int(open_idx.size)
             plan = self._plan(hi - lo, open_cols)
-            # Pack votes: one int per (warp, column).
-            votes = _pack_block_votes(match_mtx[lo:hi], plan.n_warps,
+            # Blockwise scan: only this block's rows and only the still
+            # open columns are materialized, so peak memory is
+            # O(block x open columns), never O(n_msg x n_req).
+            block_mtx = messages.match_block(requests[open_idx], lo, hi)
+            # Pack votes: one int per (warp, open column).
+            votes = _pack_block_votes(block_mtx, plan.n_warps,
                                       self.warp_size)
-            visited = self._reduce_block(votes, unmatched_cols, out, lo,
-                                         ledger, plan)
+            visited = reduce(votes, open_idx, unmatched_cols, out, lo,
+                             ledger, plan)
             # The scan pipeline only fills the windows the reduce actually
             # consumed: once every message of the block is matched the
             # remaining columns are skipped (this is why an in-order
@@ -202,24 +230,140 @@ class MatrixMatcher:
         return _PhasePlan(n_block_msgs=n_block_msgs, n_warps=n_warps,
                           n_columns=n_open_columns, n_chunks=n_chunks)
 
-    def _reduce_block(self, votes: np.ndarray, unmatched_cols: np.ndarray,
-                      out: np.ndarray, msg_base: int, ledger: CostLedger,
+    def _reduce_block(self, votes: np.ndarray, open_idx: np.ndarray,
+                      unmatched_cols: np.ndarray, out: np.ndarray,
+                      msg_base: int, ledger: CostLedger,
                       plan: _PhasePlan) -> int:
-        """Sequential column reduce (vectorized across the reduce warp's
-        lanes).  Returns the number of columns visited before the block's
-        messages were exhausted (early exit)."""
+        """Batched sequential column reduce.
+
+        Functionally identical to :meth:`_reduce_block_scalar` (the modeled
+        GPU still walks columns one by one; only the *host* resolves them
+        in batches): each column, in posted order, matches the
+        lowest-numbered still-unconsumed message among its candidates.
+        Columns of a batch are independent unless two of them bid on the
+        same warp-word bit, so a batch commits the conflict-free prefix of
+        its picks in one vectorized step and falls back to a scalar pick
+        only for the first column of a conflicting group.  Costs are
+        charged with batched ``add`` calls whose totals equal the
+        per-column charging bit for bit (integer counts are exact in
+        float64).  Returns the number of columns visited before the
+        block's messages were exhausted (early exit).
+        """
         n_warps = votes.shape[0]
         block_msgs = plan.n_block_msgs
         mask = np.full(n_warps, (1 << self.warp_size) - 1, dtype=np.int64)
-        cols = np.nonzero(unmatched_cols)[0]
+        reduce_phase = ledger.phase("reduce", active_warps=1,
+                                    overlap_group=self._overlap_group(plan))
+        n_open = int(open_idx.size)
+        visited = 0
+        matched = 0
+        pos = 0
+        while pos < n_open and matched < block_msgs:
+            end = min(pos + REDUCE_BATCH, n_open)
+            b = end - pos
+            masked = votes[:, pos:end] & mask[:, None]
+            has = masked.any(axis=0)
+            if not has.any():
+                visited += b
+                pos = end
+                continue
+            # Per-column pick under the batch-entry mask: first warp with
+            # a candidate (ffs over the lane ballot), then the lowest set
+            # bit of its vote word (ffs within the word) -- i.e. the
+            # minimum message id among the column's candidates.
+            first_warp = np.argmax(masked != 0, axis=0)
+            word = masked[first_warp, np.arange(b)]
+            lane = np.zeros(b, dtype=np.int64)
+            low = word[has] & -word[has]
+            # exact: low is a power of two <= 2**31
+            lane[has] = np.log2(low.astype(np.float64)).astype(np.int64)
+            pick = np.where(has, first_warp * self.warp_size + lane, -1)
+            # A pick is wrong only if an *earlier* column of the batch
+            # consumed the same message: find the first duplicated pick.
+            # (If an earlier column consumed a non-minimum candidate of a
+            # later column, the later column's minimum -- its pick -- is
+            # untouched, so distinct picks are exactly the sequential
+            # result.)
+            order = np.argsort(pick, kind="stable")
+            sorted_pick = pick[order]
+            dup_sorted = np.zeros(b, dtype=bool)
+            dup_sorted[1:] = ((sorted_pick[1:] == sorted_pick[:-1])
+                              & (sorted_pick[1:] >= 0))
+            is_dup = np.zeros(b, dtype=bool)
+            is_dup[order] = dup_sorted
+            take = int(np.argmax(is_dup)) if is_dup.any() else b
+            # Early exit: stop at the column that consumes the block's
+            # last message, exactly like the scalar loop.
+            cum = np.cumsum(has[:take])
+            exhausted = cum.size > 0 and matched + int(cum[-1]) >= block_msgs
+            if exhausted:
+                take = int(np.argmax(matched + cum >= block_msgs)) + 1
+            sel = np.nonzero(has[:take])[0]
+            if sel.size:
+                picks = pick[sel]
+                cols = open_idx[pos + sel]
+                out[cols] = msg_base + picks
+                unmatched_cols[cols] = False
+                consumed = np.zeros(n_warps, dtype=np.int64)
+                np.bitwise_or.at(consumed, picks // self.warp_size,
+                                 np.int64(1) << (picks % self.warp_size))
+                mask &= ~consumed
+                matched += int(sel.size)
+            visited += take
+            pos += take
+            if matched >= block_msgs:
+                break
+            if take < b and not exhausted:
+                # Scalar fallback for the first column of the conflicting
+                # group; the rest of the batch re-bids under the updated
+                # mask on the next pass.
+                col_word = votes[:, pos] & mask
+                bidders = np.nonzero(col_word)[0]
+                if bidders.size:
+                    w = int(bidders[0])
+                    lane_match = ffs32(int(col_word[w])) - 1
+                    j = open_idx[pos]
+                    out[j] = msg_base + w * self.warp_size + lane_match
+                    mask[w] &= ~(1 << lane_match)
+                    unmatched_cols[j] = False
+                    matched += 1
+                visited += 1
+                pos += 1
+        # Batched cost accounting: one add per op kind per block.  The
+        # totals are identical to charging per column (smem_load, ballot,
+        # 4 alu, branch per visited column; 3 alu, smem_store per match).
+        reduce_phase.add("smem_load", float(visited))
+        reduce_phase.add("ballot", float(visited))
+        reduce_phase.add("alu", 4.0 * visited + 3.0 * matched)
+        reduce_phase.add("branch", float(visited))
+        if matched:
+            reduce_phase.add("smem_store", float(matched))
+        # Results stage in shared memory and flush coalesced per window
+        # chunk, so per-column cost barely depends on whether it matched
+        # ("performance decreases linearly with the number of matched
+        # messages": rate ~ matches, time ~ columns).
+        reduce_phase.add("gmem_store",
+                         2.0 * math.ceil(max(1, visited) / self.window))
+        return visited
+
+    def _reduce_block_scalar(self, votes: np.ndarray, open_idx: np.ndarray,
+                             unmatched_cols: np.ndarray, out: np.ndarray,
+                             msg_base: int, ledger: CostLedger,
+                             plan: _PhasePlan) -> int:
+        """Pre-batching per-column reduce, kept as the reference
+        implementation for the equivalence suite.  Returns the number of
+        columns visited before the block's messages were exhausted."""
+        n_warps = votes.shape[0]
+        block_msgs = plan.n_block_msgs
+        mask = np.full(n_warps, (1 << self.warp_size) - 1, dtype=np.int64)
         reduce_phase = ledger.phase("reduce", active_warps=1,
                                     overlap_group=self._overlap_group(plan))
         visited = 0
         matched_in_block = 0
-        for j in cols:
+        for c in range(open_idx.size):
             visited += 1
             # lane loads, masked vote, ballot over lanes with candidates
-            masked = votes[:, j] & mask
+            masked = votes[:, c] & mask
             reduce_phase.add("smem_load", 1)
             reduce_phase.add("ballot", 1)
             reduce_phase.add("alu", 4)
@@ -228,6 +372,7 @@ class MatrixMatcher:
             if bidders.size:
                 w = int(bidders[0])              # ffs over the lane ballot
                 lane = ffs32(int(masked[w])) - 1  # ffs within the vote word
+                j = open_idx[c]
                 out[j] = msg_base + w * self.warp_size + lane
                 mask[w] &= ~(1 << lane)
                 unmatched_cols[j] = False
@@ -236,10 +381,6 @@ class MatrixMatcher:
                 matched_in_block += 1
                 if matched_in_block == block_msgs:
                     break  # every message of this block is consumed
-        # Results stage in shared memory and flush coalesced per window
-        # chunk, so per-column cost barely depends on whether it matched
-        # ("performance decreases linearly with the number of matched
-        # messages": rate ~ matches, time ~ columns).
         reduce_phase.add("gmem_store",
                          2.0 * math.ceil(max(1, visited) / self.window))
         return visited
@@ -371,7 +512,7 @@ class MatrixMatcher:
                 cta.shared.store(
                     np.array([warp.warp_id * self.window + i]),
                     np.array([vote]))
-            warp.active = np.ones(WARP_SIZE, dtype=bool)
+            warp.active = full_active(WARP_SIZE)
 
     def _pedantic_reduce(self, cta: CTA, chunk: np.ndarray, out: np.ndarray,
                          msg_base: int, unmatched: np.ndarray,
@@ -414,13 +555,20 @@ class MatrixMatcher:
 
 def _pack_block_votes(block_matrix: np.ndarray, n_warps: int,
                       warp_size: int = WARP_SIZE) -> np.ndarray:
-    """Collapse a (block_msgs x n_req) boolean matrix into per-warp vote words."""
+    """Collapse a (block_msgs x n_req) boolean matrix into per-warp vote words.
+
+    Accumulates one lane at a time so the largest temporary is a single
+    (n_warps x n_req) int64 plane, not an (n_warps x warp_size x n_req)
+    cube.
+    """
     n_block, n_req = block_matrix.shape
     padded = np.zeros((n_warps * warp_size, n_req), dtype=bool)
     padded[:n_block] = block_matrix
     lanes = padded.reshape(n_warps, warp_size, n_req)
-    weights = (1 << np.arange(warp_size, dtype=np.int64))[None, :, None]
-    return (lanes * weights).sum(axis=1)
+    votes = np.zeros((n_warps, n_req), dtype=np.int64)
+    for lane in range(warp_size):
+        votes |= lanes[:, lane, :].astype(np.int64) << np.int64(lane)
+    return votes
 
 
 def _accepts_vector(req, messages: EnvelopeBatch, lane_msg: np.ndarray,

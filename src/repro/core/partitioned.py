@@ -94,7 +94,8 @@ class PartitionedMatcher:
                  compaction: bool = False,
                  warp_size: int = WARP_SIZE,
                  partition_key: str = "src",
-                 sm_count: int = 1) -> None:
+                 sm_count: int = 1,
+                 reduce_impl: str = "batched") -> None:
         if n_queues < 1:
             raise ValueError("n_queues must be positive")
         if not 1 <= warp_size <= WARP_SIZE:
@@ -103,6 +104,8 @@ class PartitionedMatcher:
             raise ValueError("partition_key must be 'src' or 'tag'")
         if not 1 <= sm_count <= spec.sm_count:
             raise ValueError(f"sm_count must be in [1, {spec.sm_count}]")
+        if reduce_impl not in ("batched", "scalar"):
+            raise ValueError("reduce_impl must be 'batched' or 'scalar'")
         self.spec = spec
         self.n_queues = n_queues
         self.window = window
@@ -110,6 +113,7 @@ class PartitionedMatcher:
         self.warp_size = warp_size
         self.partition_key = partition_key
         self.sm_count = sm_count
+        self.reduce_impl = reduce_impl
 
     # -- partitioning -------------------------------------------------------------
 
@@ -161,7 +165,7 @@ class PartitionedMatcher:
             matcher = MatrixMatcher(
                 spec=self.spec, warps_per_cta=warps_q,
                 window=self.window, compaction=False,
-                warp_size=self.warp_size)
+                warp_size=self.warp_size, reduce_impl=self.reduce_impl)
             local, iters = matcher.execute(messages.take(m_idx),
                                            requests.take(r_idx), ledger)
             iterations = max(iterations, iters)

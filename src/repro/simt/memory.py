@@ -159,12 +159,26 @@ class GlobalMemory:
             self.ledger.issue("atomic", float(np.unique(addrs[mask]).size
                                               if mask.any() else 0))
         success = np.zeros(n, dtype=bool)
-        for lane in range(n):
-            if not mask[lane]:
-                continue
-            if self.data[addrs[lane]] == expected[lane]:
-                self.data[addrs[lane]] = desired[lane]
-                success[lane] = True
+        # Vectorized replay rounds with scalar-loop semantics: lanes retire
+        # lowest-first, so per replay round the first still-pending lane of
+        # each distinct address attempts its CAS (``np.unique`` returns
+        # first-occurrence indices, and ``remaining`` is in lane order);
+        # later same-address lanes replay against the updated value, so a
+        # lane whose ``expected`` equals an earlier lane's ``desired``
+        # still chains exactly as in hardware.
+        remaining = np.nonzero(mask)[0]
+        while remaining.size:
+            _, first = np.unique(addrs[remaining], return_index=True)
+            winners = remaining[first]
+            ok = self.data[addrs[winners]] == expected[winners]
+            hit = winners[ok]
+            self.data[addrs[hit]] = desired[hit]
+            success[hit] = True
+            if winners.size == remaining.size:
+                break
+            keep = np.ones(remaining.size, dtype=bool)
+            keep[first] = False
+            remaining = remaining[keep]
         return success
 
 

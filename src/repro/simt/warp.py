@@ -35,6 +35,7 @@ __all__ = [
     "clz32",
     "popc32",
     "brev32",
+    "full_active",
     "lane_ids",
     "lanemask_lt",
     "pack_ballot",
@@ -102,9 +103,42 @@ def brev32(x: int) -> int:
     return out
 
 
+#: Cached per-warp constant arrays, keyed by warp size.  These are
+#: returned read-only and shared: the pedantic paths request them once
+#: per warp instruction, and reallocating an arange/ones per call
+#: dominated the host profile of the warp-level simulator.
+_LANE_IDS_CACHE: dict[int, np.ndarray] = {}
+_FULL_ACTIVE_CACHE: dict[int, np.ndarray] = {}
+_LANE_WEIGHTS_CACHE: dict[int, np.ndarray] = {}
+
+
 def lane_ids(warp_size: int = WARP_SIZE) -> np.ndarray:
-    """Per-lane thread index within the warp (``threadIdx.x % warpSize``)."""
-    return np.arange(warp_size, dtype=np.int64)
+    """Per-lane thread index within the warp (``threadIdx.x % warpSize``).
+
+    Returns a cached **read-only** array; copy before mutating.
+    """
+    arr = _LANE_IDS_CACHE.get(warp_size)
+    if arr is None:
+        arr = np.arange(warp_size, dtype=np.int64)
+        arr.setflags(write=False)
+        _LANE_IDS_CACHE[warp_size] = arr
+    return arr
+
+
+def full_active(warp_size: int = WARP_SIZE) -> np.ndarray:
+    """All-lanes-active boolean mask (cached, **read-only**).
+
+    The no-divergence steady state every kernel starts from; sharing one
+    frozen array avoids a ``np.ones`` allocation per warp per call on the
+    pedantic paths.  Warp methods never mutate ``active`` in place (they
+    rebind it), so sharing is safe; copy before mutating.
+    """
+    arr = _FULL_ACTIVE_CACHE.get(warp_size)
+    if arr is None:
+        arr = np.ones(warp_size, dtype=bool)
+        arr.setflags(write=False)
+        _FULL_ACTIVE_CACHE[warp_size] = arr
+    return arr
 
 
 def lanemask_lt(lane: int) -> int:
@@ -125,14 +159,18 @@ def pack_ballot(predicate: np.ndarray) -> int:
     if bits.ndim != 1 or bits.size > 32:
         raise ValueError("ballot predicate must be a 1-D vector of <=32 lanes")
     # dot with powers of two; exact for 32 bits in int64
-    weights = (1 << np.arange(bits.size, dtype=np.int64))
+    weights = _LANE_WEIGHTS_CACHE.get(bits.size)
+    if weights is None:
+        weights = 1 << np.arange(bits.size, dtype=np.int64)
+        weights.setflags(write=False)
+        _LANE_WEIGHTS_CACHE[bits.size] = weights
     return int(bits.astype(np.int64) @ weights)
 
 
 def unpack_ballot(word: int, warp_size: int = WARP_SIZE) -> np.ndarray:
     """Expand a 32-bit ballot word back into a boolean lane vector."""
     word = int(word) & FULL_MASK
-    return ((word >> np.arange(warp_size, dtype=np.int64)) & 1).astype(bool)
+    return ((word >> lane_ids(warp_size)) & 1).astype(bool)
 
 
 @dataclass
@@ -167,7 +205,8 @@ class Warp:
         if self.warp_size < 1 or self.warp_size > 32:
             raise ValueError("warp_size must be in [1, 32]")
         if self.active is None:
-            self.active = np.ones(self.warp_size, dtype=bool)
+            # private copy: callers may mutate a warp's mask in place
+            self.active = full_active(self.warp_size).copy()
         else:
             self.active = np.asarray(self.active, dtype=bool).copy()
             if self.active.shape != (self.warp_size,):

@@ -1,0 +1,232 @@
+"""Equivalence suite: array-native fast paths vs their scalar references.
+
+The perf work in this PR (batched reduce, blockwise scan, precomputed
+hash slots, vectorized atomic CAS) is only admissible if it is
+*bit-identical* to what it replaced: same match vectors AND same
+CostLedger op totals, on every workload shape.  This suite pins that
+invariant down, plus the blockwise-scan memory bound.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (matching_workload, ordered_workload,
+                                 partial_workload, reversed_workload)
+from repro.core.envelope import ANY_SOURCE, ANY_TAG, EnvelopeBatch
+from repro.core.hash_matching import HashMatcher
+from repro.core.matrix_matching import MatrixMatcher
+from repro.core.partitioned import PartitionedMatcher
+from repro.simt.memory import GlobalMemory
+from repro.simt.timing import CostLedger
+
+
+def wildcard_workload(n, seed=0):
+    """Random workload with heavy MPI_ANY_SOURCE / MPI_ANY_TAG use."""
+    msgs, reqs = matching_workload(n, seed=seed)
+    src = reqs.src.copy()
+    tag = reqs.tag.copy()
+    src[::2] = ANY_SOURCE
+    tag[::3] = ANY_TAG
+    return msgs, EnvelopeBatch(src, tag, reqs.comm)
+
+
+WORKLOADS = {
+    "random": matching_workload,
+    "ordered": ordered_workload,
+    "reversed": reversed_workload,
+    "partial": lambda n, seed=0: partial_workload(n, 0.3, seed=seed),
+    "wildcard": wildcard_workload,
+}
+
+# crosses the 1024-message pipelining knee and block boundaries
+SIZES = (96, 513, 1536, 2600)
+SEEDS = (0, 1)
+
+
+def ledger_signature(ledger: CostLedger) -> dict:
+    """Per-phase per-op totals, keyed order-independently."""
+    sig = {}
+    for p in ledger.phases:
+        key = (p.name, p.active_warps, str(p.overlap_group))
+        assert key not in sig, "ledger merged phases must be unique"
+        sig[key] = dict(p.counts)
+    return sig
+
+
+# -- batched reduce vs scalar reference ---------------------------------------
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_matrix_batched_equals_scalar(workload, n, seed):
+    msgs, reqs = WORKLOADS[workload](n, seed=seed)
+    fast_ledger, slow_ledger = CostLedger(), CostLedger()
+    fast = MatrixMatcher(reduce_impl="batched")
+    slow = MatrixMatcher(reduce_impl="scalar")
+    out_fast, it_fast = fast.execute(msgs, reqs, fast_ledger)
+    out_slow, it_slow = slow.execute(msgs, reqs, slow_ledger)
+    assert np.array_equal(out_fast, out_slow)
+    assert it_fast == it_slow
+    assert ledger_signature(fast_ledger) == ledger_signature(slow_ledger)
+
+
+@pytest.mark.parametrize("warps_per_cta,window", [(2, 8), (4, 16)])
+def test_matrix_batched_equals_scalar_small_blocks(warps_per_cta, window):
+    """Non-default geometry: many tiny blocks exercise the early-exit and
+    re-bid paths of the batched reduce."""
+    msgs, reqs = reversed_workload(700, seed=3)
+    fast_ledger, slow_ledger = CostLedger(), CostLedger()
+    kw = dict(warps_per_cta=warps_per_cta, window=window)
+    out_fast, _ = MatrixMatcher(reduce_impl="batched", **kw).execute(
+        msgs, reqs, fast_ledger)
+    out_slow, _ = MatrixMatcher(reduce_impl="scalar", **kw).execute(
+        msgs, reqs, slow_ledger)
+    assert np.array_equal(out_fast, out_slow)
+    assert ledger_signature(fast_ledger) == ledger_signature(slow_ledger)
+
+
+@pytest.mark.parametrize("warp_size", [4, 16])
+def test_matrix_batched_equals_scalar_narrow_warps(warp_size):
+    msgs, reqs = matching_workload(300, seed=2)
+    fast_ledger, slow_ledger = CostLedger(), CostLedger()
+    out_fast, _ = MatrixMatcher(warp_size=warp_size,
+                                reduce_impl="batched").execute(
+        msgs, reqs, fast_ledger)
+    out_slow, _ = MatrixMatcher(warp_size=warp_size,
+                                reduce_impl="scalar").execute(
+        msgs, reqs, slow_ledger)
+    assert np.array_equal(out_fast, out_slow)
+    assert ledger_signature(fast_ledger) == ledger_signature(slow_ledger)
+
+
+# -- fast path vs pedantic simulator ------------------------------------------
+
+
+@pytest.mark.parametrize("workload", ["random", "wildcard", "reversed"])
+@pytest.mark.parametrize("n", [48, 96, 160])
+def test_matrix_fast_matches_pedantic(workload, n):
+    msgs, reqs = WORKLOADS[workload](n, seed=0)
+    matcher = MatrixMatcher(warps_per_cta=2, window=8)
+    fast = matcher.match(msgs, reqs)
+    pedantic = matcher.match_pedantic(msgs, reqs)
+    assert np.array_equal(fast.request_to_message,
+                          pedantic.request_to_message)
+    assert fast.matched_count == pedantic.matched_count
+
+
+# -- partitioned matcher rides the same reduce --------------------------------
+
+
+@pytest.mark.parametrize("workload", ["random", "ordered", "partial"])
+@pytest.mark.parametrize("n", [513, 1536])
+def test_partitioned_batched_equals_scalar(workload, n):
+    msgs, reqs = WORKLOADS[workload](n, seed=0)
+    fast = PartitionedMatcher(n_queues=4, reduce_impl="batched").match(
+        msgs, reqs)
+    slow = PartitionedMatcher(n_queues=4, reduce_impl="scalar").match(
+        msgs, reqs)
+    assert np.array_equal(fast.request_to_message, slow.request_to_message)
+    assert fast.cycles == slow.cycles
+    assert fast.iterations == slow.iterations
+
+
+# -- hash matcher: precomputed slots ------------------------------------------
+
+
+@pytest.mark.parametrize("n", [0, 1, 64, 300, 2000])
+def test_hash_precompute_equals_reference(n):
+    msgs, reqs = matching_workload(n, seed=0)
+    fast = HashMatcher(precompute_slots=True).match(msgs, reqs)
+    slow = HashMatcher(precompute_slots=False).match(msgs, reqs)
+    assert np.array_equal(fast.request_to_message, slow.request_to_message)
+    assert fast.cycles == slow.cycles
+    assert fast.iterations == slow.iterations
+
+
+def test_hash_precompute_equals_reference_duplicates():
+    # heavy duplicate keys drive the eviction/offset-probing paths
+    src = np.zeros(200, dtype=np.int64)
+    tag = np.repeat(np.arange(10), 20).astype(np.int64)
+    comm = np.zeros(200, dtype=np.int64)
+    msgs = EnvelopeBatch(src, tag, comm)
+    reqs = msgs.take(np.random.default_rng(0).permutation(200))
+    fast = HashMatcher(precompute_slots=True).match(msgs, reqs)
+    slow = HashMatcher(precompute_slots=False).match(msgs, reqs)
+    assert np.array_equal(fast.request_to_message, slow.request_to_message)
+    assert fast.cycles == slow.cycles
+    assert fast.matched_count == 200
+
+
+# -- vectorized atomic CAS ----------------------------------------------------
+
+
+def _scalar_cas_reference(data, addrs, expected, desired, active):
+    """The pre-vectorization per-lane loop, lowest lane first."""
+    success = np.zeros(addrs.size, dtype=bool)
+    for i in range(addrs.size):
+        if not active[i]:
+            continue
+        if data[addrs[i]] == expected[i]:
+            data[addrs[i]] = desired[i]
+            success[i] = True
+    return success
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_atomic_cas_matches_scalar_reference(seed):
+    rng = np.random.default_rng(seed)
+    mem = GlobalMemory(16)
+    mem.data[:] = rng.integers(0, 3, size=16)
+    ref_data = mem.data.copy()
+    addrs = rng.integers(0, 16, size=32)
+    expected = rng.integers(0, 3, size=32)
+    desired = rng.integers(10, 20, size=32)
+    active = rng.random(32) < 0.8
+    success = mem.atomic_cas(addrs, expected, desired, active=active)
+    ref_success = _scalar_cas_reference(ref_data, addrs, expected, desired,
+                                        active)
+    assert np.array_equal(success, ref_success)
+    assert np.array_equal(mem.data, ref_data)
+
+
+def test_atomic_cas_chains_same_address():
+    """A later lane whose expected equals an earlier lane's desired value
+    must still win: same-address lanes replay against updated memory."""
+    mem = GlobalMemory(4)
+    addrs = np.array([1, 1, 1])
+    expected = np.array([0, 7, 9])
+    desired = np.array([7, 9, 11])
+    success = mem.atomic_cas(addrs, expected, desired)
+    assert success.all()
+    assert mem.data[1] == 11
+
+
+# -- blockwise scan memory bound ----------------------------------------------
+
+
+def test_blockwise_scan_memory_bound():
+    """Matching 10^5 messages must not materialize the dense
+    n_msg x n_req matrix: peak extra memory is O(block x n_req)."""
+    n_msg, n_req = 100_000, 4_096
+    msgs = EnvelopeBatch(np.arange(n_msg, dtype=np.int64) % 30_000,
+                         np.arange(n_msg, dtype=np.int64) // 30_000,
+                         np.zeros(n_msg, dtype=np.int64))
+    # request k targets message k*24 exactly (unique envelope per message)
+    want = np.arange(n_req, dtype=np.int64) * 24
+    reqs = msgs.take(want)
+    matcher = MatrixMatcher()
+    ledger = CostLedger()
+    tracemalloc.start()
+    out, iterations = matcher.execute(msgs, reqs, ledger)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert np.array_equal(out, want)
+    assert iterations == 98  # ceil(100_000 / 1024): all blocks were scanned
+    dense_bytes = n_msg * n_req  # the full bool match matrix
+    assert peak < dense_bytes / 4
+    assert peak < 100 * 2 ** 20
