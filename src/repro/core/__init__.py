@@ -9,7 +9,7 @@ data structure Table II prescribes.
 from .adaptive import AdaptiveMatcher, MatchPlan
 from .bucket_matching import BucketMatcher
 from .compaction import charge_compaction, compact_batch, compaction_map
-from .engine import MatchingEngine
+from .engine import DemotionEvent, MatchingEngine
 from .envelope import (ANY_SOURCE, ANY_TAG, Envelope, EnvelopeBatch, pack64,
                        unpack64)
 from .hash_matching import HashMatcher, HashTableConfig
@@ -27,7 +27,7 @@ from .verify import (SemanticsViolation, check_mpi_ordering, check_relaxed,
 __all__ = [
     "ANY_SOURCE", "ANY_TAG", "Envelope", "EnvelopeBatch", "pack64", "unpack64",
     "NO_MATCH", "MatchOutcome",
-    "MatchingEngine", "RelaxationSet", "TABLE_II_CONFIGS", "WorkloadViolation",
+    "MatchingEngine", "DemotionEvent", "RelaxationSet", "TABLE_II_CONFIGS", "WorkloadViolation",
     "MatrixMatcher", "DEFAULT_WINDOW",
     "PartitionedMatcher", "AdaptiveMatcher", "MatchPlan",
     "HashMatcher", "HashTableConfig",

@@ -33,11 +33,22 @@ from .matrix_matching import MatrixMatcher
 from .partitioned import PartitionedMatcher
 from .result import MatchOutcome
 
-__all__ = ["AdaptiveMatcher", "MatchPlan", "RELAUNCH_OVERHEAD_CYCLES"]
+__all__ = ["AdaptiveMatcher", "MatchPlan", "RELAUNCH_OVERHEAD_CYCLES",
+           "relaunch_seconds"]
 
 #: Cost of launching a reconfigured child kernel (device-side launch
 #: latency on the order of a few microseconds).
 RELAUNCH_OVERHEAD_CYCLES = 5_000.0
+
+
+def relaunch_seconds(spec: GPUSpec) -> float:
+    """Device time of one reconfigured child-kernel launch.
+
+    Shared by the adaptive planner (per-pass reconfiguration) and the
+    engine's graceful-degradation path (matcher demotion rebuilds the
+    kernel the same way).
+    """
+    return RELAUNCH_OVERHEAD_CYCLES / spec.clock_hz
 
 #: Minimum per-queue depth worth partitioning for: "this is only valid
 #: if each queue contains at least 32 entries in order to efficiently
@@ -144,7 +155,7 @@ class AdaptiveMatcher:
         outcome = matcher.match(messages, requests)
         if self._previous_plan is not None and plan != self._previous_plan:
             self.relaunches += 1
-            extra = RELAUNCH_OVERHEAD_CYCLES / self.spec.clock_hz
+            extra = relaunch_seconds(self.spec)
             outcome = MatchOutcome(
                 request_to_message=outcome.request_to_message,
                 n_messages=outcome.n_messages,

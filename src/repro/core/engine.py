@@ -16,21 +16,45 @@ with the compaction pass enabled exactly when unexpected messages are
 allowed.  Optionally every outcome is cross-checked against the MPI
 reference oracle (ordered configurations) or the relaxed validity checker
 (unordered).
+
+**Graceful degradation.**  By default a workload that uses a prohibited
+feature raises :class:`~repro.core.relaxations.WorkloadViolation`.  With
+``demote_on_violation=True`` the engine instead *demotes*: it moves to
+the minimal relaxation set that admits the feature (see the demotion
+lattice in :mod:`repro.core.relaxations`), rebuilds the matcher
+(hash -> partitioned -> matrix direction only), records a
+:class:`DemotionEvent`, and charges the reconfiguration as one
+dynamic-parallelism child-kernel relaunch -- the same cost model the
+adaptive planner uses.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..simt.gpu import GPUSpec, PASCAL_GTX1080
+from .adaptive import RELAUNCH_OVERHEAD_CYCLES, relaunch_seconds
 from .envelope import EnvelopeBatch
 from .hash_matching import HashMatcher, HashTableConfig
 from .list_matching import ListMatcher
 from .matrix_matching import DEFAULT_WINDOW, MatrixMatcher
 from .partitioned import PartitionedMatcher
-from .relaxations import RelaxationSet
+from .relaxations import RelaxationSet, WorkloadViolation
 from .result import MatchOutcome
 from .verify import check_mpi_ordering, check_relaxed, reference_match
 
-__all__ = ["MatchingEngine"]
+__all__ = ["MatchingEngine", "DemotionEvent"]
+
+
+@dataclass(frozen=True)
+class DemotionEvent:
+    """One graceful-degradation step taken by the engine."""
+
+    from_label: str
+    to_label: str
+    reason: str
+    extra_seconds: float
+    extra_cycles: float = RELAUNCH_OVERHEAD_CYCLES
 
 
 class MatchingEngine:
@@ -53,6 +77,12 @@ class MatchingEngine:
     verify:
         Cross-check every outcome against the reference semantics (slow;
         intended for tests and debugging).
+    demote_on_violation:
+        Graceful degradation: instead of raising
+        :class:`~repro.core.relaxations.WorkloadViolation` on a runtime
+        relaxation violation, demote to the strongest matcher that is
+        still correct, record the :class:`DemotionEvent`, and charge the
+        rebuild as a kernel relaunch.  Off by default (strict mode).
 
     Examples
     --------
@@ -72,26 +102,76 @@ class MatchingEngine:
                  n_queues: int = 4, n_ctas: int = 1,
                  window: int = DEFAULT_WINDOW,
                  hash_config: HashTableConfig | None = None,
-                 verify: bool = False) -> None:
+                 verify: bool = False,
+                 demote_on_violation: bool = False) -> None:
         self.gpu = gpu
         self.relaxations = (relaxations if relaxations is not None
                             else RelaxationSet())
         self.verify = verify
-        self._matcher = self._build_matcher(n_queues, n_ctas, window,
-                                            hash_config)
+        self.demote_on_violation = demote_on_violation
+        self.demotions: list[DemotionEvent] = []
+        self._pending_demotion_seconds = 0.0
+        self._pending_demotion_cycles = 0.0
+        # kept for matcher rebuilds after a demotion
+        self._n_queues = n_queues
+        self._n_ctas = n_ctas
+        self._window = window
+        self._hash_config = hash_config
+        self._matcher = self._build_matcher()
 
-    def _build_matcher(self, n_queues: int, n_ctas: int, window: int,
-                       hash_config: HashTableConfig | None):
+    def _build_matcher(self):
         rel = self.relaxations
         compaction = rel.needs_compaction
         if not rel.ordering:
-            return HashMatcher(spec=self.gpu, n_ctas=n_ctas,
-                               config=hash_config)
+            return HashMatcher(spec=self.gpu, n_ctas=self._n_ctas,
+                               config=self._hash_config)
         if rel.partitionable:
-            return PartitionedMatcher(spec=self.gpu, n_queues=n_queues,
-                                      window=window, compaction=compaction)
-        return MatrixMatcher(spec=self.gpu, window=window,
+            return PartitionedMatcher(spec=self.gpu,
+                                      n_queues=self._n_queues,
+                                      window=self._window,
+                                      compaction=compaction)
+        return MatrixMatcher(spec=self.gpu, window=self._window,
                              compaction=compaction)
+
+    # -- graceful degradation ---------------------------------------------------
+
+    def _demote(self, new_rel: RelaxationSet, reason: str) -> DemotionEvent:
+        """Move to ``new_rel``, rebuild the matcher, and book the
+        reconfiguration cost against the next outcome."""
+        event = DemotionEvent(from_label=self.relaxations.label(),
+                              to_label=new_rel.label(), reason=reason,
+                              extra_seconds=relaunch_seconds(self.gpu))
+        self.demotions.append(event)
+        self.relaxations = new_rel
+        self._matcher = self._build_matcher()
+        self._pending_demotion_seconds += event.extra_seconds
+        self._pending_demotion_cycles += event.extra_cycles
+        return event
+
+    def admit_requests(self, requests: EnvelopeBatch) -> None:
+        """Validate a request batch against the active relaxations.
+
+        Raises :class:`~repro.core.relaxations.WorkloadViolation` in
+        strict mode; demotes (wildcard lattice move) when graceful
+        degradation is enabled.
+        """
+        try:
+            self.relaxations.validate_requests(requests)
+        except WorkloadViolation as exc:
+            if not self.demote_on_violation:
+                raise
+            self._demote(self.relaxations.demoted_for_wildcards(),
+                         f"wildcard request: {exc}")
+            self.relaxations.validate_requests(requests)
+
+    def require_ordering(self) -> DemotionEvent | None:
+        """Explicitly restore the non-overtaking guarantee (hash ->
+        partitioned); returns the demotion event, or None when ordering
+        is already guaranteed."""
+        if self.relaxations.ordering:
+            return None
+        return self._demote(self.relaxations.demoted_for_ordering(),
+                            "ordering required")
 
     @property
     def matcher(self):
@@ -105,15 +185,36 @@ class MatchingEngine:
 
     def match(self, messages: EnvelopeBatch,
               requests: EnvelopeBatch) -> MatchOutcome:
-        """Validate the workload, match, and (optionally) verify semantics."""
-        self.relaxations.validate_requests(requests)
+        """Validate the workload, match, and (optionally) verify semantics.
+
+        With graceful degradation enabled, a runtime violation demotes
+        the matcher and the pass is re-run under the new configuration
+        instead of raising; the demotion and its relaunch cost are
+        recorded on the outcome (``meta["demotions"]``).
+        """
+        self.admit_requests(requests)
         outcome = self._matcher.match(messages, requests)
         if not self.relaxations.unexpected:
             # All receives must have been pre-posted: any message left
             # unmatched after the pass arrived without a matching posted
             # receive, regardless of how many requests remain open.
             unexpected = outcome.n_messages - outcome.matched_count
-            self.relaxations.validate_unexpected(unexpected)
+            try:
+                self.relaxations.validate_unexpected(unexpected)
+            except WorkloadViolation as exc:
+                if not self.demote_on_violation:
+                    raise
+                self._demote(self.relaxations.demoted_for_unexpected(),
+                             f"unexpected messages: {exc}")
+                outcome = self._matcher.match(messages, requests)
+        if self._pending_demotion_seconds:
+            outcome.seconds += self._pending_demotion_seconds
+            outcome.cycles += self._pending_demotion_cycles
+            outcome.meta["demotions"] = [
+                (e.from_label, e.to_label, e.reason)
+                for e in self.demotions]
+            self._pending_demotion_seconds = 0.0
+            self._pending_demotion_cycles = 0.0
         if self.verify:
             if self.relaxations.ordering:
                 check_mpi_ordering(messages, requests, outcome)

@@ -11,6 +11,25 @@ The paper starts from full MPI semantics and relaxes three guarantees:
 
 :class:`RelaxationSet` names a point in that lattice;
 :data:`TABLE_II_CONFIGS` enumerates the six rows of the paper's Table II.
+
+**Demotion lattice.**  A workload that uses a prohibited feature at
+runtime can either be rejected (:class:`WorkloadViolation`, the default)
+or *demoted*: moved to the weakest relaxation point that still permits
+the observed feature, which selects the strongest matcher that remains
+correct -- hash -> partitioned -> matrix, with the unexpected-message
+axis orthogonal:
+
+* a **wildcard** under a no-wildcard config forces ``wildcards=True``,
+  which (wildcards imply ordering) lands on the matrix matcher;
+* an **unexpected message** under a pre-posted config flips
+  ``unexpected=True`` and keeps the matcher family (it only re-enables
+  compaction);
+* requiring **ordering** on an unordered config flips ``ordering=True``
+  and lands on the partitioned matcher (wildcards stay prohibited).
+
+The ``demoted_for_*`` methods compute those minimal moves; the engine
+applies them (see
+:attr:`repro.core.engine.MatchingEngine.demote_on_violation`).
 """
 
 from __future__ import annotations
@@ -97,6 +116,30 @@ class RelaxationSet:
             "unexp" if self.unexpected else "pre",
         ]
         return "+".join(parts)
+
+    # -- demotion lattice -------------------------------------------------------------
+
+    def demoted_for_wildcards(self) -> "RelaxationSet":
+        """Minimal demotion admitting a wildcard request.
+
+        Wildcards force the single-queue matrix design point (partitioning
+        and hashing both require knowing the source), so ordering comes
+        back with them.
+        """
+        return RelaxationSet(wildcards=True, ordering=True,
+                             unexpected=self.unexpected)
+
+    def demoted_for_unexpected(self) -> "RelaxationSet":
+        """Minimal demotion admitting unexpected messages (re-enables
+        compaction; the matcher family is unchanged)."""
+        return RelaxationSet(wildcards=self.wildcards,
+                             ordering=self.ordering, unexpected=True)
+
+    def demoted_for_ordering(self) -> "RelaxationSet":
+        """Minimal demotion restoring the non-overtaking guarantee
+        (hash -> partitioned: wildcards stay prohibited)."""
+        return RelaxationSet(wildcards=self.wildcards, ordering=True,
+                             unexpected=self.unexpected)
 
     # -- workload validation ----------------------------------------------------------
 

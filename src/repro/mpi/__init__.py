@@ -8,6 +8,10 @@ Communicators (:mod:`.communicator`) and BSP collectives
 (:mod:`.collectives`) complete the familiar MPI surface.
 """
 
+from .faults import (FaultLedger, FaultPlan, FaultSpec, FaultEvent,
+                     chaos_plan)
+from .reliability import (DeliveryFailure, ReliabilityConfig,
+                          ReliabilityLayer, StallError, StallReport)
 from .collectives import (allgather, allreduce, alltoall, barrier, bcast,
                           gather, reduce, scan, scatter)
 from .communicator import Communicator
@@ -29,4 +33,7 @@ __all__ = [
     "reduce", "allreduce", "scan",
     "waitall", "waitany", "testall", "PersistentRecv", "PersistentSend",
     "RingBuffer", "IngressRings",
+    "FaultPlan", "FaultSpec", "FaultLedger", "FaultEvent", "chaos_plan",
+    "ReliabilityConfig", "ReliabilityLayer", "DeliveryFailure",
+    "StallError", "StallReport",
 ]

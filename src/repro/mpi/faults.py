@@ -1,0 +1,230 @@
+"""Seeded fault injection for the GAS transport.
+
+The paper's system model (Section II-C) assumes a perfectly reliable
+interconnect: every remote store arrives, arrives once, and arrives in
+pair order.  Real links drop, duplicate, delay, reorder, and corrupt
+packets; a production message-passing layer has to be exercised against
+all five.  This module provides the *injection* side of that story:
+
+* :class:`FaultSpec` -- per-link fault rates (one probability per fault
+  class, plus the delay depth for delayed frames);
+* :class:`FaultPlan` -- a seeded decision source the network consults on
+  every transmission.  Draws are made in a fixed order from one
+  ``numpy`` generator, so a plan seed fully determines the fault
+  sequence: same seed, same traffic => same faults, which is what makes
+  chaos runs replayable;
+* :class:`FaultLedger` -- the append-only record of every injected fault
+  *and* every recovery action the reliability protocol takes
+  (retransmit, duplicate filtered, corruption detected, give-up).  The
+  ledger's :meth:`~FaultLedger.signature` is the replay-identity used by
+  the deterministic-seed tests.
+
+The *recovery* side (sequence numbers, acks, retransmission) lives in
+:mod:`repro.mpi.reliability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["FaultSpec", "FaultDecision", "FaultPlan", "FaultLedger",
+           "FaultEvent", "NO_FAULTS"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-link fault rates (independent probabilities per transmission).
+
+    Attributes
+    ----------
+    drop:
+        Frame vanishes on the wire.
+    duplicate:
+        Frame is delivered twice (an extra copy arrives immediately).
+    delay:
+        Frame is parked in flight and released ``delay_ticks`` network
+        ticks later (it may be overtaken by younger frames meanwhile).
+    reorder:
+        Frame is held back until the *next* frame on the same link is
+        transmitted, producing genuine overtaking on the wire.
+    corrupt:
+        Frame arrives with a damaged header; the receiver's checksum
+        rejects it, so a corrupted frame behaves like a detected drop.
+    delay_ticks:
+        How many network ticks a delayed frame stays in flight.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    delay_ticks: int = 2
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if f.name == "delay_ticks":
+                continue
+            p = getattr(self, f.name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{f.name} rate must be in [0, 1], got {p}")
+        if self.delay_ticks < 1:
+            raise ValueError("delay_ticks must be positive")
+
+    @property
+    def any_faults(self) -> bool:
+        """Does this spec ever inject anything?"""
+        return any(getattr(self, f.name) > 0.0 for f in fields(self)
+                   if f.name != "delay_ticks")
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The fate of one transmitted frame (one row of rng draws)."""
+
+    drop: bool = False
+    duplicate: bool = False
+    delay_ticks: int = 0
+    reorder: bool = False
+    corrupt: bool = False
+
+
+#: The no-op decision (used for retransmissions on a fault-free link and
+#: when no plan is installed).
+NO_FAULTS = FaultDecision()
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One ledger entry: an injected fault or a recovery action."""
+
+    kind: str
+    src: int
+    dst: int
+    seq: int
+    tick: int
+
+
+class FaultLedger:
+    """Append-only record of faults injected and recoveries performed."""
+
+    def __init__(self) -> None:
+        self.events: list[FaultEvent] = []
+        self.counts: dict[str, int] = {}
+
+    def record(self, kind: str, src: int, dst: int, seq: int,
+               tick: int) -> None:
+        """Append one event and bump its kind counter."""
+        self.events.append(FaultEvent(kind, src, dst, seq, tick))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def count(self, kind: str) -> int:
+        """Events of one kind (0 when the kind never occurred)."""
+        return self.counts.get(kind, 0)
+
+    def signature(self) -> tuple:
+        """Hashable replay identity: the full event sequence.
+
+        Two runs with the same plan seed and the same traffic must
+        produce equal signatures -- the deterministic-chaos contract.
+        """
+        return tuple((e.kind, e.src, e.dst, e.seq, e.tick)
+                     for e in self.events)
+
+    def summary(self) -> dict:
+        """Counts per kind plus the total (for reports)."""
+        return {"total": len(self.events), **dict(sorted(self.counts.items()))}
+
+
+class FaultPlan:
+    """Seeded per-link fault decisions consulted by the transport.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the single ``numpy`` generator all draws come from.
+    default:
+        Fault rates for links without an override (default: no faults,
+        which makes ``FaultPlan(seed)`` a *null plan* -- useful to run
+        the reliability protocol with zero injected faults).
+    links:
+        Optional per-``(src, dst)`` overrides.
+
+    Notes
+    -----
+    Every data-frame decision draws exactly five uniforms and every ack
+    decision exactly one, regardless of which rates are zero, so the
+    random stream (and hence the whole fault sequence) is a function of
+    the seed and the *order* of transmissions only.
+    """
+
+    def __init__(self, seed: int, default: FaultSpec = FaultSpec(),
+                 links: dict[tuple[int, int], FaultSpec] | None = None,
+                 ) -> None:
+        self.seed = seed
+        self.default = default
+        self._links: dict[tuple[int, int], FaultSpec] = dict(links or {})
+        self._rng = np.random.default_rng(seed)
+        self.ledger = FaultLedger()
+        self.decisions = 0
+
+    def set_link(self, src: int, dst: int, spec: FaultSpec) -> None:
+        """Override the fault rates of one directed link."""
+        self._links[(src, dst)] = spec
+
+    def spec_for(self, src: int, dst: int) -> FaultSpec:
+        """The spec governing one directed link."""
+        return self._links.get((src, dst), self.default)
+
+    # -- decision draws ---------------------------------------------------------
+
+    def decide(self, src: int, dst: int) -> FaultDecision:
+        """Fate of one data frame on ``src -> dst`` (five draws)."""
+        spec = self.spec_for(src, dst)
+        u = self._rng.random(5)
+        self.decisions += 1
+        delay = bool(u[2] < spec.delay)
+        return FaultDecision(
+            drop=bool(u[0] < spec.drop),
+            duplicate=bool(u[1] < spec.duplicate),
+            delay_ticks=spec.delay_ticks if delay else 0,
+            # delay and reorder both displace the frame; delay wins
+            reorder=bool(u[3] < spec.reorder) and not delay,
+            corrupt=bool(u[4] < spec.corrupt),
+        )
+
+    def decide_ack_drop(self, src: int, dst: int) -> bool:
+        """Is this ack (travelling ``src -> dst``) lost?  (One draw; acks
+        share the link's drop rate.)"""
+        spec = self.spec_for(src, dst)
+        self.decisions += 1
+        return bool(self._rng.random() < spec.drop)
+
+    # -- replay -----------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Rewind the generator and clear the ledger (fresh replay)."""
+        self._rng = np.random.default_rng(self.seed)
+        self.ledger = FaultLedger()
+        self.decisions = 0
+
+
+def chaos_plan(seed: int, drop: float = 0.05, duplicate: float = 0.02,
+               delay: float = 0.03, reorder: float = 0.03,
+               corrupt: float = 0.01, delay_ticks: int = 2,
+               links: Iterable[tuple[int, int]] | None = None) -> FaultPlan:
+    """Convenience constructor for the chaos suite's mixed-fault plan."""
+    spec = FaultSpec(drop=drop, duplicate=duplicate, delay=delay,
+                     reorder=reorder, corrupt=corrupt,
+                     delay_ticks=delay_ticks)
+    plan = FaultPlan(seed=seed, default=spec)
+    if links is not None:
+        for src, dst in links:
+            plan.set_link(src, dst, spec)
+    return plan

@@ -11,15 +11,30 @@ that is visible to the target immediately and **in order per (source,
 destination) pair** -- the property MPI's non-overtaking guarantee builds
 on.  A simple latency/bandwidth model accumulates simulated transfer time
 (NVLink-class numbers by default).
+
+When a :class:`~repro.mpi.faults.FaultPlan` is installed the perfect
+wire becomes lossy and a :class:`~repro.mpi.reliability.ReliabilityLayer`
+is stacked on top, restoring exactly-once pair-ordered delivery via
+sequence numbers, acks, and timed retransmission.  Without a plan, none
+of that machinery is instantiated: the fault-free path is byte-for-byte
+the original immediate-delivery transport.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
-__all__ = ["LinkModel", "NVLINK", "PCIE3", "GASNetwork", "MessageDescriptor"]
+__all__ = ["LinkModel", "NVLINK", "PCIE3", "GASNetwork", "MessageDescriptor",
+           "ENVELOPE_BYTES"]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .faults import FaultPlan
+    from .reliability import ReliabilityConfig
+
+#: Size of one envelope write (64-bit packed header + pointer/size word).
+ENVELOPE_BYTES = 16
 
 
 @dataclass(frozen=True)
@@ -96,13 +111,27 @@ class GASNetwork:
     link:
         Cost model for transfers.
     deliver:
-        Callback ``(descriptor) -> None`` installed by the cluster; writes
-        the descriptor into the destination endpoint's message queue (a
-        remote GAS store in the modelled system).
+        Callback ``(descriptor, retry=False) -> bool`` installed by the
+        cluster; writes the descriptor into the destination endpoint's
+        message queue (a remote GAS store in the modelled system) and
+        returns False when flow control rejects the store.  ``retry``
+        marks re-push attempts of previously rejected stores.
+    fault_plan:
+        Optional :class:`~repro.mpi.faults.FaultPlan`.  Installing one
+        makes the wire lossy *and* stacks the reliability protocol on
+        top; ``None`` (default) keeps the idealized reliable wire with
+        zero added bookkeeping.
+    reliability:
+        Optional :class:`~repro.mpi.reliability.ReliabilityConfig`
+        tuning the retransmission protocol.  Supplying one without a
+        fault plan runs the protocol (seqnos + acks) over a fault-free
+        wire, which is useful for measuring its modelled overhead.
     """
 
     def __init__(self, link: LinkModel = NVLINK,
-                 deliver: Callable[[MessageDescriptor], bool] | None = None,
+                 deliver: Callable[..., bool] | None = None,
+                 fault_plan: "FaultPlan | None" = None,
+                 reliability: "ReliabilityConfig | None" = None,
                  ) -> None:
         self.link = link
         self._deliver = deliver
@@ -113,8 +142,17 @@ class GASNetwork:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.holds_total = 0
+        self.fault_plan = fault_plan
+        self.reliability = None
+        if fault_plan is not None or reliability is not None:
+            from .faults import FaultPlan
+            from .reliability import ReliabilityLayer
+            if fault_plan is None:
+                self.fault_plan = fault_plan = FaultPlan(seed=0)
+            self.reliability = ReliabilityLayer(self, fault_plan,
+                                                reliability)
 
-    def attach(self, deliver: Callable[[MessageDescriptor], None]) -> None:
+    def attach(self, deliver: Callable[..., bool]) -> None:
         """Install the delivery callback (done by the cluster)."""
         self._deliver = deliver
 
@@ -130,21 +168,31 @@ class GASNetwork:
         pair = (desc.src, desc.dst)
         desc.seq = self._pair_seq.get(pair, 0)
         self._pair_seq[pair] = desc.seq + 1
-        envelope_bytes = 16  # 64-bit packed header + pointer/size word
-        charged = envelope_bytes + (desc.nbytes if desc.eager else 0)
+        charged = ENVELOPE_BYTES + (desc.nbytes if desc.eager else 0)
         self.transfer_seconds_total += self.link.transfer_seconds(charged)
         self.wire_busy_seconds += self.link.occupancy_seconds(charged)
         self.messages_sent += 1
         self.bytes_sent += charged
+        if self.reliability is not None:
+            self.reliability.send(desc)
+            return
+        self.deliver_or_hold(desc)
+
+    def deliver_or_hold(self, desc: MessageDescriptor) -> bool:
+        """Deliver one in-order descriptor, or park it behind flow
+        control; preserves pair order across the hold queue."""
+        pair = (desc.src, desc.dst)
         held = self._held.get(pair)
         if held is not None:
             # channel already back-pressured: keep pair order, queue behind
             held.append(desc)
             self.holds_total += 1
-            return
+            return False
         if not self._deliver(desc):
             self._held[pair] = deque([desc])
             self.holds_total += 1
+            return False
+        return True
 
     def retry_held(self) -> int:
         """Retry the head of every back-pressured channel, in pair order.
@@ -156,12 +204,23 @@ class GASNetwork:
         delivered = 0
         for pair in list(self._held):
             queue = self._held[pair]
-            while queue and self._deliver(queue[0]):
+            while queue and self._deliver(queue[0], True):
                 queue.popleft()
                 delivered += 1
             if not queue:
                 del self._held[pair]
         return delivered
+
+    def tick(self) -> None:
+        """Advance the reliability clock one progress pass (no-op on the
+        fault-free fast path)."""
+        if self.reliability is not None:
+            self.reliability.tick()
+
+    @property
+    def reliability_busy(self) -> bool:
+        """Is the reliability layer still recovering traffic?"""
+        return self.reliability is not None and self.reliability.busy
 
     @property
     def held_messages(self) -> int:
@@ -171,6 +230,24 @@ class GASNetwork:
     def charge_fetch(self, nbytes: int) -> float:
         """Account a rendezvous payload transfer (a dependent round trip,
         so full latency applies); returns its duration."""
+        dt = self.link.transfer_seconds(nbytes)
+        self.transfer_seconds_total += dt
+        self.wire_busy_seconds += self.link.occupancy_seconds(nbytes)
+        self.bytes_sent += nbytes
+        return dt
+
+    def charge_retransmit(self, desc: MessageDescriptor) -> float:
+        """Account one retransmission: the same wire cost as the first
+        transmission of the frame (honest recovery accounting)."""
+        charged = ENVELOPE_BYTES + (desc.nbytes if desc.eager else 0)
+        dt = self.link.transfer_seconds(charged)
+        self.transfer_seconds_total += dt
+        self.wire_busy_seconds += self.link.occupancy_seconds(charged)
+        self.bytes_sent += charged
+        return dt
+
+    def charge_control(self, nbytes: int) -> float:
+        """Account one control frame (ack/credit return)."""
         dt = self.link.transfer_seconds(nbytes)
         self.transfer_seconds_total += dt
         self.wire_busy_seconds += self.link.occupancy_seconds(nbytes)

@@ -22,8 +22,10 @@ from ..core.engine import MatchingEngine
 from ..core.relaxations import RelaxationSet
 from ..simt.gpu import GPUSpec, PASCAL_GTX1080
 from .datatypes import Protocol, clone_payload
+from .faults import FaultPlan
 from .network import GASNetwork, LinkModel, MessageDescriptor, NVLINK
 from .progress import Endpoint
+from .reliability import ReliabilityConfig, StallError, StallReport
 from .request import Request
 
 __all__ = ["Cluster", "RankView"]
@@ -55,6 +57,21 @@ class Cluster:
     queue_capacity:
         Optional hard UMQ/PRQ bound per endpoint (statically sized GPU
         queues); overflowing raises OverflowError.
+    fault_plan:
+        Optional :class:`~repro.mpi.faults.FaultPlan` making the network
+        lossy; installing one stacks the reliability protocol (seqnos,
+        acks, retransmission) on the transport.  ``None`` (default)
+        keeps the idealized reliable wire at zero cost.
+    reliability:
+        Optional :class:`~repro.mpi.reliability.ReliabilityConfig`
+        tuning timeouts/backoff/retry budget of that protocol.
+    ring_policy:
+        ``"backpressure"`` (default) or ``"spill"`` -- see
+        :class:`~repro.mpi.progress.Endpoint`.
+    demote_on_violation:
+        Graceful degradation: runtime relaxation violations demote the
+        matcher (hash -> partitioned -> matrix) instead of raising --
+        see :class:`~repro.core.engine.MatchingEngine`.
     """
 
     def __init__(self, n_ranks: int, gpu: GPUSpec = PASCAL_GTX1080,
@@ -64,30 +81,37 @@ class Cluster:
                  ring_capacity: int | None = None,
                  progress_mode: str = "incremental",
                  queue_capacity: int | None = None,
+                 fault_plan: FaultPlan | None = None,
+                 reliability: ReliabilityConfig | None = None,
+                 ring_policy: str = "backpressure",
+                 demote_on_violation: bool = False,
                  **engine_kwargs) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be positive")
         self.n_ranks = n_ranks
         self.relaxations = (relaxations if relaxations is not None
                             else RelaxationSet())
-        self.network = GASNetwork(link=link)
+        self.network = GASNetwork(link=link, fault_plan=fault_plan,
+                                  reliability=reliability)
         if engine_factory is None:
             engine_factory = lambda rank: MatchingEngine(  # noqa: E731
-                gpu=gpu, relaxations=self.relaxations, **engine_kwargs)
+                gpu=gpu, relaxations=self.relaxations,
+                demote_on_violation=demote_on_violation, **engine_kwargs)
         self.endpoints = [Endpoint(rank, engine_factory(rank), self.network,
                                    ring_capacity=ring_capacity,
                                    progress_mode=progress_mode,
-                                   queue_capacity=queue_capacity)
+                                   queue_capacity=queue_capacity,
+                                   ring_policy=ring_policy)
                           for rank in range(n_ranks)]
         self.network.attach(self._deliver)
         self._views = [RankView(self, r) for r in range(n_ranks)]
 
     # -- plumbing ------------------------------------------------------------------
 
-    def _deliver(self, desc: MessageDescriptor) -> bool:
+    def _deliver(self, desc: MessageDescriptor, retry: bool = False) -> bool:
         if not 0 <= desc.dst < self.n_ranks:
             raise ValueError(f"destination rank {desc.dst} out of range")
-        return self.endpoints[desc.dst].deliver(desc)
+        return self.endpoints[desc.dst].deliver(desc, retry=retry)
 
     # -- user API ----------------------------------------------------------------------
 
@@ -100,18 +124,43 @@ class Cluster:
         return list(self._views)
 
     def progress(self) -> int:
-        """One progress pass: retry back-pressured channels, then run
-        every endpoint's communication kernel; returns total matches."""
+        """One progress pass: advance the reliability clock, retry
+        back-pressured channels, then run every endpoint's communication
+        kernel; returns total matches."""
+        self.network.tick()
         self.network.retry_held()
         return sum(ep.progress() for ep in self.endpoints)
 
     def drain(self, max_rounds: int = 10_000) -> None:
-        """Pump progress until no endpoint can make further matches and
-        no traffic is stuck behind flow control."""
+        """Pump progress until no endpoint can make further matches, no
+        traffic is stuck behind flow control, and the reliability layer
+        (if any) has nothing left to recover.
+
+        Raises
+        ------
+        StallError
+            The progress watchdog: carries a structured
+            :class:`~repro.mpi.reliability.StallReport` (queue depths,
+            outstanding sequence numbers, oldest unmatched envelopes)
+            when the cluster fails to quiesce within ``max_rounds``.
+        """
         for _ in range(max_rounds):
-            if self.progress() == 0 and self.network.held_messages == 0:
+            if (self.progress() == 0 and self.network.held_messages == 0
+                    and not self.network.reliability_busy):
                 return
-        raise RuntimeError("cluster did not quiesce; runaway traffic?")
+        raise StallError(self.stall_report(max_rounds))
+
+    def stall_report(self, rounds: int = 0) -> StallReport:
+        """Structured snapshot of everything that is stuck (the progress
+        watchdog's diagnosis; cheap enough to call ad hoc)."""
+        rel = self.network.reliability
+        return StallReport(
+            rounds=rounds,
+            ranks=[ep.stall_info() for ep in self.endpoints],
+            held_messages=self.network.held_messages,
+            outstanding=rel.outstanding() if rel is not None else {},
+            reliability=rel.stats() if rel is not None else None,
+        )
 
     # -- accounting --------------------------------------------------------------------
 
@@ -196,14 +245,25 @@ class RankView:
 
     def probe(self, src: int, tag: int, comm: int = 0, max_rounds: int = 10_000):
         """Blocking probe: pump progress until a matching message is
-        queued; returns its Status without consuming it."""
+        queued; returns its Status without consuming it.
+
+        Returns ``None`` (a no-match result, like :meth:`iprobe`) when
+        the cluster quiesces -- or ``max_rounds`` passes elapse --
+        without a matching message appearing: an empty queue is a
+        transient condition the caller can poll, not an error.
+        """
         for _ in range(max_rounds):
             status = self.iprobe(src, tag, comm)
             if status is not None:
                 return status
-            self.cluster.progress()
-        raise RuntimeError("probe found no matching message: likely "
-                           "deadlock (no sender?)")
+            quiesced = (self.cluster.progress() == 0
+                        and self.cluster.network.held_messages == 0
+                        and not self.cluster.network.reliability_busy)
+            if quiesced:
+                # nothing further can arrive without new sends; report
+                # no-match now instead of burning the remaining rounds
+                return self.iprobe(src, tag, comm)
+        return None
 
     def isendrecv(self, dst: int, payload: Any, src: int,
                   send_tag: int = 0, recv_tag: int | None = None,

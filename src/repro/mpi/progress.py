@@ -12,6 +12,8 @@ the trace study performs (Figure 2).
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from ..core.engine import MatchingEngine
@@ -42,6 +44,14 @@ class Endpoint:
         the UMQ; a full ring *rejects* the store and the network holds
         the channel back -- credit-style flow control.  ``None`` keeps
         the idealized unbounded queue.
+    ring_policy:
+        What a full ingress ring does with an arriving store.
+        ``"backpressure"`` (default) rejects it so the network holds the
+        channel (credit flow control); ``"spill"`` accepts it into an
+        unbounded per-source host-side spill buffer that is re-pushed
+        into the ring on every progress pass -- per-source FIFO order is
+        preserved because arrivals queue *behind* the spill once it is
+        non-empty.  Spilled and re-pushed counts appear in :meth:`stats`.
     queue_capacity:
         Optional hard bound on UMQ/PRQ depth.  GPU queues are statically
         sized (no in-kernel malloc, Section VII-C); exceeding the bound
@@ -62,10 +72,14 @@ class Endpoint:
                  network: GASNetwork,
                  ring_capacity: int | None = None,
                  progress_mode: str = "incremental",
-                 queue_capacity: int | None = None) -> None:
+                 queue_capacity: int | None = None,
+                 ring_policy: str = "backpressure") -> None:
         if progress_mode not in ("incremental", "snapshot"):
             raise ValueError("progress_mode must be 'incremental' or "
                              "'snapshot'")
+        if ring_policy not in ("backpressure", "spill"):
+            raise ValueError("ring_policy must be 'backpressure' or "
+                             "'spill'")
         self.rank = rank
         self.engine = engine
         self.network = network
@@ -75,6 +89,10 @@ class Endpoint:
                                 capacity=queue_capacity)
         self.rings = (IngressRings(ring_capacity)
                       if ring_capacity is not None else None)
+        self.ring_policy = ring_policy
+        self._spill: dict[int, deque] = {}
+        self.spilled_total = 0
+        self.spill_max = 0
         self.progress_mode = progress_mode
         self._checked_msg_seq = -1
         self._checked_req_seq = -1
@@ -85,17 +103,48 @@ class Endpoint:
 
     # -- queue entry points ------------------------------------------------------
 
-    def deliver(self, desc: MessageDescriptor) -> bool:
+    def deliver(self, desc: MessageDescriptor, retry: bool = False) -> bool:
         """A remote send stores this descriptor at our endpoint.
 
         Returns False when a full ingress ring rejected it (flow
         control); the network must then hold the whole channel to keep
-        pair ordering.
+        pair ordering.  Under the ``"spill"`` ring policy a full ring
+        never rejects: the descriptor lands in the per-source spill
+        buffer instead and is re-pushed on the next progress pass.
         """
-        if self.rings is not None:
-            return self.rings.try_push(desc.src, desc)
-        self._umq_append(desc)
-        return True
+        if self.rings is None:
+            self._umq_append(desc)
+            return True
+        spill = self._spill.get(desc.src)
+        if spill:
+            # order: once a source has spilled, arrivals queue behind it
+            self._spill_append(desc)
+            return True
+        if self.rings.try_push(desc.src, desc, retry=retry):
+            return True
+        if self.ring_policy == "spill":
+            self._spill_append(desc)
+            return True
+        return False
+
+    def _spill_append(self, desc: MessageDescriptor) -> None:
+        self._spill.setdefault(desc.src, deque()).append(desc)
+        self.spilled_total += 1
+        self.spill_max = max(self.spill_max, self.spill_pending)
+
+    def _drain_spill(self) -> None:
+        """Re-push spilled descriptors into their rings, oldest first."""
+        for src in list(self._spill):
+            queue = self._spill[src]
+            while queue and self.rings.try_push(src, queue[0], retry=True):
+                queue.popleft()
+            if not queue:
+                del self._spill[src]
+
+    @property
+    def spill_pending(self) -> int:
+        """Descriptors currently parked in spill buffers."""
+        return sum(len(q) for q in self._spill.values())
 
     def _umq_append(self, desc: MessageDescriptor) -> None:
         env = Envelope(src=desc.src, tag=desc.tag, comm=desc.comm)
@@ -103,10 +152,14 @@ class Endpoint:
 
     def post_receive(self, src: int, tag: int, comm: int,
                      request: Request) -> None:
-        """Post a receive request into the request queue."""
+        """Post a receive request into the request queue.
+
+        Admission goes through the engine so a wildcard under a
+        no-wildcard relaxation either raises (default) or demotes the
+        matcher when graceful degradation is enabled.
+        """
         env = Envelope(src=src, tag=tag, comm=comm)
-        self.engine.relaxations.validate_requests(
-            _single_batch(env))
+        self.engine.admit_requests(_single_batch(env))
         self.prq.append(env, payload=request)
 
     # -- the communication kernel's main loop --------------------------------------
@@ -120,6 +173,9 @@ class Endpoint:
                       else self.umq.capacity - len(self.umq))
             for desc in self.rings.drain(budget=budget):
                 self._umq_append(desc)
+            if self._spill:
+                # refill the slots the drain just freed from the spill
+                self._drain_spill()
         if len(self.umq) == 0 or len(self.prq) == 0:
             return 0
         self.umq.observe_depth()
@@ -226,6 +282,35 @@ class Endpoint:
         """Current posted-receive count."""
         return len(self.prq)
 
+    def oldest_unmatched(self) -> dict | None:
+        """Envelope + arrival seq of the oldest unmatched message, or
+        None on an empty UMQ (watchdog diagnostics)."""
+        return self._oldest_of(self.umq)
+
+    def oldest_posted(self) -> dict | None:
+        """Envelope + post seq of the oldest open receive, or None."""
+        return self._oldest_of(self.prq)
+
+    @staticmethod
+    def _oldest_of(queue: UnifiedQueue) -> dict | None:
+        if len(queue) == 0:
+            return None
+        env = queue.snapshot()[0]
+        return {"src": env.src, "tag": env.tag, "comm": env.comm,
+                "seq": queue.seq_at(0)}
+
+    def stall_info(self) -> dict:
+        """Snapshot for the progress watchdog's stall report."""
+        return {
+            "rank": self.rank,
+            "umq_depth": len(self.umq),
+            "prq_depth": len(self.prq),
+            "oldest_unmatched": self.oldest_unmatched(),
+            "oldest_posted": self.oldest_posted(),
+            "rings_queued": self.rings.queued if self.rings is not None else 0,
+            "spill_pending": self.spill_pending,
+        }
+
     def stats(self) -> dict:
         """Queue and matching statistics for reports."""
         return {
@@ -239,6 +324,10 @@ class Endpoint:
             "match_seconds": self.match_seconds,
             "pairs_checked": self.pairs_checked,
             "rings": self.rings.stats() if self.rings is not None else None,
+            "spilled": self.spilled_total,
+            "spill_pending": self.spill_pending,
+            "spill_max": self.spill_max,
+            "demotions": len(getattr(self.engine, "demotions", ())),
         }
 
 

@@ -1,0 +1,411 @@
+"""Reliability protocol and progress watchdog for the GAS transport.
+
+:mod:`repro.mpi.faults` breaks the link; this module repairs it.  The
+protocol is the classic sliding-window recipe MPI transports run over
+lossy fabrics (cf. MPI Advance's resilience layers), charged in
+*simulated* time so the paper's cost model stays honest:
+
+* **Sequence numbers** -- every frame carries its per-``(src, dst)``
+  sequence number (the same counter the matcher's pair-ordering
+  guarantee is built on) plus a header checksum.
+* **Receiver state** -- per-pair cursor of the next expected sequence
+  number.  In-order frames are released to the endpoint immediately;
+  out-of-order frames are buffered and released when the gap fills
+  (restoring pair order under reordering and delay); frames at or below
+  the cursor are duplicates and are filtered (exactly-once); checksum
+  mismatches are recorded and dropped (corruption becomes a detected
+  loss).
+* **Acks and retransmission** -- the receiver returns a cumulative ack
+  per pair; the sender keeps unacked frames in a retransmit buffer and
+  resends on timeout with exponential backoff and a bounded retry
+  budget.  Acks travel the same lossy link (they share the drop rate);
+  a lost ack is repaired by the next retransmission/re-ack cycle.
+  Exhausting the budget raises :class:`DeliveryFailure`.
+* **Timing charges** -- every retransmission is charged the same wire
+  cost as a first transmission, and every ack is charged as a small
+  control frame, so fault recovery shows up in ``transfer_seconds`` /
+  ``wire_busy_seconds`` exactly like real traffic would.  The protocol
+  clock advances by ``tick_seconds`` per cluster progress pass.
+
+The module also hosts the **progress watchdog**: :class:`StallReport`
+(queue depths, outstanding sequence numbers, oldest unmatched envelope
+per rank) and :class:`StallError`, raised by
+:meth:`repro.mpi.process.Cluster.drain` instead of a bare
+``RuntimeError`` when the cluster fails to quiesce.
+
+When no fault plan is installed the network never instantiates this
+layer, so the reliable path is *zero-cost when idle*: fault-free runs
+produce bit-identical figures.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+__all__ = ["ReliabilityConfig", "ReliabilityLayer", "DeliveryFailure",
+           "Frame", "StallReport", "StallError"]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .faults import FaultPlan
+    from .network import GASNetwork, MessageDescriptor
+
+
+class DeliveryFailure(RuntimeError):
+    """A frame exhausted its retry budget (link declared dead)."""
+
+    def __init__(self, src: int, dst: int, seq: int, attempts: int) -> None:
+        super().__init__(
+            f"frame seq={seq} on link {src}->{dst} undelivered after "
+            f"{attempts} attempts; retry budget exhausted")
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Knobs of the retransmission protocol.
+
+    Attributes
+    ----------
+    timeout_seconds:
+        Base retransmit timeout (simulated seconds from transmission to
+        the first resend when no ack arrives).
+    backoff:
+        Multiplier applied to the timeout per failed attempt
+        (exponential backoff, capped at ``max_backoff``).
+    max_retries:
+        Retransmissions allowed per frame before
+        :class:`DeliveryFailure`.
+    max_backoff:
+        Upper bound on the backoff multiplier.
+    ack_bytes:
+        Modelled size of one cumulative-ack control frame.
+    tick_seconds:
+        Simulated time one network tick (= one cluster progress pass)
+        advances the protocol clock; default is one NVLink-class round
+        trip.
+    """
+
+    timeout_seconds: float = 10e-6
+    backoff: float = 2.0
+    max_retries: int = 12
+    max_backoff: float = 64.0
+    ack_bytes: int = 8
+    tick_seconds: float = 2.6e-6
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds <= 0 or self.tick_seconds <= 0:
+            raise ValueError("timeout_seconds and tick_seconds must be "
+                             "positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+
+
+@dataclass
+class Frame:
+    """One descriptor on the wire, with protocol header fields."""
+
+    desc: "MessageDescriptor"
+    seq: int
+    checksum: int
+    deadline: float
+    attempts: int = 1
+
+
+def header_checksum(desc: "MessageDescriptor", seq: int) -> int:
+    """CRC over the immutable header words (what corruption damages)."""
+    packed = (f"{desc.src},{desc.dst},{desc.tag},{desc.comm},"
+              f"{desc.nbytes},{int(desc.eager)},{seq}").encode()
+    return zlib.crc32(packed)
+
+
+class _TxChannel:
+    """Sender-side per-pair state: retransmit buffer."""
+
+    __slots__ = ("unacked",)
+
+    def __init__(self) -> None:
+        self.unacked: dict[int, Frame] = {}
+
+
+class _RxChannel:
+    """Receiver-side per-pair state: cursor + out-of-order buffer."""
+
+    __slots__ = ("expected", "buffer")
+
+    def __init__(self) -> None:
+        self.expected = 0
+        self.buffer: dict[int, "MessageDescriptor"] = {}
+
+
+class ReliabilityLayer:
+    """Exactly-once, per-pair-ordered delivery over a faulty link.
+
+    Owned by :class:`~repro.mpi.network.GASNetwork` when a fault plan is
+    installed; never constructed on the fault-free fast path.
+    """
+
+    def __init__(self, network: "GASNetwork", plan: "FaultPlan",
+                 config: ReliabilityConfig | None = None) -> None:
+        self.net = network
+        self.plan = plan
+        self.cfg = config if config is not None else ReliabilityConfig()
+        self.ledger = plan.ledger
+        self._tx: dict[tuple[int, int], _TxChannel] = {}
+        self._rx: dict[tuple[int, int], _RxChannel] = {}
+        #: delayed frames: (release_tick, insertion_order, frame)
+        self._inflight: list[tuple[int, int, Frame]] = []
+        self._inflight_order = 0
+        #: one reorder slot per pair: frame held until the next transmit
+        self._reorder: dict[tuple[int, int], Frame] = {}
+        self.tick_count = 0
+        self.now = 0.0
+        self.retransmits = 0
+        self.acks_sent = 0
+        self.give_ups = 0
+        self.recovery_seconds = 0.0
+
+    # -- sender entry point -----------------------------------------------------
+
+    def send(self, desc: "MessageDescriptor") -> None:
+        """Track ``desc`` for retransmission and put it on the wire.
+
+        Called by the network *after* the pair sequence number is
+        assigned and the first transmission's wire time is charged.
+        """
+        pair = (desc.src, desc.dst)
+        frame = Frame(desc=desc, seq=desc.seq,
+                      checksum=header_checksum(desc, desc.seq),
+                      deadline=self.now + self.cfg.timeout_seconds)
+        self._tx.setdefault(pair, _TxChannel()).unacked[frame.seq] = frame
+        self._transmit(frame)
+
+    # -- the wire ---------------------------------------------------------------
+
+    def _transmit(self, frame: Frame) -> None:
+        """Push one frame through the fault plan onto the wire."""
+        src, dst = frame.desc.src, frame.desc.dst
+        pair = (src, dst)
+        d = self.plan.decide(src, dst)
+        if d.corrupt:
+            self.ledger.record("corrupt", src, dst, frame.seq,
+                               self.tick_count)
+            # the damaged header arrives; the pristine copy stays in the
+            # retransmit buffer for recovery
+            self._arrive(replace(frame,
+                                 checksum=frame.checksum ^ 0x5A5A5A5A))
+            return
+        if d.drop:
+            self.ledger.record("drop", src, dst, frame.seq, self.tick_count)
+            return
+        if d.duplicate:
+            self.ledger.record("duplicate", src, dst, frame.seq,
+                               self.tick_count)
+            self._arrive(frame)
+        if d.delay_ticks:
+            self.ledger.record("delay", src, dst, frame.seq, self.tick_count)
+            heapq.heappush(self._inflight,
+                           (self.tick_count + d.delay_ticks,
+                            self._inflight_order, frame))
+            self._inflight_order += 1
+            return
+        if d.reorder and pair not in self._reorder:
+            self.ledger.record("reorder", src, dst, frame.seq,
+                               self.tick_count)
+            self._reorder[pair] = frame
+            return
+        self._arrive(frame)
+        held = self._reorder.pop(pair, None)
+        if held is not None:
+            # the held frame was just overtaken; it arrives now
+            self._arrive(held)
+
+    # -- receiver ----------------------------------------------------------------
+
+    def _arrive(self, frame: Frame) -> None:
+        desc = frame.desc
+        pair = (desc.src, desc.dst)
+        if frame.checksum != header_checksum(desc, frame.seq):
+            self.ledger.record("corrupt_detected", desc.src, desc.dst,
+                               frame.seq, self.tick_count)
+            return  # no ack: the sender's timeout recovers it
+        rx = self._rx.get(pair)
+        if rx is None:
+            rx = self._rx[pair] = _RxChannel()
+        if frame.seq == rx.expected:
+            self._release(desc)
+            rx.expected += 1
+            while rx.expected in rx.buffer:
+                self._release(rx.buffer.pop(rx.expected))
+                rx.expected += 1
+        elif frame.seq > rx.expected:
+            if frame.seq in rx.buffer:
+                self.ledger.record("dup_filtered", desc.src, desc.dst,
+                                   frame.seq, self.tick_count)
+            else:
+                self.ledger.record("ooo_buffered", desc.src, desc.dst,
+                                   frame.seq, self.tick_count)
+                rx.buffer[frame.seq] = desc
+        else:
+            self.ledger.record("dup_filtered", desc.src, desc.dst,
+                               frame.seq, self.tick_count)
+        self._send_ack(pair, rx.expected - 1)
+
+    def _release(self, desc: "MessageDescriptor") -> None:
+        """Hand an in-order, exactly-once descriptor to the endpoint
+        (ring-full backpressure still applies downstream)."""
+        self.net.deliver_or_hold(desc)
+
+    def _send_ack(self, pair: tuple[int, int], ack_seq: int) -> None:
+        """Cumulative ack ``dst -> src``; subject to the link drop rate."""
+        src, dst = pair
+        self.acks_sent += 1
+        self.recovery_seconds += self.net.charge_control(self.cfg.ack_bytes)
+        if self.plan.decide_ack_drop(dst, src):
+            self.ledger.record("ack_drop", dst, src, ack_seq,
+                               self.tick_count)
+            return
+        tx = self._tx.get(pair)
+        if tx is None:
+            return
+        for seq in [s for s in tx.unacked if s <= ack_seq]:
+            del tx.unacked[seq]
+
+    # -- the protocol clock -------------------------------------------------------
+
+    def tick(self) -> None:
+        """One progress pass: release delayed frames, flush reorder
+        holds, and retransmit anything past its deadline."""
+        self.tick_count += 1
+        self.now += self.cfg.tick_seconds
+        while self._inflight and self._inflight[0][0] <= self.tick_count:
+            _, _, frame = heapq.heappop(self._inflight)
+            self._arrive(frame)
+        for pair in list(self._reorder):
+            # no younger frame came along to overtake; deliver it late
+            self._arrive(self._reorder.pop(pair))
+        for pair, tx in self._tx.items():
+            for seq in list(tx.unacked):
+                frame = tx.unacked.get(seq)
+                if frame is None or frame.deadline > self.now:
+                    continue
+                frame.attempts += 1
+                if frame.attempts > self.cfg.max_retries + 1:
+                    self.give_ups += 1
+                    self.ledger.record("give_up", pair[0], pair[1], seq,
+                                       self.tick_count)
+                    del tx.unacked[seq]
+                    raise DeliveryFailure(pair[0], pair[1], seq,
+                                          frame.attempts - 1)
+                self.retransmits += 1
+                self.ledger.record("retransmit", pair[0], pair[1], seq,
+                                   self.tick_count)
+                self.recovery_seconds += self.net.charge_retransmit(
+                    frame.desc)
+                scale = min(self.cfg.backoff ** (frame.attempts - 1),
+                            self.cfg.max_backoff)
+                frame.deadline = self.now + self.cfg.timeout_seconds * scale
+                self._transmit(frame)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """Is recovery still in progress anywhere?"""
+        return (any(tx.unacked for tx in self._tx.values())
+                or bool(self._inflight) or bool(self._reorder)
+                or any(rx.buffer for rx in self._rx.values()))
+
+    def outstanding(self) -> dict[tuple[int, int], tuple[int, ...]]:
+        """Unacked sequence numbers per pair (for stall reports)."""
+        return {pair: tuple(sorted(tx.unacked))
+                for pair, tx in self._tx.items() if tx.unacked}
+
+    def stats(self) -> dict:
+        """Protocol counters plus the fault ledger summary."""
+        return {
+            "retransmits": self.retransmits,
+            "acks_sent": self.acks_sent,
+            "give_ups": self.give_ups,
+            "recovery_seconds": self.recovery_seconds,
+            "inflight": len(self._inflight),
+            "reorder_held": len(self._reorder),
+            "rx_buffered": sum(len(rx.buffer) for rx in self._rx.values()),
+            "unacked": sum(len(tx.unacked) for tx in self._tx.values()),
+            "ledger": self.ledger.summary(),
+        }
+
+
+# -- progress watchdog ---------------------------------------------------------------
+
+
+@dataclass
+class StallReport:
+    """Structured snapshot of a cluster that failed to quiesce.
+
+    Built by :meth:`repro.mpi.process.Cluster.stall_report`; carried by
+    :class:`StallError` so a diagnosing caller gets data, not prose.
+    """
+
+    rounds: int
+    ranks: list[dict] = field(default_factory=list)
+    held_messages: int = 0
+    outstanding: dict[tuple[int, int], tuple[int, ...]] = \
+        field(default_factory=dict)
+    reliability: dict | None = None
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [f"cluster failed to quiesce after {self.rounds} progress "
+                 "rounds; stall report:"]
+        for info in self.ranks:
+            if not (info["umq_depth"] or info["prq_depth"]
+                    or info["rings_queued"] or info["spill_pending"]):
+                continue
+            lines.append(
+                f"  rank {info['rank']}: umq={info['umq_depth']} "
+                f"prq={info['prq_depth']} rings={info['rings_queued']} "
+                f"spill={info['spill_pending']}")
+            if info["oldest_unmatched"] is not None:
+                o = info["oldest_unmatched"]
+                lines.append(
+                    f"    oldest unmatched message: src={o['src']} "
+                    f"tag={o['tag']} comm={o['comm']} seq={o['seq']}")
+            if info["oldest_posted"] is not None:
+                o = info["oldest_posted"]
+                lines.append(
+                    f"    oldest posted receive:    src={o['src']} "
+                    f"tag={o['tag']} comm={o['comm']} seq={o['seq']}")
+        if self.held_messages:
+            lines.append(f"  network: {self.held_messages} descriptors held "
+                         "by flow control")
+        for (src, dst), seqs in self.outstanding.items():
+            shown = ", ".join(map(str, seqs[:8]))
+            more = f" (+{len(seqs) - 8} more)" if len(seqs) > 8 else ""
+            lines.append(f"  link {src}->{dst}: outstanding seqs "
+                         f"[{shown}]{more}")
+        if self.reliability is not None:
+            r = self.reliability
+            lines.append(
+                f"  reliability: retransmits={r['retransmits']} "
+                f"inflight={r['inflight']} rx_buffered={r['rx_buffered']} "
+                f"unacked={r['unacked']}")
+        if len(lines) == 1:
+            lines.append("  (all queues empty -- runaway traffic loop?)")
+        return "\n".join(lines)
+
+
+class StallError(RuntimeError):
+    """Raised by ``Cluster.drain`` when progress stalls; carries the
+    :class:`StallReport` (``exc.report``) for programmatic diagnosis."""
+
+    def __init__(self, report: StallReport) -> None:
+        super().__init__(report.render())
+        self.report = report

@@ -29,7 +29,8 @@ class RingBuffer:
     """
 
     __slots__ = ("capacity", "_slots", "_head", "_tail", "pushes",
-                 "rejected", "high_watermark")
+                 "rejected", "repush_attempts", "repush_rejected",
+                 "high_watermark")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -40,6 +41,8 @@ class RingBuffer:
         self._tail = 0
         self.pushes = 0
         self.rejected = 0
+        self.repush_attempts = 0
+        self.repush_rejected = 0
         self.high_watermark = 0
 
     def __len__(self) -> int:
@@ -54,16 +57,46 @@ class RingBuffer:
     def full(self) -> bool:
         return len(self) == self.capacity
 
-    def try_push(self, item: Any) -> bool:
-        """Producer side: append if a slot is free; False on a full ring."""
+    @property
+    def drops(self) -> int:
+        """Total failed stores (first-time rejections + failed retries)."""
+        return self.rejected + self.repush_rejected
+
+    def try_push(self, item: Any, retry: bool = False) -> bool:
+        """Producer side: append if a slot is free; False on a full ring.
+
+        ``retry`` marks a re-push of a previously rejected store (flow-
+        control retry or spill drain); re-push attempts and their
+        rejections are counted separately from first-time traffic.
+        """
+        if retry:
+            self.repush_attempts += 1
         if self.full:
-            self.rejected += 1
+            if retry:
+                self.repush_rejected += 1
+            else:
+                self.rejected += 1
             return False
         self._slots[self._tail % self.capacity] = item
         self._tail += 1
         self.pushes += 1
         self.high_watermark = max(self.high_watermark, len(self))
         return True
+
+    def stats(self) -> dict:
+        """Occupancy and rejection statistics, mirroring
+        :meth:`IngressRings.stats`."""
+        return {
+            "capacity": self.capacity,
+            "queued": len(self),
+            "free_slots": self.free_slots,
+            "pushes": self.pushes,
+            "rejected": self.rejected,
+            "repush_attempts": self.repush_attempts,
+            "repush_rejected": self.repush_rejected,
+            "drops": self.drops,
+            "high_watermark": self.high_watermark,
+        }
 
     def pop(self) -> Any | None:
         """Consumer side: remove and return the oldest item, or None."""
@@ -104,9 +137,9 @@ class IngressRings:
             self.rings[src] = ring
         return ring
 
-    def try_push(self, src: int, item: Any) -> bool:
+    def try_push(self, src: int, item: Any, retry: bool = False) -> bool:
         """Producer entry point (the remote GAS store)."""
-        return self.ring_for(src).try_push(item)
+        return self.ring_for(src).try_push(item, retry=retry)
 
     def drain(self, budget: int | None = None) -> list[Any]:
         """Consumer side: pop up to ``budget`` items, round-robin over
@@ -138,6 +171,11 @@ class IngressRings:
             "queued": self.queued,
             "pushes": sum(r.pushes for r in self.rings.values()),
             "rejected": sum(r.rejected for r in self.rings.values()),
+            "repush_attempts": sum(r.repush_attempts
+                                   for r in self.rings.values()),
+            "repush_rejected": sum(r.repush_rejected
+                                   for r in self.rings.values()),
+            "drops": sum(r.drops for r in self.rings.values()),
             "high_watermark": max(
                 (r.high_watermark for r in self.rings.values()), default=0),
         }

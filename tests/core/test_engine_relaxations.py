@@ -141,3 +141,138 @@ class TestMatchingEngine:
         slow = MatchingEngine(gpu=GPU.kepler_k80()).match(msgs, reqs)
         fast = MatchingEngine(gpu=GPU.pascal_gtx1080()).match(msgs, reqs)
         assert fast.matches_per_second() > slow.matches_per_second()
+
+
+class TestWorkloadViolationPaths:
+    """Every restricted Table II config must reject (or report) exactly
+    the features it prohibits -- not just the happy path."""
+
+    NO_WILDCARD_CONFIGS = [r for r in TABLE_II_CONFIGS if not r.wildcards]
+    PRE_POSTED_CONFIGS = [r for r in TABLE_II_CONFIGS if not r.unexpected]
+
+    @pytest.mark.parametrize("rel", NO_WILDCARD_CONFIGS,
+                             ids=[r.label() for r in NO_WILDCARD_CONFIGS])
+    def test_any_source_rejected_everywhere(self, rel):
+        eng = MatchingEngine(relaxations=rel)
+        msgs = EnvelopeBatch(src=[0], tag=[1])
+        reqs = EnvelopeBatch(src=[ANY_SOURCE], tag=[1])
+        with pytest.raises(WorkloadViolation, match="wildcard"):
+            eng.match(msgs, reqs)
+
+    @pytest.mark.parametrize("rel", NO_WILDCARD_CONFIGS,
+                             ids=[r.label() for r in NO_WILDCARD_CONFIGS])
+    def test_any_tag_rejected_everywhere(self, rel):
+        eng = MatchingEngine(relaxations=rel)
+        with pytest.raises(WorkloadViolation):
+            eng.match(EnvelopeBatch(src=[0], tag=[1]),
+                      EnvelopeBatch(src=[0], tag=[ANY_TAG]))
+
+    @pytest.mark.parametrize("rel", PRE_POSTED_CONFIGS,
+                             ids=[r.label() for r in PRE_POSTED_CONFIGS])
+    def test_unexpected_rejected_everywhere(self, rel):
+        eng = MatchingEngine(relaxations=rel)
+        msgs = EnvelopeBatch(src=[0, 1], tag=[3, 3])
+        reqs = EnvelopeBatch(src=[0], tag=[3])  # message from 1 unexpected
+        with pytest.raises(WorkloadViolation, match="pre-posted"):
+            eng.match(msgs, reqs)
+
+    def test_violation_message_names_the_config(self):
+        import re
+        rel = RelaxationSet(wildcards=False, ordering=False)
+        with pytest.raises(WorkloadViolation, match=re.escape(rel.label())):
+            rel.validate_requests(EnvelopeBatch(src=[ANY_SOURCE], tag=[0]))
+
+    def test_violation_is_a_value_error(self):
+        assert issubclass(WorkloadViolation, ValueError)
+
+    def test_unmatched_requests_are_not_violations(self):
+        """Open receives are fine under pre-posted configs; only
+        unmatched *messages* are unexpected."""
+        eng = MatchingEngine(relaxations=RelaxationSet(unexpected=False))
+        out = eng.match(EnvelopeBatch(src=[0], tag=[1]),
+                        EnvelopeBatch(src=[0, 0], tag=[1, 2]))
+        assert out.matched_count == 1
+
+
+class TestGracefulDemotion:
+    """demote_on_violation=True: runtime violations move down the
+    hash -> partitioned -> matrix lattice instead of raising."""
+
+    def test_wildcard_demotes_partitioned_to_matrix(self):
+        eng = MatchingEngine(relaxations=RelaxationSet(wildcards=False),
+                             demote_on_violation=True)
+        msgs = EnvelopeBatch(src=[3], tag=[1])
+        reqs = EnvelopeBatch(src=[ANY_SOURCE], tag=[1])
+        out = eng.match(msgs, reqs)
+        assert out.matched_count == 1
+        assert isinstance(eng.matcher, MatrixMatcher)
+        assert eng.relaxations.label() == "wc+ord+unexp"
+        assert [(e.from_label, e.to_label) for e in eng.demotions] == \
+               [("nowc+ord+unexp", "wc+ord+unexp")]
+
+    def test_wildcard_demotes_hash_to_matrix(self):
+        eng = MatchingEngine(relaxations=RelaxationSet(
+            wildcards=False, ordering=False), demote_on_violation=True)
+        assert isinstance(eng.matcher, HashMatcher)
+        out = eng.match(EnvelopeBatch(src=[2], tag=[0]),
+                        EnvelopeBatch(src=[ANY_SOURCE], tag=[0]))
+        assert out.matched_count == 1
+        assert isinstance(eng.matcher, MatrixMatcher)
+
+    def test_unexpected_demotion_keeps_family_and_rematches(self):
+        eng = MatchingEngine(relaxations=RelaxationSet(
+            wildcards=False, ordering=False, unexpected=False),
+            demote_on_violation=True)
+        msgs = EnvelopeBatch(src=[0, 1], tag=[3, 3])
+        reqs = EnvelopeBatch(src=[0], tag=[3])
+        out = eng.match(msgs, reqs)
+        assert out.matched_count == 1
+        assert isinstance(eng.matcher, HashMatcher)  # family unchanged
+        assert eng.relaxations.label() == "nowc+noord+unexp"
+
+    def test_demotion_cost_charged_and_recorded(self, rng):
+        from repro.core.adaptive import relaunch_seconds
+        rel = RelaxationSet(wildcards=False)
+        msgs = EnvelopeBatch(src=[5], tag=[2])
+        wild = EnvelopeBatch(src=[ANY_SOURCE], tag=[2])
+        plain = EnvelopeBatch(src=[5], tag=[2])
+        demoting = MatchingEngine(relaxations=rel, demote_on_violation=True)
+        out = demoting.match(msgs, wild)
+        baseline = MatchingEngine().match(msgs, plain)  # already matrix
+        extra = out.seconds - baseline.seconds
+        assert extra == pytest.approx(relaunch_seconds(demoting.gpu))
+        (from_label, to_label, reason), = out.meta["demotions"]
+        assert (from_label, to_label) == ("nowc+ord+unexp", "wc+ord+unexp")
+        assert "wildcard" in reason
+
+    def test_matches_stay_mpi_correct_after_demotion(self, rng):
+        msgs, reqs = permuted_pair(rng, 100, n_ranks=8, n_tags=4)
+        wild = EnvelopeBatch(src=[ANY_SOURCE] * len(reqs.src),
+                             tag=list(reqs.tag))
+        eng = MatchingEngine(relaxations=RelaxationSet(wildcards=False),
+                             demote_on_violation=True, verify=True)
+        out = eng.match(msgs, wild)  # verify=True cross-checks ordering
+        assert out.matched_count == 100
+
+    def test_require_ordering_moves_hash_to_partitioned(self):
+        eng = MatchingEngine(relaxations=RelaxationSet(
+            wildcards=False, ordering=False), demote_on_violation=True)
+        event = eng.require_ordering()
+        assert event.to_label == "nowc+ord+unexp"
+        assert isinstance(eng.matcher, PartitionedMatcher)
+        assert eng.require_ordering() is None  # idempotent
+
+    def test_demotion_lattice_methods(self):
+        hash_cfg = RelaxationSet(wildcards=False, ordering=False,
+                                 unexpected=False)
+        assert hash_cfg.demoted_for_ordering().label() == "nowc+ord+pre"
+        assert hash_cfg.demoted_for_unexpected().label() == "nowc+noord+unexp"
+        assert hash_cfg.demoted_for_wildcards().label() == "wc+ord+pre"
+
+    def test_strict_default_unchanged(self):
+        eng = MatchingEngine(relaxations=RelaxationSet(wildcards=False))
+        assert not eng.demote_on_violation
+        with pytest.raises(WorkloadViolation):
+            eng.match(EnvelopeBatch(src=[1], tag=[0]),
+                      EnvelopeBatch(src=[ANY_SOURCE], tag=[0]))
+        assert eng.demotions == []

@@ -54,6 +54,42 @@ class TestRingBuffer:
         with pytest.raises(ValueError):
             RingBuffer(0)
 
+    def test_repush_counted_separately(self):
+        """Retries of rejected stores must not inflate first-time
+        rejection counts (they would double-count flow-control events)."""
+        ring = RingBuffer(1)
+        assert ring.try_push("a")
+        assert not ring.try_push("b")              # first-time rejection
+        assert not ring.try_push("b", retry=True)  # flow-control retry
+        assert ring.rejected == 1
+        assert ring.repush_attempts == 1
+        assert ring.repush_rejected == 1
+        assert ring.drops == 2
+        ring.pop()
+        assert ring.try_push("b", retry=True)      # successful retry
+        assert ring.repush_attempts == 2
+        assert ring.repush_rejected == 1
+        assert ring.pushes == 2
+
+    def test_stats_dict_mirrors_ingress_rings(self):
+        ring = RingBuffer(4)
+        ring.try_push("x")
+        ring.try_push("y")
+        st_ = ring.stats()
+        assert st_["capacity"] == 4
+        assert st_["queued"] == 2
+        assert st_["free_slots"] == 2
+        assert st_["pushes"] == 2
+        assert st_["rejected"] == 0
+        assert st_["high_watermark"] == 2
+        # same keys as the aggregate where they overlap
+        from repro.mpi.ringbuffer import IngressRings
+        agg = IngressRings(capacity=4)
+        agg.try_push(0, "x")
+        shared = {"queued", "pushes", "rejected", "repush_attempts",
+                  "repush_rejected", "drops", "high_watermark"}
+        assert shared <= set(st_) and shared <= set(agg.stats())
+
     @given(st.lists(st.sampled_from(["push", "pop"]), max_size=200),
            st.integers(min_value=1, max_value=8))
     @settings(max_examples=40, deadline=None)
@@ -150,6 +186,17 @@ class TestClusterFlowControl:
         c.rank(1).recv(src=0, tag=0)
         rings = c.stats()[1]["rings"]
         assert rings["pushes"] == 1 and rings["peers"] == 1
+
+    def test_held_channel_retries_count_as_repushes(self):
+        c = Cluster(2, ring_capacity=1)
+        for i in range(4):
+            c.rank(0).isend(1, i, tag=i)
+        for i in range(4):
+            c.rank(1).recv(src=0, tag=i)
+        rings = c.stats()[1]["rings"]
+        assert rings["rejected"] >= 1          # the store that forced the hold
+        assert rings["repush_attempts"] >= 1   # network retries of the head
+        assert rings["rejected"] + rings["repush_rejected"] == rings["drops"]
 
     def test_default_cluster_has_no_rings(self):
         c = Cluster(2)
