@@ -9,9 +9,13 @@ visible PR-over-PR.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_host_perf.py [--quick]
-        [--label LABEL] [--no-json]
+        [--label LABEL] [--no-json] [--sizes N [N ...]]
+        [--trace-out trace.json]
 
 ``--quick`` drops the 64k deep-queue point for CI smoke runs.
+``--trace-out`` attaches the observability layer (``repro.obs``) to the
+sweep, writes a Chrome/Perfetto ``trace.json`` (open it at
+https://ui.perfetto.dev), and prints the tracer + metrics summary.
 """
 
 from __future__ import annotations
@@ -56,14 +60,33 @@ def main(argv: list[str] | None = None) -> None:
                     help="entry label in BENCH_host_perf.json")
     ap.add_argument("--no-json", action="store_true",
                     help="print the table without touching the report file")
+    ap.add_argument("--sizes", type=int, nargs="+", default=None,
+                    help="queue depths to sweep (overrides --quick)")
+    ap.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="write a Chrome/Perfetto trace.json of the sweep")
     args = ap.parse_args(argv)
 
-    sizes = QUICK_SIZES if args.quick else DEFAULT_SIZES
+    obs = None
+    if args.trace_out is not None:
+        from repro.obs import Observability
+        from repro.simt.gpu import PASCAL_GTX1080
+        obs = Observability.enabled()
+        obs.tracer.metadata.update(PASCAL_GTX1080.trace_metadata())
+
+    if args.sizes is not None:
+        sizes = tuple(args.sizes)
+    else:
+        sizes = QUICK_SIZES if args.quick else DEFAULT_SIZES
     records = run_suite(
-        sizes=sizes,
+        sizes=sizes, obs=obs,
         progress=lambda r: print(f"  {r.matcher} n={r.n}: {r.seconds:.3f}s "
                                  f"{format_rate(r.matches_per_second)}"))
     host_perf_table(records).show()
+    if obs is not None:
+        from repro.obs.report import summary
+        path = obs.tracer.write_chrome(args.trace_out)
+        print(f"wrote Perfetto trace to {path}")
+        print(summary(obs))
     if not args.no_json:
         append_entry(records, label=args.label)
         print(f"appended entry {args.label!r} to {default_report_path()}")

@@ -20,6 +20,10 @@ Packages
     the paper's Table I / Figure 2 / Figure 6(a) statistics.
 :mod:`repro.bench`
     Harness utilities shared by the ``benchmarks/`` suite.
+:mod:`repro.obs`
+    Cross-layer observability: structured tracing (Chrome/Perfetto
+    export) and a metrics registry, attachable to any layer via the
+    optional ``obs`` parameter (see ``docs/OBSERVABILITY.md``).
 
 Quickstart
 ----------
@@ -37,6 +41,7 @@ from .core import (ANY_SOURCE, ANY_TAG, AdaptiveMatcher, Envelope,
                    HashTableConfig, ListMatcher, MatchingEngine, MatchOutcome,
                    MatrixMatcher, NO_MATCH, PartitionedMatcher, RelaxationSet,
                    TABLE_II_CONFIGS, UnifiedQueue, reference_match)
+from .obs import MetricsRegistry, Observability, Tracer
 from .simt import (GPU, GPUSpec, KEPLER_K80, MAXWELL_M40, PASCAL_GTX1080,
                    WARP_SIZE)
 
@@ -51,5 +56,6 @@ __all__ = [
     "ListMatcher", "UnifiedQueue", "reference_match",
     "GPU", "GPUSpec", "KEPLER_K80", "MAXWELL_M40", "PASCAL_GTX1080",
     "WARP_SIZE",
+    "Observability", "Tracer", "MetricsRegistry",
     "__version__",
 ]

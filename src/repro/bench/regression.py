@@ -41,6 +41,7 @@ __all__ = [
     "default_report_path",
     "entry_rates",
     "load_report",
+    "regression_failures",
     "run_suite",
     "speedup",
     "time_match",
@@ -54,11 +55,12 @@ DEFAULT_SIZES = (1_000, 8_000, 64_000)
 #: Depths for CI smoke runs.
 QUICK_SIZES = (1_000, 8_000)
 
-#: Matchers under the regression gate.  Fresh instance per repeat.
-MATCHER_FACTORIES: dict[str, Callable[[], object]] = {
-    "matrix": lambda: MatrixMatcher(),
-    "partitioned": lambda: PartitionedMatcher(n_queues=4),
-    "hash": lambda: HashMatcher(),
+#: Matchers under the regression gate.  Fresh instance per repeat; each
+#: factory optionally takes an observability handle (``--trace-out``).
+MATCHER_FACTORIES: dict[str, Callable[..., object]] = {
+    "matrix": lambda obs=None: MatrixMatcher(obs=obs),
+    "partitioned": lambda obs=None: PartitionedMatcher(n_queues=4, obs=obs),
+    "hash": lambda obs=None: HashMatcher(obs=obs),
 }
 
 
@@ -79,9 +81,14 @@ def default_repeats(n: int) -> int:
     return 3 if n <= 8_000 else 1
 
 
-def time_match(name: str, factory: Callable[[], object], n: int,
-               repeats: int | None = None, seed: int = 0) -> HostPerfRecord:
-    """Time ``factory().match`` on ``matching_workload(n)``."""
+def time_match(name: str, factory: Callable[..., object], n: int,
+               repeats: int | None = None, seed: int = 0,
+               obs=None) -> HostPerfRecord:
+    """Time ``factory().match`` on ``matching_workload(n)``.
+
+    An observability handle is forwarded to the matcher; note that a
+    traced repeat measures the instrumented path's host time.
+    """
     msgs, reqs = matching_workload(n, seed=seed)
     repeats = default_repeats(n) if repeats is None else repeats
     if repeats < 1:
@@ -89,7 +96,7 @@ def time_match(name: str, factory: Callable[[], object], n: int,
     best = float("inf")
     matched = 0
     for _ in range(repeats):
-        matcher = factory()
+        matcher = factory(obs=obs) if obs is not None else factory()
         t0 = time.perf_counter()
         outcome = matcher.match(msgs, reqs)
         best = min(best, time.perf_counter() - t0)
@@ -102,13 +109,13 @@ def run_suite(sizes: Sequence[int] = DEFAULT_SIZES,
               matchers: Iterable[str] = tuple(MATCHER_FACTORIES),
               repeats: int | None = None,
               progress: Callable[[HostPerfRecord], None] | None = None,
-              ) -> list[HostPerfRecord]:
+              obs=None) -> list[HostPerfRecord]:
     """Full sweep: every selected matcher at every size."""
     records = []
     for name in matchers:
         factory = MATCHER_FACTORIES[name]
         for n in sizes:
-            rec = time_match(name, factory, n, repeats=repeats)
+            rec = time_match(name, factory, n, repeats=repeats, obs=obs)
             records.append(rec)
             if progress is not None:
                 progress(rec)
@@ -171,3 +178,27 @@ def speedup(report: dict, matcher: str, n: int, base_label: str,
     base = entry_rates(_entry(report, base_label))[(matcher, n)]
     new = entry_rates(_entry(report, new_label))[(matcher, n)]
     return new / base
+
+
+def regression_failures(report: dict, base_label: str, new_label: str,
+                        min_ratio: float = 0.6,
+                        ) -> list[tuple[str, int, float]]:
+    """Sweep points where ``new`` regressed below ``min_ratio`` x base.
+
+    Compares every (matcher, n) present in both labeled entries and
+    returns the failing ``(matcher, n, ratio)`` triples, sorted worst
+    first.  The 0.6 default tolerates host-timing noise while flagging
+    anything close to a 2x slowdown; an unchanged run passes with an
+    empty list.
+    """
+    if not 0 < min_ratio <= 1.0:
+        raise ValueError("min_ratio must be in (0, 1]")
+    base = entry_rates(_entry(report, base_label))
+    new = entry_rates(_entry(report, new_label))
+    failures = []
+    for key in sorted(base.keys() & new.keys()):
+        ratio = new[key] / base[key]
+        if ratio < min_ratio:
+            failures.append((key[0], key[1], ratio))
+    failures.sort(key=lambda f: f[2])
+    return failures

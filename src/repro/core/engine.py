@@ -83,6 +83,10 @@ class MatchingEngine:
         relaxation violation, demote to the strongest matcher that is
         still correct, record the :class:`DemotionEvent`, and charge the
         rebuild as a kernel relaunch.  Off by default (strict mode).
+    obs:
+        Optional :class:`~repro.obs.Observability` handle, forwarded to
+        the matcher it builds.  ``None`` (default) keeps every hot path
+        on the single-branch fast path with bit-identical results.
 
     Examples
     --------
@@ -103,12 +107,14 @@ class MatchingEngine:
                  window: int = DEFAULT_WINDOW,
                  hash_config: HashTableConfig | None = None,
                  verify: bool = False,
-                 demote_on_violation: bool = False) -> None:
+                 demote_on_violation: bool = False,
+                 obs=None) -> None:
         self.gpu = gpu
         self.relaxations = (relaxations if relaxations is not None
                             else RelaxationSet())
         self.verify = verify
         self.demote_on_violation = demote_on_violation
+        self._obs = obs
         self.demotions: list[DemotionEvent] = []
         self._pending_demotion_seconds = 0.0
         self._pending_demotion_cycles = 0.0
@@ -124,14 +130,15 @@ class MatchingEngine:
         compaction = rel.needs_compaction
         if not rel.ordering:
             return HashMatcher(spec=self.gpu, n_ctas=self._n_ctas,
-                               config=self._hash_config)
+                               config=self._hash_config, obs=self._obs)
         if rel.partitionable:
             return PartitionedMatcher(spec=self.gpu,
                                       n_queues=self._n_queues,
                                       window=self._window,
-                                      compaction=compaction)
+                                      compaction=compaction,
+                                      obs=self._obs)
         return MatrixMatcher(spec=self.gpu, window=self._window,
-                             compaction=compaction)
+                             compaction=compaction, obs=self._obs)
 
     # -- graceful degradation ---------------------------------------------------
 
@@ -142,6 +149,10 @@ class MatchingEngine:
                               to_label=new_rel.label(), reason=reason,
                               extra_seconds=relaunch_seconds(self.gpu))
         self.demotions.append(event)
+        if self._obs is not None:
+            self._obs.count("engine.demotions")
+            self._obs.instant("engine.demotion", from_label=event.from_label,
+                              to_label=event.to_label, reason=reason)
         self.relaxations = new_rel
         self._matcher = self._build_matcher()
         self._pending_demotion_seconds += event.extra_seconds
@@ -192,6 +203,9 @@ class MatchingEngine:
         instead of raising; the demotion and its relaunch cost are
         recorded on the outcome (``meta["demotions"]``).
         """
+        obs = self._obs
+        trace_start = (obs.tracer.now
+                       if obs is not None and obs.tracer is not None else 0.0)
         self.admit_requests(requests)
         outcome = self._matcher.match(messages, requests)
         if not self.relaxations.unexpected:
@@ -220,6 +234,16 @@ class MatchingEngine:
                 check_mpi_ordering(messages, requests, outcome)
             else:
                 check_relaxed(messages, requests, outcome)
+        if obs is not None:
+            obs.count("engine.passes")
+            obs.count("engine.matched", float(outcome.matched_count))
+            if obs.tracer is not None:
+                # The matcher's own span already advanced the trace clock;
+                # wrap it without advancing again.
+                obs.tracer.complete("engine.match", trace_start,
+                                    obs.tracer.now - trace_start,
+                                    matcher=self._matcher.name,
+                                    relaxations=self.relaxations.label())
         return outcome
 
     def reference(self, messages: EnvelopeBatch,

@@ -14,11 +14,13 @@ constant-time insert and lookup.  The paper's structure:
 * iterations repeat until everything is matched -- "the more collisions
   occur, the more iterations are required".
 
-Keys are the packed {src, tag, comm} word hashed with Jenkins' 6-shift
-function (configurable for the ablation bench).  Duplicate tuples collide
-*by construction* and drive up iteration count, which is why the paper
-checks tuple uniqueness across applications (Figure 6(a)) before
-committing to this design.
+Keys are the packed {src, tag, comm} word; the *slot* is picked by
+hashing its 32-bit XOR-fold with Jenkins' 6-shift function (configurable
+for the ablation bench), while table equality compares the full 64-bit
+word so fold aliases (e.g. a comm bit landing on a src bit) can never
+produce a false match.  Duplicate tuples collide *by construction* and
+drive up iteration count, which is why the paper checks tuple uniqueness
+across applications (Figure 6(a)) before committing to this design.
 
 Completeness caveat: with single-probe levels and "hold on to the request
 for the next iteration" deferral (the paper's exact policy), a request
@@ -151,13 +153,15 @@ class HashMatcher:
 
     def __init__(self, spec: GPUSpec = PASCAL_GTX1080, n_ctas: int = 1,
                  config: HashTableConfig | None = None,
-                 precompute_slots: bool = True) -> None:
+                 precompute_slots: bool = True,
+                 obs=None) -> None:
         if n_ctas < 1:
             raise ValueError("n_ctas must be positive")
         self.spec = spec
         self.n_ctas = n_ctas
         self.config = config if config is not None else HashTableConfig()
         self.precompute_slots = precompute_slots
+        self._obs = obs
         self._hash = HASH_FUNCTIONS[self.config.hash_name]
         self._hash_alu = alu_cost(self.config.hash_name)
         self._workload_warps = 1
@@ -179,8 +183,10 @@ class HashMatcher:
             return self._finish(out, n_msg, n_req, ledger, 0, 0)
 
         self._workload_warps = max(1, math.ceil(max(n_msg, n_req) / WARP_SIZE))
-        msg_keys = fold64(messages.packed())
-        req_keys = fold64(requests.packed())
+        # Full packed words: slot selection folds to 32 bits, but the
+        # equality checks use all 64 so cross-comm aliases cannot match.
+        msg_keys = messages.packed()
+        req_keys = requests.packed()
         primary_slots, secondary_slots = self.config.sizes(max(n_msg, n_req))
         primary = _Level(primary_slots)
         secondary = _Level(secondary_slots)
@@ -208,6 +214,11 @@ class HashMatcher:
                 primary, secondary, pending_msg, msg_keys, msg_slots, out,
                 ledger)
             collisions += ins_collisions
+            if self._obs is not None and matched:
+                # Each message claimed this round needed `rounds` probes of
+                # the table before it found its partner.
+                self._obs.observe("hash.probe_chain", float(rounds),
+                                  count=matched)
             if matched == 0 and ins_collisions == 0 and pending_req.size == 0:
                 # Nothing inserted, nothing matched: the remaining messages
                 # have no partner in the table; they stay unexpected.
@@ -367,7 +378,8 @@ class HashMatcher:
         return pending, matched
 
     def _slot_of(self, keys: np.ndarray, level: _Level, salt: int) -> np.ndarray:
-        hashed = self._hash(keys ^ salt) if salt else self._hash(keys)
+        folded = fold64(keys)
+        hashed = self._hash(folded ^ salt) if salt else self._hash(folded)
         return hashed % level.keys.size
 
     # -- pedantic warp-level path -------------------------------------------------------
@@ -404,8 +416,8 @@ class HashMatcher:
         if n_msg == 0 or n_req == 0:
             return self._finish(out, n_msg, n_req, ledger, 0, 0)
 
-        msg_keys = fold64(messages.packed()) + 1   # 0 = empty sentinel
-        req_keys = fold64(requests.packed()) + 1
+        msg_keys = messages.packed() + 1   # 0 = empty sentinel
+        req_keys = requests.packed() + 1
         P, S = self.config.sizes(max(n_msg, n_req))
         mem = GlobalMemory(2 * (P + S), ledger=ledger)
         kp = mem.alloc("keys_primary", P)
@@ -414,7 +426,8 @@ class HashMatcher:
         vs = mem.alloc("vals_secondary", S)
 
         def level_params(keys, salt, base_k, base_v, size):
-            hashed = self._hash((keys - 1) ^ salt) if salt                 else self._hash(keys - 1)
+            folded = fold64(keys - 1)
+            hashed = self._hash(folded ^ salt) if salt else self._hash(folded)
             slots = hashed % size
             return base_k + slots, base_v + slots
 
@@ -513,6 +526,16 @@ class HashMatcher:
         contention = 1.0 + self.spec.cta_contention * (resident - 1)
         timing = TimingModel(self.spec, family="hash").evaluate(ledger)
         cycles = timing.cycles * waves * contention
+        if self._obs is not None:
+            matched = int(np.count_nonzero(out != NO_MATCH))
+            self._obs.count("hash.rounds", float(rounds))
+            self._obs.count("hash.insert_collisions", float(collisions))
+            self._obs.count("hash.matches", float(matched))
+            self._obs.match_span(
+                "hash.match", cycles / self.spec.clock_hz,
+                timing.per_phase_cycles, self.spec.clock_hz,
+                n_messages=n_msg, n_requests=n_req, matched=matched,
+                rounds=rounds, collisions=collisions)
         return MatchOutcome(
             request_to_message=out, n_messages=n_msg, n_requests=n_req,
             seconds=cycles / self.spec.clock_hz, cycles=cycles,

@@ -111,6 +111,10 @@ class MatrixMatcher:
         per NumPy step; ``"scalar"`` is the pre-batching per-column loop,
         kept as the bit-identical reference for equivalence tests.  Both
         produce the same matches and the same ledger totals.
+    obs:
+        Optional :class:`~repro.obs.Observability` handle.  When absent
+        (default) the hot path takes a single ``is None`` branch and the
+        outcome -- match vector, ledger, cycles -- is bit-identical.
     """
 
     name = "matrix"
@@ -121,7 +125,8 @@ class MatrixMatcher:
                  compaction: bool = False,
                  warp_size: int = WARP_SIZE,
                  compaction_policy: str = "always",
-                 reduce_impl: str = "batched") -> None:
+                 reduce_impl: str = "batched",
+                 obs=None) -> None:
         if compaction_policy not in ("always", "adaptive"):
             raise ValueError("compaction_policy must be 'always' or "
                              "'adaptive'")
@@ -148,6 +153,7 @@ class MatrixMatcher:
         self.compaction_policy = compaction_policy
         self.warp_size = warp_size
         self.reduce_impl = reduce_impl
+        self._obs = obs
 
     # -- public API ------------------------------------------------------------
 
@@ -196,8 +202,16 @@ class MatrixMatcher:
             # Pack votes: one int per (warp, open column).
             votes = _pack_block_votes(block_mtx, plan.n_warps,
                                       self.warp_size)
+            if self._obs is not None:
+                self._obs.count("matrix.blocks")
+                if block_mtx.size:
+                    self._obs.observe(
+                        "matrix.vote_occupancy",
+                        float(np.count_nonzero(block_mtx)) / block_mtx.size)
             visited = reduce(votes, open_idx, unmatched_cols, out, lo,
                              ledger, plan)
+            if self._obs is not None:
+                self._obs.count("matrix.columns_visited", float(visited))
             # The scan pipeline only fills the windows the reduce actually
             # consumed: once every message of the block is matched the
             # remaining columns are skipped (this is why an in-order
@@ -425,6 +439,13 @@ class MatrixMatcher:
     def _finish(self, out: np.ndarray, n_msg: int, n_req: int,
                 ledger: CostLedger, iterations: int) -> MatchOutcome:
         timing = TimingModel(self.spec).evaluate(ledger)
+        if self._obs is not None:
+            matched = int(np.count_nonzero(out != NO_MATCH))
+            self._obs.count("matrix.matches", float(matched))
+            self._obs.match_span(
+                "matrix.match", timing.seconds, timing.per_phase_cycles,
+                self.spec.clock_hz, n_messages=n_msg, n_requests=n_req,
+                matched=matched, iterations=max(1, iterations))
         return MatchOutcome(
             request_to_message=out, n_messages=n_msg, n_requests=n_req,
             seconds=timing.seconds, cycles=timing.cycles,

@@ -95,7 +95,8 @@ class PartitionedMatcher:
                  warp_size: int = WARP_SIZE,
                  partition_key: str = "src",
                  sm_count: int = 1,
-                 reduce_impl: str = "batched") -> None:
+                 reduce_impl: str = "batched",
+                 obs=None) -> None:
         if n_queues < 1:
             raise ValueError("n_queues must be positive")
         if not 1 <= warp_size <= WARP_SIZE:
@@ -114,6 +115,7 @@ class PartitionedMatcher:
         self.partition_key = partition_key
         self.sm_count = sm_count
         self.reduce_impl = reduce_impl
+        self._obs = obs
 
     # -- partitioning -------------------------------------------------------------
 
@@ -156,6 +158,9 @@ class PartitionedMatcher:
             r_idx = np.nonzero(req_q == q)[0]
             if m_idx.size == 0 and r_idx.size == 0:
                 continue
+            if self._obs is not None:
+                self._obs.observe("partitioned.queue_depth",
+                                  float(m_idx.size))
             warps_q = min(MAX_WARPS_PER_CTA,
                           max(1, math.ceil(m_idx.size / self.warp_size)))
             ledger = CostLedger()
@@ -259,6 +264,12 @@ class PartitionedMatcher:
         meta.update({"device": self.spec.name, "n_queues": self.n_queues,
                      "compaction": self.compaction,
                      "partition_key": self.partition_key})
+        if self._obs is not None:
+            matched = int(np.count_nonzero(out != NO_MATCH))
+            self._obs.count("partitioned.matches", float(matched))
+            self._obs.span("partitioned.match", seconds, n_messages=n_msg,
+                           n_requests=n_req, matched=matched,
+                           n_queues=self.n_queues)
         return MatchOutcome(request_to_message=out, n_messages=n_msg,
                             n_requests=n_req, seconds=seconds, cycles=cycles,
                             iterations=iterations, meta=meta)

@@ -65,13 +65,19 @@ class UnifiedQueue:
         Optional hard bound; exceeding it raises (GPU queues are
         statically sized -- there is no in-kernel malloc, as the paper
         laments in Section VII-C).
+    obs:
+        Optional :class:`~repro.obs.Observability` handle: depth
+        observations additionally feed a per-queue gauge and the shared
+        ``queue.depth`` histogram.
     """
 
-    def __init__(self, name: str = "queue", capacity: int | None = None) -> None:
+    def __init__(self, name: str = "queue", capacity: int | None = None,
+                 obs=None) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be positive when given")
         self.name = name
         self.capacity = capacity
+        self._obs = obs
         self._src: list[int] = []
         self._tag: list[int] = []
         self._comm: list[int] = []
@@ -175,4 +181,8 @@ class UnifiedQueue:
 
     def observe_depth(self) -> None:
         """Record the current depth into the statistics (one match attempt)."""
-        self.stats.observe(len(self))
+        depth = len(self)
+        self.stats.observe(depth)
+        if self._obs is not None:
+            self._obs.gauge(f"queue.{self.name}.depth", float(depth))
+            self._obs.observe("queue.depth", float(depth))

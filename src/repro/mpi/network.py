@@ -132,9 +132,10 @@ class GASNetwork:
                  deliver: Callable[..., bool] | None = None,
                  fault_plan: "FaultPlan | None" = None,
                  reliability: "ReliabilityConfig | None" = None,
-                 ) -> None:
+                 obs=None) -> None:
         self.link = link
         self._deliver = deliver
+        self._obs = obs
         self._pair_seq: dict[tuple[int, int], int] = {}
         self._held: dict[tuple[int, int], "deque"] = {}
         self.transfer_seconds_total = 0.0
@@ -173,6 +174,9 @@ class GASNetwork:
         self.wire_busy_seconds += self.link.occupancy_seconds(charged)
         self.messages_sent += 1
         self.bytes_sent += charged
+        if self._obs is not None:
+            self._obs.count("net.messages_sent")
+            self._obs.count("net.bytes_sent", float(charged))
         if self.reliability is not None:
             self.reliability.send(desc)
             return
@@ -187,10 +191,14 @@ class GASNetwork:
             # channel already back-pressured: keep pair order, queue behind
             held.append(desc)
             self.holds_total += 1
+            if self._obs is not None:
+                self._obs.count("net.holds")
             return False
         if not self._deliver(desc):
             self._held[pair] = deque([desc])
             self.holds_total += 1
+            if self._obs is not None:
+                self._obs.count("net.holds")
             return False
         return True
 
@@ -244,6 +252,10 @@ class GASNetwork:
         self.transfer_seconds_total += dt
         self.wire_busy_seconds += self.link.occupancy_seconds(charged)
         self.bytes_sent += charged
+        if self._obs is not None:
+            self._obs.count("net.retransmits")
+            self._obs.instant("net.retransmit", src=desc.src, dst=desc.dst,
+                              seq=desc.seq)
         return dt
 
     def charge_control(self, nbytes: int) -> float:
@@ -252,4 +264,6 @@ class GASNetwork:
         self.transfer_seconds_total += dt
         self.wire_busy_seconds += self.link.occupancy_seconds(nbytes)
         self.bytes_sent += nbytes
+        if self._obs is not None:
+            self._obs.count("net.acks")
         return dt

@@ -72,6 +72,11 @@ class Cluster:
         Graceful degradation: runtime relaxation violations demote the
         matcher (hash -> partitioned -> matrix) instead of raising --
         see :class:`~repro.core.engine.MatchingEngine`.
+    obs:
+        Optional :class:`~repro.obs.Observability` handle, distributed
+        to the network, every endpoint (queues, rings), and every
+        default-built engine/matcher.  ``None`` (default) leaves all
+        layers on the zero-overhead fast path.
     """
 
     def __init__(self, n_ranks: int, gpu: GPUSpec = PASCAL_GTX1080,
@@ -85,23 +90,27 @@ class Cluster:
                  reliability: ReliabilityConfig | None = None,
                  ring_policy: str = "backpressure",
                  demote_on_violation: bool = False,
+                 obs=None,
                  **engine_kwargs) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be positive")
         self.n_ranks = n_ranks
         self.relaxations = (relaxations if relaxations is not None
                             else RelaxationSet())
+        self._obs = obs
         self.network = GASNetwork(link=link, fault_plan=fault_plan,
-                                  reliability=reliability)
+                                  reliability=reliability, obs=obs)
         if engine_factory is None:
             engine_factory = lambda rank: MatchingEngine(  # noqa: E731
                 gpu=gpu, relaxations=self.relaxations,
-                demote_on_violation=demote_on_violation, **engine_kwargs)
+                demote_on_violation=demote_on_violation, obs=obs,
+                **engine_kwargs)
         self.endpoints = [Endpoint(rank, engine_factory(rank), self.network,
                                    ring_capacity=ring_capacity,
                                    progress_mode=progress_mode,
                                    queue_capacity=queue_capacity,
-                                   ring_policy=ring_policy)
+                                   ring_policy=ring_policy,
+                                   obs=obs)
                           for rank in range(n_ranks)]
         self.network.attach(self._deliver)
         self._views = [RankView(self, r) for r in range(n_ranks)]
@@ -148,11 +157,16 @@ class Cluster:
             if (self.progress() == 0 and self.network.held_messages == 0
                     and not self.network.reliability_busy):
                 return
+        if self._obs is not None:
+            self._obs.count("cluster.stalls")
+            self._obs.instant("cluster.stall", rounds=max_rounds)
         raise StallError(self.stall_report(max_rounds))
 
     def stall_report(self, rounds: int = 0) -> StallReport:
         """Structured snapshot of everything that is stuck (the progress
-        watchdog's diagnosis; cheap enough to call ad hoc)."""
+        watchdog's diagnosis; cheap enough to call ad hoc).  When an
+        observability registry is attached its snapshot rides along in
+        ``obs_metrics``."""
         rel = self.network.reliability
         return StallReport(
             rounds=rounds,
@@ -160,6 +174,8 @@ class Cluster:
             held_messages=self.network.held_messages,
             outstanding=rel.outstanding() if rel is not None else {},
             reliability=rel.stats() if rel is not None else None,
+            obs_metrics=(self._obs.snapshot()
+                         if self._obs is not None else None),
         )
 
     # -- accounting --------------------------------------------------------------------

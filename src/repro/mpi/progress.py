@@ -73,7 +73,8 @@ class Endpoint:
                  ring_capacity: int | None = None,
                  progress_mode: str = "incremental",
                  queue_capacity: int | None = None,
-                 ring_policy: str = "backpressure") -> None:
+                 ring_policy: str = "backpressure",
+                 obs=None) -> None:
         if progress_mode not in ("incremental", "snapshot"):
             raise ValueError("progress_mode must be 'incremental' or "
                              "'snapshot'")
@@ -83,11 +84,12 @@ class Endpoint:
         self.rank = rank
         self.engine = engine
         self.network = network
+        self._obs = obs
         self.umq = UnifiedQueue(name=f"rank{rank}.UMQ",
-                                capacity=queue_capacity)
+                                capacity=queue_capacity, obs=obs)
         self.prq = UnifiedQueue(name=f"rank{rank}.PRQ",
-                                capacity=queue_capacity)
-        self.rings = (IngressRings(ring_capacity)
+                                capacity=queue_capacity, obs=obs)
+        self.rings = (IngressRings(ring_capacity, obs=obs)
                       if ring_capacity is not None else None)
         self.ring_policy = ring_policy
         self._spill: dict[int, deque] = {}
@@ -166,6 +168,8 @@ class Endpoint:
 
     def progress(self) -> int:
         """One matching pass; returns the number of matches made."""
+        if self._obs is not None:
+            self._obs.set_rank(self.rank)
         if self.rings is not None:
             # the communication kernel only dequeues what the (statically
             # sized) UMQ can hold; the rest waits in the rings as credits
@@ -243,6 +247,9 @@ class Endpoint:
         self.umq.consume(np.sort(msg_idx[matched_messages]))
         self.prq.consume(np.sort(req_idx[matched_requests]))
         self.matches_total += int(matched_requests.size)
+        if self._obs is not None:
+            self._obs.count("endpoint.matches",
+                            float(matched_requests.size))
         return int(matched_requests.size)
 
     # -- probing ----------------------------------------------------------------------

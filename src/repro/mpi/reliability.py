@@ -312,6 +312,9 @@ class ReliabilityLayer:
                 scale = min(self.cfg.backoff ** (frame.attempts - 1),
                             self.cfg.max_backoff)
                 frame.deadline = self.now + self.cfg.timeout_seconds * scale
+                if self.net._obs is not None:
+                    self.net._obs.count("net.backoff_seconds",
+                                        self.cfg.timeout_seconds * scale)
                 self._transmit(frame)
 
     # -- introspection -------------------------------------------------------------
@@ -360,6 +363,9 @@ class StallReport:
     outstanding: dict[tuple[int, int], tuple[int, ...]] = \
         field(default_factory=dict)
     reliability: dict | None = None
+    #: metrics-registry snapshot at stall time, when the cluster has an
+    #: observability handle attached (None otherwise)
+    obs_metrics: dict | None = None
 
     def render(self) -> str:
         """Human-readable multi-line report."""
@@ -397,6 +403,11 @@ class StallReport:
                 f"  reliability: retransmits={r['retransmits']} "
                 f"inflight={r['inflight']} rx_buffered={r['rx_buffered']} "
                 f"unacked={r['unacked']}")
+        if self.obs_metrics is not None:
+            counters = self.obs_metrics.get("counters", {})
+            shown = ", ".join(f"{k}={v:g}"
+                              for k, v in list(counters.items())[:8])
+            lines.append(f"  obs counters: {shown or '(none)'}")
         if len(lines) == 1:
             lines.append("  (all queues empty -- runaway traffic loop?)")
         return "\n".join(lines)

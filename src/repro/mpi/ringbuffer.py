@@ -30,12 +30,13 @@ class RingBuffer:
 
     __slots__ = ("capacity", "_slots", "_head", "_tail", "pushes",
                  "rejected", "repush_attempts", "repush_rejected",
-                 "high_watermark")
+                 "high_watermark", "_obs")
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, obs=None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        self._obs = obs
         self._slots: list[Any] = [None] * capacity
         self._head = 0
         self._tail = 0
@@ -76,11 +77,17 @@ class RingBuffer:
                 self.repush_rejected += 1
             else:
                 self.rejected += 1
+            if self._obs is not None:
+                self._obs.count("ring.rejected")
             return False
         self._slots[self._tail % self.capacity] = item
         self._tail += 1
         self.pushes += 1
         self.high_watermark = max(self.high_watermark, len(self))
+        if self._obs is not None:
+            self._obs.observe("ring.occupancy", float(len(self)))
+            self._obs.gauge("ring.high_watermark",
+                            float(self.high_watermark))
         return True
 
     def stats(self) -> dict:
@@ -124,6 +131,7 @@ class IngressRings:
 
     capacity: int
     rings: dict[int, RingBuffer] = field(default_factory=dict)
+    obs: Any = None
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -133,7 +141,7 @@ class IngressRings:
         """The (lazily created) ring receiving from ``src``."""
         ring = self.rings.get(src)
         if ring is None:
-            ring = RingBuffer(self.capacity)
+            ring = RingBuffer(self.capacity, obs=self.obs)
             self.rings[src] = ring
         return ring
 

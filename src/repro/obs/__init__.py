@@ -1,0 +1,137 @@
+"""Cross-layer observability: structured tracing + metrics.
+
+The paper's own analysis (Section IV) is an observability exercise --
+understanding matching behaviour from queue depths, peer/tag
+distributions, and wildcard usage.  This package gives the simulator the
+same first-class instrumentation, Caliper-style (PAPERS.md: Nansamba et
+al.): a :class:`~repro.obs.tracer.Tracer` of span/instant events on the
+simulated clock (exportable to Chrome/Perfetto ``trace.json`` and JSONL)
+and a :class:`~repro.obs.metrics.MetricsRegistry` of named counters,
+gauges, and histograms.
+
+:class:`Observability` bundles the two behind one handle that every
+instrumented layer (``simt``, ``core``, ``mpi``, ``bench``) accepts as an
+optional ``obs`` parameter.  The contract:
+
+* **Zero overhead when off.**  With no handle attached (``obs=None``,
+  the default everywhere) the hot paths take a single
+  ``if self._obs is None`` branch and nothing else changes: match
+  results, cost ledgers, and modeled cycles are bit-identical
+  (``tests/core/test_fastpath_equivalence.py`` proves it).
+* **No model feedback.**  Instrumentation only *reads* the simulation;
+  it never writes ledgers or advances modeled time, so traces and
+  metrics can be attached to any run without perturbing its figures.
+
+Either half may be attached alone: ``Observability(metrics=...)`` counts
+without buffering a timeline; ``Observability(tracer=...)`` traces
+without counters.  Helpers no-op on whichever half is missing.
+"""
+
+from __future__ import annotations
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import Tracer
+
+__all__ = ["Observability", "Tracer", "MetricsRegistry", "Counter", "Gauge",
+           "Histogram"]
+
+
+class Observability:
+    """One handle bundling a tracer and a metrics registry.
+
+    Parameters
+    ----------
+    tracer:
+        Optional :class:`Tracer`; ``None`` disables the timeline half.
+    metrics:
+        Optional :class:`MetricsRegistry`; ``None`` disables counters.
+    """
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+
+    @classmethod
+    def enabled(cls, max_events: int = 1_000_000) -> "Observability":
+        """A fully-enabled handle (fresh tracer + registry)."""
+        return cls(tracer=Tracer(max_events=max_events),
+                   metrics=MetricsRegistry())
+
+    # -- metrics shorthands -------------------------------------------------------
+
+    def count(self, name: str, n: float = 1.0) -> None:
+        """Add ``n`` to a counter (no-op without a registry)."""
+        if self.metrics is not None:
+            self.metrics.inc(name, n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Write a gauge (no-op without a registry)."""
+        if self.metrics is not None:
+            self.metrics.set(name, value)
+
+    def observe(self, name: str, value: float, count: int = 1) -> None:
+        """Record histogram observations (no-op without a registry)."""
+        if self.metrics is not None:
+            self.metrics.observe(name, value, count)
+
+    def snapshot(self) -> dict | None:
+        """Metrics snapshot, or ``None`` without a registry."""
+        return self.metrics.snapshot() if self.metrics is not None else None
+
+    # -- tracing shorthands -------------------------------------------------------
+
+    def span(self, name: str, dur_seconds: float, **args) -> None:
+        """Emit a span at the current simulated time and advance the
+        clock past it (sequential layout)."""
+        t = self.tracer
+        if t is not None:
+            t.complete(name, t.now, dur_seconds, **args)
+            t.advance(dur_seconds)
+
+    def match_span(self, name: str, seconds: float,
+                   phase_cycles: dict | None = None,
+                   clock_hz: float | None = None, **args) -> None:
+        """One matcher pass: the top-level span plus per-phase sub-spans.
+
+        Phase sub-spans are laid out sequentially inside the pass window
+        on thread lane 1 (the timing model overlaps phases analytically,
+        so true nesting has no honest layout); their cycle counts also
+        ride in the span args.
+        """
+        t = self.tracer
+        if t is None:
+            return
+        start = t.now
+        if phase_cycles and clock_hz:
+            at = start
+            for phase_name, cycles in phase_cycles.items():
+                dur = cycles / clock_hz
+                t.complete(f"{name}.{phase_name}", at, dur, tid=1,
+                           cycles=cycles)
+                at += dur
+            args.setdefault("phase_cycles", dict(phase_cycles))
+        t.complete(name, start, seconds, **args)
+        t.advance(seconds)
+
+    def instant(self, name: str, **args) -> None:
+        """Emit an instant event at the current simulated time."""
+        if self.tracer is not None:
+            self.tracer.instant(name, **args)
+
+    def advance(self, seconds: float) -> None:
+        """Advance the simulated trace clock without emitting."""
+        if self.tracer is not None:
+            self.tracer.advance(seconds)
+
+    def set_rank(self, rank: int) -> None:
+        """Attribute subsequent events to a rank's process lane."""
+        t = self.tracer
+        if t is not None:
+            t.current_pid = rank
+            if rank not in t._process_names:
+                t.set_process_name(rank, f"rank {rank}")
+                t.set_thread_name(rank, 0, "comm kernel")
+                t.set_thread_name(rank, 1, "phases")

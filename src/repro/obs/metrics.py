@@ -1,0 +1,180 @@
+"""Named metrics: counters, gauges, histograms, and their registry.
+
+The observability subsystem's quantitative half.  A
+:class:`MetricsRegistry` owns named instruments that the instrumented
+layers update during a run:
+
+* :class:`Counter` -- monotonically accumulating totals (messages sent,
+  retransmissions, matrix blocks scanned, backoff seconds);
+* :class:`Gauge` -- last-written level plus its high-water mark (queue
+  depth, ring occupancy);
+* :class:`Histogram` -- value distributions over power-of-two buckets
+  (probe-chain length, vote-matrix occupancy, queue depth per match
+  attempt).
+
+Instruments are created lazily on first use, so instrumentation sites
+never need registration boilerplate.  ``snapshot()`` renders the whole
+registry to a plain dict (JSON-friendly; embedded in stall reports) and
+``render_table()`` to a human-readable table.
+
+Everything here is host-side bookkeeping: metrics never touch the
+simulated cost ledgers, so attaching a registry cannot perturb modeled
+results (the zero-overhead-when-off contract is enforced by
+``tests/core/test_fastpath_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Upper bucket bounds of every histogram: 1, 2, 4, ... 2**19, +inf.
+HISTOGRAM_BUCKETS = tuple(2 ** i for i in range(20))
+
+
+class Counter:
+    """A float-valued accumulating total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (may be fractional, e.g. seconds)."""
+        self.value += n
+
+
+class Gauge:
+    """Last-written level plus high-water mark."""
+
+    __slots__ = ("value", "max_value", "writes")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max_value = 0.0
+        self.writes = 0
+
+    def set(self, v: float) -> None:
+        """Record the current level."""
+        self.value = v
+        self.max_value = max(self.max_value, v)
+        self.writes += 1
+
+
+class Histogram:
+    """Distribution over power-of-two buckets.
+
+    ``observe(v, count=k)`` records ``k`` identical observations of
+    ``v`` in one call (the batched form the vectorized matchers use).
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.buckets = [0] * (len(HISTOGRAM_BUCKETS) + 1)
+
+    def observe(self, value: float, count: int = 1) -> None:
+        """Record ``count`` observations of ``value``."""
+        if count <= 0:
+            return
+        self.count += count
+        self.total += value * count
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(HISTOGRAM_BUCKETS):
+            if value <= bound:
+                self.buckets[i] += count
+                return
+        self.buckets[-1] += count
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """JSON-friendly summary of the distribution."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Lazily-created named instruments of one observed run."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- instrument access (create on first use) --------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The named counter, created on first use."""
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram, created on first use."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    # -- write shorthands ---------------------------------------------------------
+
+    def inc(self, name: str, n: float = 1.0) -> None:
+        """Add ``n`` to the named counter."""
+        self.counter(name).inc(n)
+
+    def set(self, name: str, value: float) -> None:
+        """Write the named gauge."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float, count: int = 1) -> None:
+        """Record observations into the named histogram."""
+        self.histogram(name).observe(value, count)
+
+    # -- export -------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument (stable key order)."""
+        return {
+            "counters": {k: self.counters[k].value
+                         for k in sorted(self.counters)},
+            "gauges": {k: {"value": g.value, "max": g.max_value,
+                           "writes": g.writes}
+                       for k, g in sorted(self.gauges.items())},
+            "histograms": {k: h.summary()
+                           for k, h in sorted(self.histograms.items())},
+        }
+
+    def render_table(self) -> str:
+        """Human-readable metrics table."""
+        lines = ["metric                                    value"]
+        lines.append("-" * 52)
+        for k in sorted(self.counters):
+            lines.append(f"{k:<40}  {self.counters[k].value:g}")
+        for k, g in sorted(self.gauges.items()):
+            lines.append(f"{k:<40}  {g.value:g} (max {g.max_value:g})")
+        for k, h in sorted(self.histograms.items()):
+            lines.append(f"{k:<40}  n={h.count} mean={h.mean:.3g} "
+                         f"max={h.max if h.count else 0:g}")
+        return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Human-readable summaries of an observed run.
+
+``repro.obs.report`` turns an :class:`~repro.obs.Observability` handle
+into the "where did the cycles go" answer: a tracer digest (event counts,
+simulated span time by event name) plus the metrics table.  Used by
+``benchmarks/bench_host_perf.py --trace-out`` after a traced sweep.
+"""
+
+from __future__ import annotations
+
+from . import Observability
+from .tracer import Tracer
+
+__all__ = ["span_time_by_name", "render_tracer_summary", "summary"]
+
+
+def span_time_by_name(tracer: Tracer) -> dict[str, tuple[int, float]]:
+    """``{span name: (count, total simulated seconds)}``, instants excluded."""
+    acc: dict[str, tuple[int, float]] = {}
+    for ev in tracer.events:
+        if ev.get("ph") != "X":
+            continue
+        count, total = acc.get(ev["name"], (0, 0.0))
+        acc[ev["name"]] = (count + 1, total + ev.get("dur", 0.0) * 1e-6)
+    return acc
+
+def render_tracer_summary(tracer: Tracer) -> str:
+    """Span-time digest, heaviest names first."""
+    lines = [f"trace: {tracer.n_events} events "
+             f"({tracer.dropped} dropped), simulated span clock "
+             f"{tracer.now * 1e6:.1f} us"]
+    spans = sorted(span_time_by_name(tracer).items(),
+                   key=lambda kv: kv[1][1], reverse=True)
+    if spans:
+        lines.append("span                                      count  sim time")
+        lines.append("-" * 60)
+        for name, (count, seconds) in spans:
+            lines.append(f"{name:<40}  {count:>5}  {seconds * 1e6:10.1f} us")
+    return "\n".join(lines)
+
+
+def summary(obs: Observability) -> str:
+    """Full report: tracer digest + metrics table (whatever is attached)."""
+    parts = []
+    if obs.tracer is not None:
+        parts.append(render_tracer_summary(obs.tracer))
+    if obs.metrics is not None:
+        parts.append(obs.metrics.render_table())
+    if not parts:
+        return "(observability disabled: no tracer or registry attached)"
+    return "\n\n".join(parts)

@@ -1,0 +1,169 @@
+"""Structured tracing with Chrome/Perfetto and JSONL export.
+
+The observability subsystem's timeline half.  A :class:`Tracer` records
+*span* (complete, ``ph: "X"``) and *instant* (``ph: "i"``) events against
+a **simulated-time clock**: timestamps are the simulated seconds the
+timing model charges (kernel durations, matcher passes), not host wall
+time, so the exported timeline shows where the modeled cycles went.
+
+Export formats:
+
+* :meth:`write_chrome` -- the Chrome Trace Event JSON object format
+  (``{"traceEvents": [...]}``) that https://ui.perfetto.dev and
+  ``chrome://tracing`` open directly.  Process/thread metadata events
+  (``ph: "M"``) label ranks and phase lanes.
+* :meth:`write_jsonl` -- one event per line, for ad-hoc ``jq``/pandas
+  analysis.
+
+Event attribution: ``current_pid`` / ``current_tid`` name the default
+process (rank) and thread lane of subsequent events; the MPI progress
+layer sets ``current_pid`` to the rank whose communication kernel is
+running, so multi-rank timelines separate per rank.
+
+The event buffer is bounded (``max_events``); once full, further events
+are counted in ``dropped`` instead of growing without bound -- a tracer
+left attached to a long soak run degrades to counters, never to OOM.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["Tracer"]
+
+
+class Tracer:
+    """Span/instant event recorder on a simulated-seconds clock.
+
+    Parameters
+    ----------
+    max_events:
+        Hard cap on buffered events; overflow increments ``dropped``.
+    """
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
+        self.max_events = max_events
+        self.events: list[dict] = []
+        self.dropped = 0
+        #: simulated-time clock, in seconds; advanced by span emission
+        self.now = 0.0
+        #: default process id (rank) of subsequent events
+        self.current_pid = 0
+        #: default thread lane of subsequent events
+        self.current_tid = 0
+        self._process_names: dict[int, str] = {}
+        self._thread_names: dict[tuple[int, int], str] = {}
+        #: free-form run metadata (device spec, workload) for the export
+        self.metadata: dict = {}
+
+    # -- clock --------------------------------------------------------------------
+
+    def advance(self, seconds: float) -> None:
+        """Advance the simulated clock (span helpers do this for you)."""
+        self.now += seconds
+
+    # -- naming -------------------------------------------------------------------
+
+    def set_process_name(self, pid: int, name: str) -> None:
+        """Label a process lane (one per rank) in the exported trace."""
+        self._process_names[pid] = name
+
+    def set_thread_name(self, pid: int, tid: int, name: str) -> None:
+        """Label a thread lane within a process."""
+        self._thread_names[(pid, tid)] = name
+
+    # -- event emission -----------------------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def complete(self, name: str, start_seconds: float, dur_seconds: float,
+                 pid: int | None = None, tid: int | None = None,
+                 cat: str = "sim", **args) -> None:
+        """Record one complete span (``ph: "X"``), timestamps in seconds.
+
+        Does **not** advance the clock; use
+        :meth:`repro.obs.Observability.span` for emit-and-advance.
+        """
+        ev = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": start_seconds * 1e6,
+            "dur": max(0.0, dur_seconds) * 1e6,
+            "pid": self.current_pid if pid is None else pid,
+            "tid": self.current_tid if tid is None else tid,
+        }
+        if args:
+            ev["args"] = args
+        self._emit(ev)
+
+    def instant(self, name: str, pid: int | None = None,
+                tid: int | None = None, cat: str = "sim",
+                scope: str = "t", **args) -> None:
+        """Record one instant event (``ph: "i"``) at the current clock."""
+        ev = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "ts": self.now * 1e6,
+            "s": scope,
+            "pid": self.current_pid if pid is None else pid,
+            "tid": self.current_tid if tid is None else tid,
+        }
+        if args:
+            ev["args"] = args
+        self._emit(ev)
+
+    @property
+    def n_events(self) -> int:
+        """Buffered event count (excluding metadata and dropped)."""
+        return len(self.events)
+
+    # -- export -------------------------------------------------------------------
+
+    def _metadata_events(self) -> list[dict]:
+        meta = []
+        for pid, name in sorted(self._process_names.items()):
+            meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "tid": 0, "ts": 0, "args": {"name": name}})
+        for (pid, tid), name in sorted(self._thread_names.items()):
+            meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                         "tid": tid, "ts": 0, "args": {"name": name}})
+        return meta
+
+    def to_chrome(self) -> dict:
+        """The Chrome Trace Event *JSON object format* document."""
+        doc = {
+            "traceEvents": self._metadata_events() + self.events,
+            "displayTimeUnit": "ms",
+        }
+        other = dict(self.metadata)
+        if self.dropped:
+            other["dropped_events"] = self.dropped
+        if other:
+            doc["otherData"] = other
+        return doc
+
+    def write_chrome(self, path: str | Path) -> Path:
+        """Write ``trace.json`` (open it at https://ui.perfetto.dev)."""
+        path = Path(path)
+        with open(path, "w") as f:
+            json.dump(self.to_chrome(), f, indent=1)
+            f.write("\n")
+        return path
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write one event per line (metadata events first)."""
+        path = Path(path)
+        with open(path, "w") as f:
+            for ev in self._metadata_events() + self.events:
+                f.write(json.dumps(ev))
+                f.write("\n")
+        return path

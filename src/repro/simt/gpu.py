@@ -115,6 +115,16 @@ class GPUSpec:
         """Return a copy with selected fields replaced (for ablations)."""
         return replace(self, **kwargs)
 
+    def trace_metadata(self) -> dict:
+        """Device descriptors for a trace export's ``otherData`` block."""
+        return {
+            "device": self.name,
+            "generation": self.generation,
+            "sm_count": self.sm_count,
+            "clock_mhz": self.clock_mhz,
+            "mem_bandwidth_gbs": self.mem_bandwidth_gbs,
+        }
+
 
 #: Default per-class issue costs (cycles of scheduler occupancy).  Special
 #: function / sync-heavy operations occupy the scheduler longer than plain

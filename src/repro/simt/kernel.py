@@ -64,7 +64,8 @@ class KernelLaunch:
 
     def __init__(self, spec: GPUSpec, grid_ctas: int = 1,
                  warps_per_cta: int = 32, shared_words: int = 0,
-                 regs_per_thread: int = 32, sm_count: int = 1) -> None:
+                 regs_per_thread: int = 32, sm_count: int = 1,
+                 obs=None) -> None:
         if grid_ctas < 1:
             raise ValueError("grid_ctas must be positive")
         if sm_count < 1 or sm_count > spec.sm_count:
@@ -74,6 +75,7 @@ class KernelLaunch:
         self.warps_per_cta = warps_per_cta
         self.shared_words = shared_words
         self.sm_count = sm_count
+        self._obs = obs
         self.resources = KernelResources(
             threads_per_cta=warps_per_cta * 32,
             shared_mem_per_cta=shared_words * 4,
@@ -108,5 +110,11 @@ class KernelLaunch:
         timing = TimingBreakdown(cycles=scaled_cycles, seconds=seconds,
                                  per_phase_cycles=timing.per_phase_cycles,
                                  spec_name=timing.spec_name)
+        if self._obs is not None:
+            self._obs.count("kernel.launches")
+            self._obs.span("kernel.launch", seconds,
+                           grid_ctas=self.grid_ctas,
+                           warps_per_cta=self.warps_per_cta,
+                           waves=waves, device=self.spec.name)
         return LaunchResult(outputs=outputs, timing=timing, ledger=ledger,
                             resident_ctas=occ.max_resident_ctas, waves=waves)

@@ -88,11 +88,12 @@ class SMScheduler:
     """
 
     def __init__(self, spec: GPUSpec = PASCAL_GTX1080,
-                 policy: str = "gto") -> None:
+                 policy: str = "gto", obs=None) -> None:
         if policy not in ("gto", "rr"):
             raise ValueError("policy must be 'gto' or 'rr'")
         self.spec = spec
         self.policy = policy
+        self._obs = obs
 
     def run(self, streams: Sequence[WarpStream],
             max_cycles: int = 50_000_000) -> ScheduleResult:
@@ -162,10 +163,17 @@ class SMScheduler:
                     finish[i] = cycle
             idle_slots += max(0, slots - min(slots, len(candidates)))
             cycle += 1
-        return ScheduleResult(cycles=cycle, issued=issued,
-                              stall_cycles=stall_cycles,
-                              idle_issue_slots=idle_slots,
-                              per_warp_finish=finish)
+        result = ScheduleResult(cycles=cycle, issued=issued,
+                                stall_cycles=stall_cycles,
+                                idle_issue_slots=idle_slots,
+                                per_warp_finish=finish)
+        if self._obs is not None:
+            self._obs.count("sm.scheduled_instructions", float(issued))
+            self._obs.count("sm.stall_cycles", float(stall_cycles))
+            self._obs.span("sm.schedule", cycle / spec.clock_hz,
+                           cycles=cycle, issued=issued, policy=self.policy,
+                           n_warps=n)
+        return result
 
 
 def streams_from_mix(n_warps: int, mix: Iterable[tuple[str, int]],

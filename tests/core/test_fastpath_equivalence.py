@@ -20,6 +20,7 @@ from repro.core.envelope import ANY_SOURCE, ANY_TAG, EnvelopeBatch
 from repro.core.hash_matching import HashMatcher
 from repro.core.matrix_matching import MatrixMatcher
 from repro.core.partitioned import PartitionedMatcher
+from repro.obs import Observability
 from repro.simt.memory import GlobalMemory
 from repro.simt.timing import CostLedger
 
@@ -207,6 +208,60 @@ def test_atomic_cas_chains_same_address():
 
 
 # -- blockwise scan memory bound ----------------------------------------------
+
+
+def _obs_pair(factory, msgs, reqs):
+    """Run the same matcher with and without observability attached and
+    return both outcomes (obs run first so tracer state can't leak)."""
+    traced = factory(Observability.enabled()).match(msgs, reqs)
+    plain = factory(None).match(msgs, reqs)
+    return traced, plain
+
+
+@pytest.mark.parametrize("factory,workload", [
+    (lambda obs: MatrixMatcher(obs=obs), "random"),
+    (lambda obs: MatrixMatcher(obs=obs), "wildcard"),
+    (lambda obs: MatrixMatcher(obs=obs), "partial"),
+    # partitioned matching rejects the ANY_SOURCE workload by design
+    (lambda obs: PartitionedMatcher(n_queues=4, obs=obs), "random"),
+    (lambda obs: PartitionedMatcher(n_queues=4, obs=obs), "ordered"),
+    (lambda obs: PartitionedMatcher(n_queues=4, obs=obs), "partial"),
+], ids=["matrix-random", "matrix-wildcard", "matrix-partial",
+        "partitioned-random", "partitioned-ordered", "partitioned-partial"])
+def test_obs_attachment_is_bit_identical(workload, factory):
+    """The zero-overhead-when-off contract's flip side: attaching the
+    observability layer must not perturb the *model* -- same assignment,
+    same modeled cycles, same iteration count."""
+    msgs, reqs = WORKLOADS[workload](513, seed=1)
+    traced, plain = _obs_pair(factory, msgs, reqs)
+    assert np.array_equal(traced.request_to_message,
+                          plain.request_to_message)
+    assert traced.cycles == plain.cycles
+    assert traced.iterations == plain.iterations
+    assert traced.matched_count == plain.matched_count
+
+
+@pytest.mark.parametrize("workload", ["random", "partial"])
+def test_obs_attachment_is_bit_identical_hash(workload):
+    msgs, reqs = WORKLOADS[workload](513, seed=1)
+    traced, plain = _obs_pair(lambda obs: HashMatcher(obs=obs), msgs, reqs)
+    assert np.array_equal(traced.request_to_message,
+                          plain.request_to_message)
+    assert traced.cycles == plain.cycles
+    assert traced.iterations == plain.iterations
+
+
+def test_obs_attachment_preserves_ledger():
+    """The cost ledger -- per-phase op totals -- is part of the model
+    output too; the tracer must never add or merge phases."""
+    msgs, reqs = WORKLOADS["random"](700, seed=2)
+    obs_ledger, plain_ledger = CostLedger(), CostLedger()
+    out_obs, it_obs = MatrixMatcher(obs=Observability.enabled()).execute(
+        msgs, reqs, obs_ledger)
+    out_plain, it_plain = MatrixMatcher().execute(msgs, reqs, plain_ledger)
+    assert np.array_equal(out_obs, out_plain)
+    assert it_obs == it_plain
+    assert ledger_signature(obs_ledger) == ledger_signature(plain_ledger)
 
 
 def test_blockwise_scan_memory_bound():

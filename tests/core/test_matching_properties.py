@@ -1,0 +1,206 @@
+"""Metamorphic properties of the matchers and queue compaction.
+
+Differential testing (``test_differential_oracle.py``) pins each matcher
+to the reference oracle; this suite checks *invariances* -- follow-up
+inputs whose outputs are predictable from the original run without
+consulting any oracle:
+
+* **Rank relabeling**: matching depends only on src *equality*, so a
+  bijection over the rank space must leave the partitioned matcher's
+  assignment bit-identical, even though it reshuffles which of the Q
+  queues every envelope lands in.
+* **Tag relabeling**: the hash matcher keys on {src, tag, comm} but
+  only equality matters; a tag bijection must preserve the matched
+  count (the assignment may legally change -- slots move).
+* **Compaction idempotence**: a keep-all compaction is the identity,
+  and compacting a compacted queue with an all-true mask changes
+  nothing; dropped positions map to -1 and survivors stay in order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import matching_workload, partial_workload
+from repro.core.compaction import compact_batch, compaction_map
+from repro.core.envelope import ANY_TAG, EnvelopeBatch
+from repro.core.hash_matching import HashMatcher
+from repro.core.partitioned import PartitionedMatcher
+from repro.core.verify import check_relaxed, reference_match
+
+SEEDS = (0, 1, 2)
+
+
+def _relabel(values: np.ndarray, domain: int, seed: int) -> np.ndarray:
+    """Apply a random bijection over ``range(domain)`` to in-domain
+    values, leaving wildcard sentinels (< 0) and out-of-domain markers
+    (e.g. the unreachable rank of ``partial_workload``) untouched."""
+    perm = np.random.default_rng(seed + 12345).permutation(domain)
+    out = values.copy()
+    concrete = (values >= 0) & (values < domain)
+    out[concrete] = perm[values[concrete]]
+    return out
+
+
+# -- rank-permutation invariance (partitioned) --------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("n,n_queues", [(64, 4), (200, 8)])
+def test_partitioned_invariant_under_rank_bijection(seed, n, n_queues):
+    msgs, reqs = matching_workload(n, n_ranks=16, seed=seed)
+    base = PartitionedMatcher(n_queues=n_queues).match(msgs, reqs)
+
+    msgs2 = EnvelopeBatch(_relabel(msgs.src, 16, seed), msgs.tag, msgs.comm)
+    reqs2 = EnvelopeBatch(_relabel(reqs.src, 16, seed), reqs.tag, reqs.comm)
+    permuted = PartitionedMatcher(n_queues=n_queues).match(msgs2, reqs2)
+
+    assert np.array_equal(permuted.request_to_message,
+                          base.request_to_message)
+    assert permuted.matched_count == base.matched_count
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_partitioned_rank_bijection_with_partial_matches(seed):
+    """Unmatched requests and unexpected messages must stay unmatched
+    under relabeling -- not just the happy fully-matchable path."""
+    msgs, reqs = partial_workload(120, 0.4, seed=seed)
+    base = PartitionedMatcher(n_queues=4).match(msgs, reqs)
+    msgs2 = EnvelopeBatch(_relabel(msgs.src, 64, seed), msgs.tag, msgs.comm)
+    reqs2 = EnvelopeBatch(_relabel(reqs.src, 64, seed), reqs.tag, reqs.comm)
+    permuted = PartitionedMatcher(n_queues=4).match(msgs2, reqs2)
+    assert np.array_equal(permuted.request_to_message,
+                          base.request_to_message)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_partitioned_rank_bijection_with_tag_wildcards(seed):
+    """Tag wildcards are legal under the no-ANY_SOURCE relaxation and
+    must survive rank relabeling too."""
+    msgs, reqs = matching_workload(80, n_ranks=8, seed=seed)
+    tag = reqs.tag.copy()
+    tag[::3] = ANY_TAG
+    reqs = EnvelopeBatch(reqs.src, tag, reqs.comm)
+    base = PartitionedMatcher(n_queues=4).match(msgs, reqs)
+    assert np.array_equal(base.request_to_message,
+                          reference_match(msgs, reqs).request_to_message)
+    msgs2 = EnvelopeBatch(_relabel(msgs.src, 8, seed), msgs.tag, msgs.comm)
+    reqs2 = EnvelopeBatch(_relabel(reqs.src, 8, seed), reqs.tag, reqs.comm)
+    permuted = PartitionedMatcher(n_queues=4).match(msgs2, reqs2)
+    assert np.array_equal(permuted.request_to_message,
+                          base.request_to_message)
+
+
+# -- tag-relabeling invariance (hash) -----------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("n", [64, 300])
+def test_hash_matched_count_invariant_under_tag_bijection(seed, n):
+    msgs, reqs = matching_workload(n, n_tags=32, seed=seed)
+    base = HashMatcher().match(msgs, reqs)
+    assert base.matched_count == n  # fully matchable
+
+    msgs2 = EnvelopeBatch(msgs.src, _relabel(msgs.tag, 32, seed), msgs.comm)
+    reqs2 = EnvelopeBatch(reqs.src, _relabel(reqs.tag, 32, seed), reqs.comm)
+    relabeled = HashMatcher().match(msgs2, reqs2)
+    check_relaxed(msgs2, reqs2, relabeled, require_complete=True)
+    assert relabeled.matched_count == base.matched_count
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_hash_tag_bijection_stays_valid_on_partial_workload(seed):
+    """On partial workloads the exact count is NOT invariant -- requests
+    naming an unreachable rank occupy table slots forever and can starve
+    live ones (the completeness caveat in the hash module docstring), and
+    *which* requests starve depends on slot placement.  What must hold
+    under relabeling: relaxed validity and the oracle upper bound."""
+    msgs, reqs = partial_workload(150, 0.5, seed=seed)
+    bound = reference_match(msgs, reqs).matched_count
+    msgs2 = EnvelopeBatch(msgs.src, _relabel(msgs.tag, 64, seed), msgs.comm)
+    reqs2 = EnvelopeBatch(reqs.src, _relabel(reqs.tag, 64, seed), reqs.comm)
+    relabeled = HashMatcher().match(msgs2, reqs2)
+    check_relaxed(msgs2, reqs2, relabeled)
+    assert 0 < relabeled.matched_count <= bound
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_hash_relabelings_compose(seed):
+    """Exact metamorphic identity: relabeling by sigma then tau is the
+    same input as relabeling by their composition, so the (deterministic)
+    matcher must produce a bit-identical assignment -- starvation and
+    all."""
+    msgs, reqs = partial_workload(150, 0.5, seed=seed)
+    step_m = EnvelopeBatch(msgs.src, _relabel(msgs.tag, 64, seed), msgs.comm)
+    step_m = EnvelopeBatch(step_m.src, _relabel(step_m.tag, 64, seed + 1),
+                           step_m.comm)
+    step_r = EnvelopeBatch(reqs.src, _relabel(reqs.tag, 64, seed), reqs.comm)
+    step_r = EnvelopeBatch(step_r.src, _relabel(step_r.tag, 64, seed + 1),
+                           step_r.comm)
+    composed = _relabel(_relabel(np.arange(64), 64, seed), 64, seed + 1)
+    comp_m = EnvelopeBatch(msgs.src, composed[msgs.tag], msgs.comm)
+    comp_r = EnvelopeBatch(reqs.src, composed[reqs.tag], reqs.comm)
+    a = HashMatcher().match(step_m, step_r)
+    b = HashMatcher().match(comp_m, comp_r)
+    assert np.array_equal(a.request_to_message, b.request_to_message)
+    assert a.cycles == b.cycles
+
+
+# -- compaction idempotence ---------------------------------------------------
+
+
+def test_keep_all_compaction_is_identity():
+    batch = EnvelopeBatch.random(50, rng=np.random.default_rng(0))
+    keep = np.ones(50, dtype=bool)
+    compacted, mapping = compact_batch(batch, keep)
+    assert np.array_equal(compacted.src, batch.src)
+    assert np.array_equal(compacted.tag, batch.tag)
+    assert np.array_equal(compacted.comm, batch.comm)
+    assert np.array_equal(mapping, np.arange(50))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_compaction_is_idempotent(seed):
+    """Compacting an already-compacted queue (all survivors) is a no-op,
+    and the survivors of the first pass appear in their original order."""
+    rng = np.random.default_rng(seed)
+    batch = EnvelopeBatch.random(80, rng=rng)
+    keep = rng.random(80) < 0.6
+    once, mapping = compact_batch(batch, keep)
+    assert len(once) == int(keep.sum())
+    # survivors keep their relative order
+    survivors = np.nonzero(keep)[0]
+    assert np.array_equal(once.src, batch.src[survivors])
+    assert np.array_equal(mapping[survivors], np.arange(survivors.size))
+    assert np.all(mapping[~keep] == -1)
+    # second pass with everything kept is exactly the first pass's output
+    twice, mapping2 = compact_batch(once, np.ones(len(once), dtype=bool))
+    assert np.array_equal(twice.src, once.src)
+    assert np.array_equal(twice.tag, once.tag)
+    assert np.array_equal(mapping2, np.arange(len(once)))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_two_step_compaction_composes(seed):
+    """Dropping in two steps lands every survivor where a single combined
+    drop would have put it (prefix sums compose)."""
+    rng = np.random.default_rng(seed + 7)
+    batch = EnvelopeBatch.random(60, rng=rng)
+    keep1 = rng.random(60) < 0.7
+    step1, _ = compact_batch(batch, keep1)
+    keep2 = rng.random(len(step1)) < 0.7
+    step2, _ = compact_batch(step1, keep2)
+    combined = keep1.copy()
+    combined[np.nonzero(keep1)[0]] = keep2
+    direct, _ = compact_batch(batch, combined)
+    assert np.array_equal(step2.src, direct.src)
+    assert np.array_equal(step2.tag, direct.tag)
+    assert np.array_equal(step2.comm, direct.comm)
+
+
+def test_compaction_map_matches_docstring_contract():
+    keep = np.array([True, False, True, True, False])
+    assert np.array_equal(compaction_map(keep), [0, -1, 1, 2, -1])
+    rejected = compaction_map(np.zeros(4, dtype=bool))
+    assert np.all(rejected == -1)

@@ -1,0 +1,71 @@
+"""Stall diagnosis x observability: metric snapshots ride the report.
+
+When a :class:`~repro.obs.Observability` handle is attached to a
+:class:`~repro.mpi.process.Cluster`, the progress watchdog's
+:class:`~repro.mpi.reliability.StallReport` must carry the metrics
+snapshot (``obs_metrics``) so a hung run's counters are visible in the
+same place as its queue depths -- and must stay ``None`` (not ``{}``)
+when observability is off, so callers can tell "no data" from "all
+zeroes".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.faults import FaultPlan, FaultSpec
+from repro.mpi.process import Cluster
+from repro.mpi.reliability import ReliabilityConfig, StallError
+from repro.obs import Observability
+
+
+def test_stall_report_carries_metric_snapshot():
+    obs = Observability.enabled()
+    c = Cluster(2, obs=obs)
+    c.rank(0).isend(1, b"nobody wants me", tag=9)
+    c.progress()
+    report = c.stall_report()
+    counters = report.obs_metrics["counters"]
+    assert counters["net.messages_sent"] == 1
+    assert counters["net.bytes_sent"] > 0
+    assert report.ranks[1]["umq_depth"] == 1  # obs rides along, not instead
+
+
+def test_stall_report_obs_metrics_none_without_registry():
+    c = Cluster(2)
+    c.rank(0).isend(1, b"x", tag=0)
+    c.progress()
+    assert c.stall_report().obs_metrics is None
+    assert "obs counters" not in c.stall_report().render()
+
+
+def test_watchdog_stall_error_report_includes_obs():
+    plan = FaultPlan(seed=8)
+    plan.set_link(0, 1, FaultSpec(drop=1.0))
+    cfg = ReliabilityConfig(timeout_seconds=1.0, max_retries=10_000)
+    obs = Observability.enabled()
+    c = Cluster(2, fault_plan=plan, reliability=cfg, obs=obs)
+    c.rank(1).irecv(src=0, tag=3)
+    c.rank(0).isend(1, b"lost", tag=3)
+    with pytest.raises(StallError) as exc:
+        c.drain(max_rounds=50)
+    report = exc.value.report
+    assert report.obs_metrics is not None
+    counters = report.obs_metrics["counters"]
+    assert counters["cluster.stalls"] == 1
+    assert counters["net.messages_sent"] >= 1
+    # rendered diagnosis surfaces the counters alongside the queue state
+    rendered = report.render()
+    assert "obs counters:" in rendered
+    assert "net.messages_sent" in rendered
+
+
+def test_drained_cluster_snapshot_counts_matches():
+    obs = Observability.enabled()
+    c = Cluster(2, obs=obs)
+    c.rank(0).isend(1, b"hello", tag=1)
+    assert c.rank(1).recv(src=0, tag=1) == b"hello"
+    c.drain()
+    counters = obs.snapshot()["counters"]
+    assert counters["endpoint.matches"] >= 1
+    assert counters.get("cluster.stalls", 0) == 0

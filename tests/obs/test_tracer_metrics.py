@@ -1,0 +1,232 @@
+"""Unit tests for the observability layer: tracer, metrics, exports.
+
+Covers the Chrome/Perfetto trace-schema contract (the ``--trace-out``
+acceptance criterion validates a real bench run against the same checks
+in ``tests/bench/test_bench_smoke.py``), the metrics registry semantics,
+and the bounded-buffer behaviour of the tracer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, Observability, Tracer
+from repro.obs.metrics import HISTOGRAM_BUCKETS
+from repro.obs.report import render_tracer_summary, span_time_by_name, summary
+
+
+def assert_perfetto_schema(doc: dict) -> None:
+    """Structural checks of the Chrome Trace Event JSON object format."""
+    assert isinstance(doc, dict)
+    assert isinstance(doc["traceEvents"], list)
+    for ev in doc["traceEvents"]:
+        assert isinstance(ev["name"], str) and ev["name"]
+        assert ev["ph"] in ("X", "i", "M")
+        assert isinstance(ev["pid"], int)
+        assert isinstance(ev["tid"], int)
+        if ev["ph"] == "M":
+            assert ev["name"] in ("process_name", "thread_name")
+            assert isinstance(ev["args"]["name"], str)
+            continue
+        assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+        if ev["ph"] == "X":
+            assert isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0
+        if ev["ph"] == "i":
+            assert ev["s"] in ("t", "p", "g")
+        if "args" in ev:
+            json.dumps(ev["args"])  # args must be JSON-serializable
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_gauge_tracks_high_water_mark(self):
+        g = Gauge()
+        g.set(3)
+        g.set(10)
+        g.set(4)
+        assert g.value == 4
+        assert g.max_value == 10
+        assert g.writes == 3
+
+    def test_histogram_batched_observe(self):
+        h = Histogram()
+        h.observe(4.0, count=3)
+        h.observe(100.0)
+        assert h.count == 4
+        assert h.mean == pytest.approx((4.0 * 3 + 100.0) / 4)
+        assert h.min == 4.0 and h.max == 100.0
+        s = h.summary()
+        assert s["count"] == 4 and s["sum"] == pytest.approx(112.0)
+
+    def test_histogram_bucket_placement(self):
+        h = Histogram()
+        h.observe(1.0)
+        h.observe(float(HISTOGRAM_BUCKETS[-1]) * 4)  # beyond every bound
+        assert h.buckets[0] == 1
+        assert h.buckets[-1] == 1
+
+    def test_histogram_ignores_nonpositive_count(self):
+        h = Histogram()
+        h.observe(5.0, count=0)
+        assert h.count == 0
+        assert h.summary()["min"] == 0.0
+
+    def test_registry_lazy_creation_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.inc("a.count", 2)
+        reg.set("b.depth", 7)
+        reg.observe("c.dist", 3, count=2)
+        assert reg.counter("a.count") is reg.counters["a.count"]
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a.count": 2}
+        assert snap["gauges"]["b.depth"]["max"] == 7
+        assert snap["histograms"]["c.dist"]["count"] == 2
+        json.dumps(snap)  # must be JSON-friendly
+
+    def test_render_table_lists_every_instrument(self):
+        reg = MetricsRegistry()
+        reg.inc("zeta", 1)
+        reg.set("alpha", 2)
+        reg.observe("mid", 3)
+        table = reg.render_table()
+        for name in ("zeta", "alpha", "mid"):
+            assert name in table
+
+
+class TestTracer:
+    def test_complete_does_not_advance_clock(self):
+        t = Tracer()
+        t.complete("work", 0.0, 1e-6)
+        assert t.now == 0.0
+        assert t.events[0]["ph"] == "X"
+        assert t.events[0]["dur"] == pytest.approx(1.0)  # us
+
+    def test_span_helper_advances_clock(self):
+        obs = Observability.enabled()
+        obs.span("a", 2e-6)
+        obs.span("b", 3e-6)
+        assert obs.tracer.now == pytest.approx(5e-6)
+        ts = [e["ts"] for e in obs.tracer.events]
+        assert ts == [pytest.approx(0.0), pytest.approx(2.0)]
+
+    def test_instant_scope_and_timestamp(self):
+        t = Tracer()
+        t.advance(1e-6)
+        t.instant("evt", detail=42)
+        ev = t.events[0]
+        assert ev["ph"] == "i" and ev["s"] == "t"
+        assert ev["ts"] == pytest.approx(1.0)
+        assert ev["args"]["detail"] == 42
+
+    def test_negative_duration_clamped(self):
+        t = Tracer()
+        t.complete("w", 1.0, -5.0)
+        assert t.events[0]["dur"] == 0.0
+
+    def test_max_events_cap_counts_drops(self):
+        t = Tracer(max_events=3)
+        for i in range(5):
+            t.instant(f"e{i}")
+        assert t.n_events == 3
+        assert t.dropped == 2
+        assert t.to_chrome()["otherData"]["dropped_events"] == 2
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
+    def test_metadata_events_label_processes(self):
+        obs = Observability.enabled()
+        obs.set_rank(3)
+        obs.instant("x")
+        doc = obs.tracer.to_chrome()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "rank 3") in names
+        assert ("thread_name", "comm kernel") in names
+        assert obs.tracer.events[0]["pid"] == 3
+
+    def test_match_span_lays_phase_subspans(self):
+        obs = Observability.enabled()
+        obs.match_span("m.match", 4e-6, {"scan": 10.0, "reduce": 30.0},
+                       clock_hz=10e6)
+        names = [e["name"] for e in obs.tracer.events]
+        assert names == ["m.match.scan", "m.match.reduce", "m.match"]
+        top = obs.tracer.events[-1]
+        assert top["args"]["phase_cycles"] == {"scan": 10.0, "reduce": 30.0}
+        # phase lanes ride on tid 1, the top-level span on the current tid
+        assert {e["tid"] for e in obs.tracer.events[:2]} == {1}
+        assert obs.tracer.now == pytest.approx(4e-6)
+
+
+class TestExports:
+    def test_chrome_export_schema(self, tmp_path):
+        obs = Observability.enabled()
+        obs.set_rank(0)
+        obs.span("alpha", 1e-6, n=1)
+        obs.instant("beta")
+        path = obs.tracer.write_chrome(tmp_path / "trace.json")
+        with open(path) as f:
+            doc = json.load(f)
+        assert_perfetto_schema(doc)
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_jsonl_export_one_event_per_line(self, tmp_path):
+        obs = Observability.enabled()
+        obs.set_rank(1)
+        obs.span("alpha", 1e-6)
+        path = obs.tracer.write_jsonl(tmp_path / "trace.jsonl")
+        lines = [json.loads(line) for line in open(path)]
+        assert all("ph" in ev for ev in lines)
+        # metadata first, then the span
+        assert lines[0]["ph"] == "M"
+        assert lines[-1]["name"] == "alpha"
+
+    def test_run_metadata_lands_in_other_data(self, tmp_path):
+        from repro.simt.gpu import PASCAL_GTX1080
+        t = Tracer()
+        t.metadata.update(PASCAL_GTX1080.trace_metadata())
+        t.instant("x")
+        doc = t.to_chrome()
+        assert doc["otherData"]["device"] == "GeForce GTX 1080"
+        assert doc["otherData"]["generation"] == "pascal"
+
+
+class TestObservabilityFacade:
+    def test_halves_are_optional(self):
+        obs = Observability()  # both halves off: everything no-ops
+        obs.count("x")
+        obs.gauge("y", 1)
+        obs.observe("z", 2)
+        obs.span("s", 1e-6)
+        obs.instant("i")
+        obs.set_rank(2)
+        assert obs.snapshot() is None
+
+    def test_metrics_only(self):
+        obs = Observability(metrics=MetricsRegistry())
+        obs.count("hits", 3)
+        obs.span("s", 1e-6)  # no tracer: silently dropped
+        assert obs.snapshot()["counters"] == {"hits": 3}
+
+    def test_report_summary(self):
+        obs = Observability.enabled()
+        obs.span("phase.a", 3e-6)
+        obs.span("phase.a", 1e-6)
+        obs.count("n", 2)
+        by_name = span_time_by_name(obs.tracer)
+        assert by_name["phase.a"][0] == 2
+        assert by_name["phase.a"][1] == pytest.approx(4e-6)
+        text = summary(obs)
+        assert "phase.a" in text and "n" in text
+        assert "2 events" in render_tracer_summary(obs.tracer)
+
+    def test_disabled_summary_message(self):
+        assert "disabled" in summary(Observability())
