@@ -16,6 +16,9 @@ Usage::
 ``--trace-out`` attaches the observability layer (``repro.obs``) to the
 sweep, writes a Chrome/Perfetto ``trace.json`` (open it at
 https://ui.perfetto.dev), and prints the tracer + metrics summary.
+``--sanitize`` additionally runs every matcher (fast paths, plus the
+matrix/hash pedantic per-warp paths) under ``repro.simt.sanitize`` and
+prints the report; exits nonzero on any finding.
 """
 
 from __future__ import annotations
@@ -52,6 +55,32 @@ def test_report_host_perf():
     assert all(r.matches_per_second > 0 for r in records)
 
 
+def run_sanitized_sweep(n: int = 200) -> "SanitizerReport":
+    """Run every shipped matcher under the sanitizer at a small size and
+    return the combined report (clean == the kernels model no races,
+    uninitialized reads, or ledger drift)."""
+    from repro.bench.harness import matching_workload
+    from repro.core.bucket_matching import BucketMatcher
+    from repro.core.hash_matching import HashMatcher
+    from repro.core.list_matching import ListMatcher
+    from repro.core.matrix_matching import MatrixMatcher
+    from repro.core.partitioned import PartitionedMatcher
+    from repro.simt.sanitize import Sanitizer
+
+    san = Sanitizer()
+    msgs, reqs = matching_workload(n, seed=0)
+    MatrixMatcher(warps_per_cta=2, window=8,
+                  sanitize=san).match_pedantic(msgs, reqs)
+    HashMatcher(sanitize=san).match_pedantic(msgs, reqs)
+    for matcher in (MatrixMatcher(sanitize=san),
+                    PartitionedMatcher(n_queues=4, sanitize=san),
+                    HashMatcher(sanitize=san),
+                    BucketMatcher(sanitize=san),
+                    ListMatcher(sanitize=san)):
+        matcher.match(msgs, reqs)
+    return san.finalize()
+
+
 def main(argv: list[str] | None = None) -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true",
@@ -64,6 +93,9 @@ def main(argv: list[str] | None = None) -> None:
                     help="queue depths to sweep (overrides --quick)")
     ap.add_argument("--trace-out", default=None, metavar="PATH",
                     help="write a Chrome/Perfetto trace.json of the sweep")
+    ap.add_argument("--sanitize", action="store_true",
+                    help="run the matchers under the SIMT sanitizer and "
+                         "fail on any finding")
     args = ap.parse_args(argv)
 
     obs = None
@@ -90,6 +122,10 @@ def main(argv: list[str] | None = None) -> None:
     if not args.no_json:
         append_entry(records, label=args.label)
         print(f"appended entry {args.label!r} to {default_report_path()}")
+    if args.sanitize:
+        report = run_sanitized_sweep()
+        print(report.summary())
+        report.assert_clean()   # nonzero exit on any finding
 
 
 if __name__ == "__main__":

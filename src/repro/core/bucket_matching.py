@@ -106,12 +106,16 @@ class BucketMatcher:
         two CPU baselines are directly comparable.
     hash_name:
         Bucket-addressing hash.
+    sanitize:
+        Accepted for knob parity with the GPU matchers; the CPU baseline
+        touches no simulated memories, so an attached sanitizer observes
+        nothing (trivially clean).
     """
 
     name = "bucket"
 
     def __init__(self, n_buckets: int = 16, cpu: CPUSpec = XEON_E5,
-                 hash_name: str = "jenkins") -> None:
+                 hash_name: str = "jenkins", sanitize=None) -> None:
         if n_buckets < 1:
             raise ValueError("n_buckets must be positive")
         if hash_name not in HASH_FUNCTIONS:
@@ -119,6 +123,7 @@ class BucketMatcher:
         self.n_buckets = n_buckets
         self.cpu = cpu
         self._hash = HASH_FUNCTIONS[hash_name]
+        self._san = sanitize
 
     # -- bucket addressing -----------------------------------------------------------
 

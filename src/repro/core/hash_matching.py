@@ -141,6 +141,15 @@ class HashMatcher:
         *modeled* GPU still hashes per round and is charged for it);
         ``False`` keeps the per-round hashing as the equivalence-test
         reference.
+    obs:
+        Optional observability handle (one ``is None`` branch per path).
+    sanitize:
+        Optional :class:`~repro.simt.sanitize.Sanitizer`; ``None``
+        (default) falls back to ``spec.sanitize``.  Instruments the
+        pedantic path's :class:`~repro.simt.memory.GlobalMemory`; the
+        table regions are host-``memset`` before use (the device-code
+        analogue is a ``cudaMemset`` of the empty sentinel), so queries
+        of empty slots are initcheck-defined.
 
     Notes
     -----
@@ -154,7 +163,7 @@ class HashMatcher:
     def __init__(self, spec: GPUSpec = PASCAL_GTX1080, n_ctas: int = 1,
                  config: HashTableConfig | None = None,
                  precompute_slots: bool = True,
-                 obs=None) -> None:
+                 obs=None, sanitize=None) -> None:
         if n_ctas < 1:
             raise ValueError("n_ctas must be positive")
         self.spec = spec
@@ -162,6 +171,7 @@ class HashMatcher:
         self.config = config if config is not None else HashTableConfig()
         self.precompute_slots = precompute_slots
         self._obs = obs
+        self._san = sanitize if sanitize is not None else spec.sanitize
         self._hash = HASH_FUNCTIONS[self.config.hash_name]
         self._hash_alu = alu_cost(self.config.hash_name)
         self._workload_warps = 1
@@ -419,11 +429,21 @@ class HashMatcher:
         msg_keys = messages.packed() + 1   # 0 = empty sentinel
         req_keys = requests.packed() + 1
         P, S = self.config.sizes(max(n_msg, n_req))
-        mem = GlobalMemory(2 * (P + S), ledger=ledger)
+        san = self._san
+        if san is not None:
+            prev_kernel = san.current_kernel
+            san.current_kernel = "hash.match_pedantic"
+        mem = GlobalMemory(2 * (P + S), ledger=ledger, sanitize=san)
         kp = mem.alloc("keys_primary", P)
         vp = mem.alloc("vals_primary", P)
         ks = mem.alloc("keys_secondary", S)
         vs = mem.alloc("vals_secondary", S)
+        # cudaMemset of the empty sentinel before launch; uncharged and a
+        # no-op on the zero-initialized simulated memory, but it defines
+        # every slot a depth-1 probe may legally read.
+        for region in ("keys_primary", "vals_primary",
+                       "keys_secondary", "vals_secondary"):
+            mem.memset(region, 0)
 
         def level_params(keys, salt, base_k, base_v, size):
             folded = fold64(keys - 1)
@@ -492,6 +512,9 @@ class HashMatcher:
                     break
             else:
                 stall = 0
+        if san is not None:
+            san.finalize()
+            san.current_kernel = prev_kernel
         return self._finish(out, n_msg, n_req, ledger, rounds, 0)
 
     # -- cost plumbing ---------------------------------------------------------------

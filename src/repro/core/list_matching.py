@@ -59,8 +59,11 @@ class ListMatcher:
 
     name = "list"
 
-    def __init__(self, cpu: CPUSpec = XEON_E5) -> None:
+    def __init__(self, cpu: CPUSpec = XEON_E5, sanitize=None) -> None:
+        # sanitize is accepted for knob parity with the GPU matchers; the
+        # CPU baseline touches no simulated memories (trivially clean).
         self.cpu = cpu
+        self._san = sanitize
 
     def match(self, messages: EnvelopeBatch,
               requests: EnvelopeBatch) -> MatchOutcome:

@@ -49,6 +49,7 @@ import numpy as np
 
 from ..simt.cta import CTA, MAX_WARPS_PER_CTA
 from ..simt.gpu import GPUSpec, PASCAL_GTX1080
+from ..simt.memory import SMEM_WORD_BYTES
 from ..simt.timing import CostLedger, TimingModel
 from ..simt.warp import WARP_SIZE, ffs32, full_active
 from .envelope import EnvelopeBatch
@@ -115,6 +116,12 @@ class MatrixMatcher:
         Optional :class:`~repro.obs.Observability` handle.  When absent
         (default) the hot path takes a single ``is None`` branch and the
         outcome -- match vector, ledger, cycles -- is bit-identical.
+    sanitize:
+        Optional :class:`~repro.simt.sanitize.Sanitizer`; ``None``
+        (default) falls back to ``spec.sanitize``.  Threaded the same way
+        as ``obs`` -- the instrumented pedantic path is bit-identical
+        when off.  The fast path is analytic (no simulated memories), so
+        the sanitizer observes the pedantic execution.
     """
 
     name = "matrix"
@@ -126,7 +133,7 @@ class MatrixMatcher:
                  warp_size: int = WARP_SIZE,
                  compaction_policy: str = "always",
                  reduce_impl: str = "batched",
-                 obs=None) -> None:
+                 obs=None, sanitize=None) -> None:
         if compaction_policy not in ("always", "adaptive"):
             raise ValueError("compaction_policy must be 'always' or "
                              "'adaptive'")
@@ -139,8 +146,8 @@ class MatrixMatcher:
         if not 1 <= warp_size <= WARP_SIZE:
             raise ValueError(f"warp_size must be in [1, {WARP_SIZE}]")
         # double-buffered vote matrix must fit the CTA's shared memory:
-        # 2 buffers x warps x window x 4-byte words
-        smem_needed = 2 * warps_per_cta * window * 4
+        # 2 buffers x warps x window x 4-byte vote words
+        smem_needed = 2 * warps_per_cta * window * SMEM_WORD_BYTES
         if smem_needed > spec.shared_mem_per_cta:
             raise ValueError(
                 f"window {window} needs {smem_needed} B of shared memory "
@@ -154,6 +161,7 @@ class MatrixMatcher:
         self.warp_size = warp_size
         self.reduce_impl = reduce_impl
         self._obs = obs
+        self._san = sanitize if sanitize is not None else spec.sanitize
 
     # -- public API ------------------------------------------------------------
 
@@ -481,6 +489,10 @@ class MatrixMatcher:
         n_blocks = math.ceil(n_msg / block)
         unmatched = np.ones(n_req, dtype=bool)
         ledger = CostLedger()
+        san = self._san
+        if san is not None:
+            prev_kernel = san.current_kernel
+            san.current_kernel = "matrix.match_pedantic"
 
         for b in range(n_blocks):
             lo, hi = b * block, min((b + 1) * block, n_msg)
@@ -488,7 +500,7 @@ class MatrixMatcher:
             n_warps = math.ceil(n_block / WARP_SIZE)
             cta = CTA(num_warps=n_warps,
                       shared_words=n_warps * self.window, ledger=ledger,
-                      cta_id=b)
+                      cta_id=b, sanitize=san)
             cols = np.nonzero(unmatched)[0]
             plan = self._plan(n_block, cols.size)
             group = self._overlap_group(plan)
@@ -510,6 +522,9 @@ class MatrixMatcher:
                 cta.syncthreads()
                 if block_exhausted:
                     break  # all of this block's messages are consumed
+        if san is not None:
+            san.finalize()
+            san.current_kernel = prev_kernel
         return self._finish(out, n_msg, n_req, ledger, iterations=n_blocks)
 
     def _pedantic_scan(self, cta: CTA, messages: EnvelopeBatch,
@@ -532,7 +547,7 @@ class MatrixMatcher:
                 vote = warp.ballot(pred)
                 cta.shared.store(
                     np.array([warp.warp_id * self.window + i]),
-                    np.array([vote]))
+                    np.array([vote]), warp_id=warp.warp_id)
             warp.active = full_active(WARP_SIZE)
 
     def _pedantic_reduce(self, cta: CTA, chunk: np.ndarray, out: np.ndarray,
@@ -550,7 +565,7 @@ class MatrixMatcher:
         full = (1 << WARP_SIZE) - 1
         for i, j in enumerate(chunk):
             addrs = np.minimum(lanes, n_warps - 1) * self.window + i
-            votes = cta.shared.load(addrs)
+            votes = cta.shared.load(addrs, warp_id=warp.warp_id)
             votes = np.where(holds_row, votes, 0)
             masked = warp.op(votes & mask, count=1)
             bidders = warp.ballot(masked != 0)

@@ -96,7 +96,7 @@ class PartitionedMatcher:
                  partition_key: str = "src",
                  sm_count: int = 1,
                  reduce_impl: str = "batched",
-                 obs=None) -> None:
+                 obs=None, sanitize=None) -> None:
         if n_queues < 1:
             raise ValueError("n_queues must be positive")
         if not 1 <= warp_size <= WARP_SIZE:
@@ -116,6 +116,7 @@ class PartitionedMatcher:
         self.sm_count = sm_count
         self.reduce_impl = reduce_impl
         self._obs = obs
+        self._san = sanitize if sanitize is not None else spec.sanitize
 
     # -- partitioning -------------------------------------------------------------
 
@@ -170,7 +171,8 @@ class PartitionedMatcher:
             matcher = MatrixMatcher(
                 spec=self.spec, warps_per_cta=warps_q,
                 window=self.window, compaction=False,
-                warp_size=self.warp_size, reduce_impl=self.reduce_impl)
+                warp_size=self.warp_size, reduce_impl=self.reduce_impl,
+                sanitize=self._san)
             local, iters = matcher.execute(messages.take(m_idx),
                                            requests.take(r_idx), ledger)
             iterations = max(iterations, iters)

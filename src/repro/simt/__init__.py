@@ -5,16 +5,19 @@ against: warps with ballot/ffs/shuffle intrinsics (:mod:`.warp`), CTAs
 with shared memory and barriers (:mod:`.cta`), an occupancy calculator
 (:mod:`.occupancy`), a memory transaction model (:mod:`.memory`), device
 descriptors for the paper's Kepler/Maxwell/Pascal testbeds (:mod:`.gpu`),
-and a calibrated throughput timing model (:mod:`.timing`, :mod:`.kernel`).
+a calibrated throughput timing model (:mod:`.timing`, :mod:`.kernel`),
+and an opt-in compute-sanitizer-style analysis pass (:mod:`.sanitize`).
 """
 
 from .cta import CTA, MAX_WARPS_PER_CTA
 from .gpu import GPU, GPUSpec, KEPLER_K80, MAXWELL_M40, PASCAL_GTX1080
 from .kernel import KernelLaunch, LaunchResult
-from .memory import (GlobalMemory, SharedMemory, bank_conflicts,
-                     coalesced_transactions)
+from .memory import (GMEM_WORD_BYTES, SMEM_WORD_BYTES, GlobalMemory,
+                     SharedMemory, bank_conflicts, coalesced_transactions)
 from .occupancy import (KernelResources, OccupancyResult, occupancy,
                         serialization_factor)
+from .sanitize import CHECKERS, Sanitizer
+from .sanitize_report import (Finding, SanitizerError, SanitizerReport)
 from .sm import ScheduleResult, SMScheduler, WarpStream, streams_from_mix
 from .timing import CostLedger, PhaseCost, TimingBreakdown, TimingModel
 from .warp import (FULL_MASK, WARP_SIZE, Warp, WarpDivergenceError, brev32,
@@ -26,7 +29,9 @@ __all__ = [
     "GPU", "GPUSpec", "KEPLER_K80", "MAXWELL_M40", "PASCAL_GTX1080",
     "KernelLaunch", "LaunchResult",
     "GlobalMemory", "SharedMemory", "bank_conflicts", "coalesced_transactions",
+    "GMEM_WORD_BYTES", "SMEM_WORD_BYTES",
     "KernelResources", "OccupancyResult", "occupancy", "serialization_factor",
+    "Sanitizer", "SanitizerReport", "SanitizerError", "Finding", "CHECKERS",
     "SMScheduler", "ScheduleResult", "WarpStream", "streams_from_mix",
     "CostLedger", "PhaseCost", "TimingBreakdown", "TimingModel",
     "FULL_MASK", "WARP_SIZE", "Warp", "WarpDivergenceError",

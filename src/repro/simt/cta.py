@@ -35,18 +35,25 @@ class CTA:
         created if omitted.
     cta_id:
         Index within the grid.
+    sanitize:
+        Optional :class:`~repro.simt.sanitize.Sanitizer`; threaded into the
+        CTA's shared memory and notified at every :meth:`syncthreads` so
+        racecheck epochs advance and synccheck can inspect warp masks.
     """
 
     def __init__(self, num_warps: int, shared_words: int = 0,
-                 ledger: CostLedger | None = None, cta_id: int = 0) -> None:
+                 ledger: CostLedger | None = None, cta_id: int = 0,
+                 sanitize: "object | None" = None) -> None:
         if not 1 <= num_warps <= MAX_WARPS_PER_CTA:
             raise ValueError(
                 f"num_warps must be in [1, {MAX_WARPS_PER_CTA}], got {num_warps}")
         self.cta_id = cta_id
         self.ledger = ledger if ledger is not None else CostLedger()
+        self._san = sanitize
         self.warps = [Warp(warp_id=w, ledger=self.ledger)
                       for w in range(num_warps)]
-        self.shared = (SharedMemory(shared_words, ledger=self.ledger)
+        self.shared = (SharedMemory(shared_words, ledger=self.ledger,
+                                    sanitize=sanitize)
                        if shared_words > 0 else None)
         self._barrier_count = 0
 
@@ -68,6 +75,8 @@ class CTA:
         """CTA-wide barrier (``__syncthreads``); charged once per warp."""
         self._barrier_count += 1
         self.ledger.issue("sync", float(self.num_warps))
+        if self._san is not None:
+            self._san.barrier(self)
 
     @property
     def barrier_count(self) -> int:

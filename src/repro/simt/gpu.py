@@ -66,6 +66,12 @@ class GPUSpec:
         Slowdown each additional co-resident CTA inflicts on its
         neighbours (shared memory pipeline / atomic unit pressure); drives
         the 32-CTA vs 1-CTA hash-throughput ratio of Figure 6(b).
+    sanitize:
+        Optional :class:`~repro.simt.sanitize.Sanitizer` default for
+        launches and schedulers targeting this spec (``spec.with_(
+        sanitize=Sanitizer())`` instruments every kernel that does not
+        pass its own handle).  Excluded from equality and repr; the
+        shipped singletons carry ``None``.
     """
 
     name: str
@@ -86,6 +92,8 @@ class GPUSpec:
     issue_cycles: dict = field(default_factory=dict)
     calibration: dict = field(default_factory=dict)
     cta_contention: float = 0.47
+    sanitize: "object | None" = field(default=None, compare=False,
+                                      repr=False)
 
     @property
     def clock_hz(self) -> float:

@@ -15,6 +15,7 @@ from typing import Callable
 
 from .cta import CTA
 from .gpu import GPUSpec
+from .memory import SMEM_WORD_BYTES
 from .occupancy import KernelResources, occupancy, serialization_factor
 from .timing import CostLedger, TimingBreakdown, TimingModel
 
@@ -55,6 +56,9 @@ class KernelLaunch:
     sm_count:
         SMs devoted to the kernel.  The paper's methodology dedicates one
         SM to communication; that is the default.
+    sanitize:
+        Optional :class:`~repro.simt.sanitize.Sanitizer` threaded into
+        every CTA; ``None`` (the default) falls back to ``spec.sanitize``.
 
     The kernel ``body`` receives ``(cta, *args)`` and returns an arbitrary
     per-CTA output.  CTAs sharing an SM wave run concurrently; the
@@ -65,7 +69,7 @@ class KernelLaunch:
     def __init__(self, spec: GPUSpec, grid_ctas: int = 1,
                  warps_per_cta: int = 32, shared_words: int = 0,
                  regs_per_thread: int = 32, sm_count: int = 1,
-                 obs=None) -> None:
+                 obs=None, sanitize=None) -> None:
         if grid_ctas < 1:
             raise ValueError("grid_ctas must be positive")
         if sm_count < 1 or sm_count > spec.sm_count:
@@ -76,9 +80,10 @@ class KernelLaunch:
         self.shared_words = shared_words
         self.sm_count = sm_count
         self._obs = obs
+        self._san = sanitize if sanitize is not None else spec.sanitize
         self.resources = KernelResources(
             threads_per_cta=warps_per_cta * 32,
-            shared_mem_per_cta=shared_words * 4,
+            shared_mem_per_cta=shared_words * SMEM_WORD_BYTES,
             regs_per_thread=regs_per_thread,
         )
 
@@ -95,11 +100,21 @@ class KernelLaunch:
         waves = serialization_factor(self.spec, self.resources,
                                      self.grid_ctas, self.sm_count)
         outputs = []
-        for cta_id in range(self.grid_ctas):
-            cta = CTA(num_warps=self.warps_per_cta,
-                      shared_words=self.shared_words,
-                      ledger=ledger, cta_id=cta_id)
-            outputs.append(body(cta, *args))
+        san = self._san
+        if san is not None:
+            prev_kernel = san.current_kernel
+            san.current_kernel = getattr(body, "__name__", None) or "kernel"
+        try:
+            for cta_id in range(self.grid_ctas):
+                cta = CTA(num_warps=self.warps_per_cta,
+                          shared_words=self.shared_words,
+                          ledger=ledger, cta_id=cta_id,
+                          sanitize=san)
+                outputs.append(body(cta, *args))
+        finally:
+            if san is not None:
+                san.finalize()
+                san.current_kernel = prev_kernel
         # The ledger holds the summed work of all grid_ctas CTAs, but CTAs
         # within one wave run concurrently: wall time = total / (CTAs per
         # wave).  For homogeneous CTAs this equals "max over waves".

@@ -9,6 +9,15 @@ memory.  This module provides
 * :func:`coalesced_transactions` / :func:`bank_conflicts` -- the access
   pattern analyses the cost model uses to turn a warp's 32 lane addresses
   into a transaction count (global) or a conflict multiplier (shared).
+
+Both memories are *word addressed*; the modeled byte size of a word is an
+explicit ``word_bytes`` parameter used consistently by capacity
+(``size_bytes``), coalescing, and bank-conflict accounting.  The defaults
+match what the paper's kernels store: 8-byte packed {src, tag, comm}
+envelope words in global memory (:data:`GMEM_WORD_BYTES`) and 4-byte
+int32 vote rows in shared memory (:data:`SMEM_WORD_BYTES`).  Values are
+held in an int64 backing array regardless of the modeled width -- the
+width drives the *cost and capacity model*, not host storage.
 """
 
 from __future__ import annotations
@@ -21,6 +30,8 @@ __all__ = [
     "coalesced_transactions",
     "bank_conflicts",
     "MemoryError_",
+    "GMEM_WORD_BYTES",
+    "SMEM_WORD_BYTES",
 ]
 
 #: Global memory transaction granularity in bytes (L1 line / sector size).
@@ -28,6 +39,14 @@ TRANSACTION_BYTES = 128
 
 #: Shared memory banks on all simulated generations.
 SMEM_BANKS = 32
+
+#: Modeled element size of a global-memory word: the 64-bit packed
+#: envelope {comm:16 | src:32 | tag:16} the queues store.
+GMEM_WORD_BYTES = 8
+
+#: Modeled element size of a shared-memory word: the int32 vote rows of
+#: the matrix matcher (Section V-A).
+SMEM_WORD_BYTES = 4
 
 
 class MemoryError_(RuntimeError):
@@ -42,13 +61,16 @@ def coalesced_transactions(addresses: np.ndarray,
     A warp's 32 lane addresses are serviced by as many
     ``transaction_bytes``-sized aligned segments as they touch: a fully
     coalesced unit-stride 4-byte access costs 1 transaction, a random
-    scatter costs up to 32.
+    scatter costs up to 32.  An access wider than a transaction touches
+    every segment it spans, not just its first and last.
 
     >>> import numpy as np
     >>> coalesced_transactions(np.arange(32) * 4)
     1
     >>> coalesced_transactions(np.arange(32) * 128)
     32
+    >>> coalesced_transactions(np.array([0]), access_bytes=512)
+    4
     """
     addrs = np.asarray(addresses, dtype=np.int64)
     if addrs.size == 0:
@@ -57,8 +79,13 @@ def coalesced_transactions(addresses: np.ndarray,
         raise MemoryError_("negative address in warp access")
     first = addrs // transaction_bytes
     last = (addrs + access_bytes - 1) // transaction_bytes
-    segments = np.union1d(np.unique(first), np.unique(last))
-    return int(segments.size)
+    span = int((last - first).max())
+    if span <= 1:
+        segments = np.union1d(np.unique(first), np.unique(last))
+        return int(segments.size)
+    # Wide accesses span interior segments too; enumerate every one.
+    parts = [np.minimum(first + k, last) for k in range(span + 1)]
+    return int(np.unique(np.concatenate(parts)).size)
 
 
 def bank_conflicts(addresses: np.ndarray, word_bytes: int = 4,
@@ -86,20 +113,53 @@ class GlobalMemory:
 
     Kernels allocate named regions and read/write them with lane-address
     vectors; every access reports its transaction count to the ledger.
+
+    Parameters
+    ----------
+    size_words:
+        Capacity in words.
+    ledger:
+        Optional :class:`~repro.simt.timing.CostLedger`; when attached,
+        every access charges its transaction count.
+    word_bytes:
+        Modeled element size; drives ``size_bytes`` and the coalescing
+        analysis (default :data:`GMEM_WORD_BYTES`, the packed envelope).
+    sanitize:
+        Optional :class:`~repro.simt.sanitize.Sanitizer`; when attached,
+        accesses update initcheck/ledger-audit shadow state.
     """
 
-    def __init__(self, size_words: int, ledger: "object | None" = None) -> None:
+    def __init__(self, size_words: int, ledger: "object | None" = None,
+                 word_bytes: int = GMEM_WORD_BYTES,
+                 sanitize: "object | None" = None) -> None:
         if size_words < 1:
             raise ValueError("size_words must be positive")
+        if word_bytes < 1:
+            raise ValueError("word_bytes must be positive")
         self.data = np.zeros(size_words, dtype=np.int64)
         self.ledger = ledger
+        self.word_bytes = word_bytes
+        self._san = sanitize
         self._regions: dict[str, tuple[int, int]] = {}
         self._next_free = 0
+        if sanitize is not None:
+            sanitize.register_global(self)
+
+    @property
+    def size_bytes(self) -> int:
+        """Modeled footprint in bytes (``size_words * word_bytes``)."""
+        return self.data.size * self.word_bytes
 
     def alloc(self, name: str, words: int) -> int:
-        """Reserve a region; returns its base word address."""
-        if words < 0:
-            raise ValueError("allocation size cannot be negative")
+        """Reserve a region; returns its base word address.
+
+        Zero-sized regions are rejected: their base would alias the next
+        allocation's, making region-aware bounds checks ambiguous.
+        """
+        if words <= 0:
+            raise ValueError(
+                "allocation size must be positive (a zero-sized region "
+                "would alias its successor's base address)")
         if name in self._regions:
             raise MemoryError_(f"region {name!r} already allocated")
         base = self._next_free
@@ -107,16 +167,36 @@ class GlobalMemory:
             raise MemoryError_("simulated global memory exhausted")
         self._regions[name] = (base, words)
         self._next_free += words
+        if self._san is not None:
+            self._san.global_alloc(self, name, base, words)
         return base
 
     def region(self, name: str) -> tuple[int, int]:
         """(base, length) of a named region."""
-        return self._regions[name]
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise MemoryError_(f"unknown region {name!r}; allocated: "
+                               f"{sorted(self._regions)}") from None
+
+    def memset(self, name: str, value: int = 0) -> None:
+        """Host-side ``cudaMemset`` of a named region.
+
+        Defines the region's words for the sanitizer's initcheck; free of
+        ledger charges (device-side kernels never issue it).
+        """
+        base, words = self.region(name)
+        self.data[base:base + words] = value
+        if self._san is not None:
+            self._san.global_memset(self, base, words)
 
     def _charge(self, kind: str, addresses: np.ndarray) -> None:
         if self.ledger is not None:
-            txns = coalesced_transactions(addresses * 8, access_bytes=8)
+            txns = coalesced_transactions(addresses * self.word_bytes,
+                                          access_bytes=self.word_bytes)
             self.ledger.issue(kind, txns)
+            if self._san is not None:
+                self._san.note_charge(self, kind)
 
     def load(self, addresses: np.ndarray) -> np.ndarray:
         """Warp gather: one value per lane address."""
@@ -124,6 +204,9 @@ class GlobalMemory:
         if (addrs < 0).any() or (addrs >= self.data.size).any():
             raise MemoryError_("global load out of bounds")
         self._charge("gmem_load", addrs)
+        if self._san is not None:
+            self._san.note_access(self, "gmem_load")
+            self._san.global_access(self, "load", addrs)
         return self.data[addrs].copy()
 
     def store(self, addresses: np.ndarray, values: np.ndarray) -> None:
@@ -132,6 +215,9 @@ class GlobalMemory:
         if (addrs < 0).any() or (addrs >= self.data.size).any():
             raise MemoryError_("global store out of bounds")
         self._charge("gmem_store", addrs)
+        if self._san is not None:
+            self._san.note_access(self, "gmem_store")
+            self._san.global_access(self, "store", addrs)
         self.data[addrs] = np.asarray(values, dtype=np.int64)
 
     def atomic_cas(self, addresses: np.ndarray, expected: np.ndarray,
@@ -158,6 +244,8 @@ class GlobalMemory:
             # lanes replay
             self.ledger.issue("atomic", float(np.unique(addrs[mask]).size
                                               if mask.any() else 0))
+            if self._san is not None:
+                self._san.note_charge(self, "atomic")
         success = np.zeros(n, dtype=bool)
         # Vectorized replay rounds with scalar-loop semantics: lanes retire
         # lowest-first, so per replay round the first still-pending lane of
@@ -179,6 +267,10 @@ class GlobalMemory:
             keep = np.ones(remaining.size, dtype=bool)
             keep[first] = False
             remaining = remaining[keep]
+        if self._san is not None:
+            self._san.note_access(self, "atomic")
+            self._san.global_access(self, "atomic", addrs[mask],
+                                    written=addrs[success])
         return success
 
 
@@ -188,36 +280,70 @@ class SharedMemory:
     The vote matrix of the matrix matcher lives here: 32 warps x window
     words.  Capacity is enforced against the CTA limit of the device the
     kernel was launched on.
+
+    Parameters
+    ----------
+    size_words:
+        Capacity in words.
+    ledger:
+        Optional cost ledger; accesses charge their replay factor.
+    word_bytes:
+        Modeled element size used by ``size_bytes`` and the bank-conflict
+        mapping (default :data:`SMEM_WORD_BYTES`, the int32 vote rows).
+    sanitize:
+        Optional :class:`~repro.simt.sanitize.Sanitizer`; accesses then
+        update racecheck/initcheck shadow state (pass ``warp_id`` on
+        loads and stores so races can be attributed).
     """
 
-    def __init__(self, size_words: int, ledger: "object | None" = None) -> None:
+    def __init__(self, size_words: int, ledger: "object | None" = None,
+                 word_bytes: int = SMEM_WORD_BYTES,
+                 sanitize: "object | None" = None) -> None:
         if size_words < 1:
             raise ValueError("size_words must be positive")
+        if word_bytes < 1:
+            raise ValueError("word_bytes must be positive")
         self.data = np.zeros(size_words, dtype=np.int64)
         self.ledger = ledger
+        self.word_bytes = word_bytes
+        self._san = sanitize
+        if sanitize is not None:
+            sanitize.register_shared(self)
 
     @property
     def size_bytes(self) -> int:
-        """Footprint in bytes (4-byte words, matching the int32 vote rows)."""
-        return self.data.size * 4
+        """Modeled footprint in bytes (``size_words * word_bytes``)."""
+        return self.data.size * self.word_bytes
 
     def _charge(self, kind: str, addresses: np.ndarray) -> None:
         if self.ledger is not None:
-            replay = bank_conflicts(np.asarray(addresses) * 4)
+            replay = bank_conflicts(
+                np.asarray(addresses) * self.word_bytes,
+                word_bytes=self.word_bytes)
             self.ledger.issue(kind, float(replay))
+            if self._san is not None:
+                self._san.note_charge(self, kind)
 
-    def load(self, addresses: np.ndarray) -> np.ndarray:
+    def load(self, addresses: np.ndarray,
+             warp_id: int | None = None) -> np.ndarray:
         """Warp gather from shared memory."""
         addrs = np.asarray(addresses, dtype=np.int64)
         if (addrs < 0).any() or (addrs >= self.data.size).any():
             raise MemoryError_("shared load out of bounds")
         self._charge("smem_load", addrs)
+        if self._san is not None:
+            self._san.note_access(self, "smem_load")
+            self._san.shared_access(self, "load", addrs, warp_id)
         return self.data[addrs].copy()
 
-    def store(self, addresses: np.ndarray, values: np.ndarray) -> None:
+    def store(self, addresses: np.ndarray, values: np.ndarray,
+              warp_id: int | None = None) -> None:
         """Warp scatter to shared memory."""
         addrs = np.asarray(addresses, dtype=np.int64)
         if (addrs < 0).any() or (addrs >= self.data.size).any():
             raise MemoryError_("shared store out of bounds")
         self._charge("smem_store", addrs)
+        if self._san is not None:
+            self._san.note_access(self, "smem_store")
+            self._san.shared_access(self, "store", addrs, warp_id)
         self.data[addrs] = np.asarray(values, dtype=np.int64)

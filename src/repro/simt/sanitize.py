@@ -1,0 +1,382 @@
+"""Compute-sanitizer-style dynamic analysis for the SIMT simulator.
+
+The matching kernels of the paper live or die on subtle SIMT semantics:
+the shared-memory vote matrix, warp ballots, CAS-based queue claims, and
+CTA barriers of Section V.  The simulator executes those primitives
+faithfully, but -- like real hardware -- it happily executes *incorrect*
+uses of them too (races, missing barriers, uninitialized loads).  This
+module is the opt-in analysis layer that catches such misuse, modeled on
+NVIDIA's ``compute-sanitizer`` tools:
+
+**racecheck**
+    :class:`~repro.simt.memory.SharedMemory` accesses carry the issuing
+    warp id; the sanitizer keeps per-word shadow history (last writer /
+    reader warp and barrier epoch, where epochs are advanced by
+    :meth:`~repro.simt.cta.CTA.syncthreads`) and flags write-write,
+    write-read, and read-write pairs from *different* warps within one
+    epoch -- i.e. shared-memory communication not ordered by a barrier.
+
+**synccheck**
+    Flags ``syncthreads()`` issued while any warp of the CTA is
+    divergent (mixed active mask) or still holds an unreconverged
+    :meth:`~repro.simt.warp.Warp.push_mask`, and barrier-count
+    mismatches in :class:`~repro.simt.sm.SMScheduler` streams (a warp
+    that finishes while its siblings wait at a barrier).
+
+**initcheck**
+    Valid-bit shadow state on :class:`~repro.simt.memory.GlobalMemory`
+    and :class:`~repro.simt.memory.SharedMemory`: loads (and atomics) on
+    words never stored or :meth:`~repro.simt.memory.GlobalMemory.memset`
+    are findings.  Global accesses are additionally *region aware*: one
+    warp access straddling two named allocations, or touching words
+    outside every allocation, is flagged even when globally in bounds.
+
+**ledger** (audit)
+    Cross-checks that every load/store/atomic executed on a simulated
+    memory charged its :class:`~repro.simt.timing.CostLedger` exactly
+    once: an instrumented memory with a detached ledger (uncharged
+    traffic) or a kernel double-charging an access kind is reported at
+    :meth:`Sanitizer.finalize`.
+
+The pass is threaded through the SIMT layer exactly like the ``obs=``
+observability handle: every hot path takes a single ``is None`` branch,
+and with ``sanitize=None`` (the default everywhere) outcomes, modeled
+cycles, and cost ledgers are bit-identical -- enforced by
+``tests/core/test_fastpath_equivalence.py``.  Deliberately-buggy kernels
+proving each checker fires live in :mod:`repro.simt.sanitize_fixtures`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sanitize_report import (SEVERITY_ERROR, Finding, SanitizerError,
+                              SanitizerReport)
+
+__all__ = ["Sanitizer", "CHECKERS", "SanitizerReport", "SanitizerError",
+           "Finding"]
+
+#: The four analysis passes, in report order.
+CHECKERS = ("racecheck", "synccheck", "initcheck", "ledger")
+
+#: Offending addresses reported per access before the rest of the access
+#: is folded into the suppressed counter.
+_MAX_ADDRS_PER_ACCESS = 8
+
+
+class _SharedShadow:
+    """Per-word shadow state of one :class:`SharedMemory`."""
+
+    __slots__ = ("epoch", "write_warp", "write_epoch", "read_warp",
+                 "read_epoch", "valid")
+
+    def __init__(self, size: int) -> None:
+        self.epoch = 0
+        self.write_warp = np.full(size, -1, dtype=np.int64)
+        self.write_epoch = np.full(size, -1, dtype=np.int64)
+        self.read_warp = np.full(size, -1, dtype=np.int64)
+        self.read_epoch = np.full(size, -1, dtype=np.int64)
+        self.valid = np.zeros(size, dtype=bool)
+
+
+class _GlobalShadow:
+    """Valid bits + region table of one :class:`GlobalMemory`."""
+
+    __slots__ = ("valid", "bases", "lengths", "names")
+
+    def __init__(self, size: int) -> None:
+        self.valid = np.zeros(size, dtype=bool)
+        self.bases: list[int] = []
+        self.lengths: list[int] = []
+        self.names: list[str] = []
+
+    def region_of(self, addrs: np.ndarray) -> np.ndarray:
+        """Region index per address (-1 = outside every allocation)."""
+        bases = np.asarray(self.bases, dtype=np.int64)
+        idx = np.searchsorted(bases, addrs, side="right") - 1
+        ends = bases + np.asarray(self.lengths, dtype=np.int64)
+        inside = (idx >= 0) & (addrs < ends[np.clip(idx, 0, len(ends) - 1)])
+        return np.where(inside, idx, -1)
+
+
+class Sanitizer:
+    """Opt-in dynamic-analysis handle for the SIMT layer.
+
+    Parameters
+    ----------
+    checkers:
+        Iterable subset of :data:`CHECKERS` to enable (default: all).
+    obs:
+        Optional :class:`~repro.obs.Observability` handle; each recorded
+        finding also emits a ``sanitizer.finding`` trace instant and
+        bumps the ``sanitizer.findings`` counter.
+    max_findings_per_checker:
+        Cap on recorded findings per checker (the rest is counted as
+        suppressed).
+
+    The handle is stateful: attach a fresh one per run you want to gate
+    on, or share one across runs to accumulate a combined report.  All
+    hooks are no-ops for checkers that are disabled, and the instrumented
+    layers only call them behind an ``is None`` guard, so a run without a
+    sanitizer is bit-identical to one never compiled against it.
+    """
+
+    def __init__(self, checkers=None, obs=None,
+                 max_findings_per_checker: int = 100) -> None:
+        enabled = tuple(checkers) if checkers is not None else CHECKERS
+        unknown = set(enabled) - set(CHECKERS)
+        if unknown:
+            raise ValueError(f"unknown checkers: {sorted(unknown)}")
+        self._enabled = frozenset(enabled)
+        self._obs = obs
+        self.report = SanitizerReport(
+            max_per_checker=max_findings_per_checker)
+        #: Label attached to findings; set by launchers/matchers.
+        self.current_kernel: str | None = None
+        # ledger audit: (memory id, kind) -> [accesses, charge calls]
+        self._audit: dict[tuple[int, str], list[int]] = {}
+        self._audit_names: dict[int, str] = {}
+        self._audit_keepalive: list[object] = []
+
+    def enabled(self, checker: str) -> bool:
+        """Whether one of the four passes is active."""
+        return checker in self._enabled
+
+    # -- finding emission ---------------------------------------------------
+
+    def _emit(self, checker: str, code: str, message: str, *,
+              severity: str = SEVERITY_ERROR, address: int | None = None,
+              region: str | None = None, epoch: int | None = None,
+              warp_id: int | None = None) -> None:
+        recorded = self.report.add(Finding(
+            checker=checker, code=code, severity=severity, message=message,
+            kernel=self.current_kernel, address=address, region=region,
+            epoch=epoch, warp_id=warp_id))
+        if self._obs is not None:
+            self._obs.count("sanitizer.findings")
+            if recorded:
+                self._obs.instant("sanitizer.finding", checker=checker,
+                                  code=code, message=message,
+                                  kernel=self.current_kernel)
+
+    def _emit_addrs(self, checker: str, code: str, fmt: str,
+                    addrs: np.ndarray, **fields) -> None:
+        """One finding per unique offending word address (capped)."""
+        unique = np.unique(np.asarray(addrs, dtype=np.int64))
+        for a in unique[:_MAX_ADDRS_PER_ACCESS]:
+            self._emit(checker, code, fmt.format(addr=int(a)),
+                       address=int(a), **fields)
+        for a in unique[_MAX_ADDRS_PER_ACCESS:]:
+            self.report.suppressed[checker] += 1
+
+    # -- shared memory: racecheck + initcheck -------------------------------
+
+    def register_shared(self, mem) -> None:
+        """Attach shadow state to a :class:`SharedMemory`."""
+        mem._san_shadow = _SharedShadow(mem.data.size)
+
+    def shared_access(self, mem, kind: str, addresses: np.ndarray,
+                      warp_id: int | None) -> None:
+        """Record one warp access to shared memory (``kind``: load/store)."""
+        shadow: _SharedShadow = mem._san_shadow
+        addrs = np.asarray(addresses, dtype=np.int64)
+        is_store = kind == "store"
+        if self.enabled("initcheck") and not is_store:
+            bad = addrs[~shadow.valid[addrs]]
+            if bad.size:
+                self._emit_addrs(
+                    "initcheck", "uninit-smem-load",
+                    "load of never-stored shared word {addr}",
+                    bad, warp_id=warp_id, epoch=shadow.epoch)
+        if self.enabled("racecheck") and warp_id is not None:
+            epoch = shadow.epoch
+            same_epoch_write = ((shadow.write_epoch[addrs] == epoch)
+                                & (shadow.write_warp[addrs] != warp_id))
+            if is_store:
+                ww = addrs[same_epoch_write]
+                if ww.size:
+                    self._emit_addrs(
+                        "racecheck", "write-write",
+                        "write-write race on shared word {addr}: two warps "
+                        "stored it within one barrier epoch",
+                        ww, warp_id=warp_id, epoch=epoch)
+                rw = addrs[(shadow.read_epoch[addrs] == epoch)
+                           & (shadow.read_warp[addrs] != warp_id)
+                           & (shadow.read_warp[addrs] >= 0)]
+                if rw.size:
+                    self._emit_addrs(
+                        "racecheck", "read-write",
+                        "read-write race on shared word {addr}: stored by "
+                        "one warp after another warp read it, no barrier "
+                        "between",
+                        rw, warp_id=warp_id, epoch=epoch)
+            else:
+                wr = addrs[same_epoch_write
+                           & (shadow.write_warp[addrs] >= 0)]
+                if wr.size:
+                    self._emit_addrs(
+                        "racecheck", "write-read",
+                        "write-read race on shared word {addr}: loaded "
+                        "without a barrier after another warp stored it",
+                        wr, warp_id=warp_id, epoch=shadow.epoch)
+        # shadow updates (after checks so a racy pair is seen once)
+        if is_store:
+            shadow.valid[addrs] = True
+            if warp_id is not None:
+                shadow.write_warp[addrs] = warp_id
+                shadow.write_epoch[addrs] = shadow.epoch
+        elif warp_id is not None:
+            shadow.read_warp[addrs] = warp_id
+            shadow.read_epoch[addrs] = shadow.epoch
+
+    # -- barriers: synccheck + epoch advance --------------------------------
+
+    def barrier(self, cta) -> None:
+        """One ``syncthreads()``: advance the racecheck epoch and check
+        every warp arrived reconverged."""
+        if cta.shared is not None and hasattr(cta.shared, "_san_shadow"):
+            cta.shared._san_shadow.epoch += 1
+        if not self.enabled("synccheck"):
+            return
+        for warp in cta.warps:
+            n_active = int(warp.active.sum())
+            if 0 < n_active < warp.warp_size:
+                self._emit(
+                    "synccheck", "divergent-barrier",
+                    f"syncthreads() with warp {warp.warp_id} divergent "
+                    f"({n_active}/{warp.warp_size} lanes active)",
+                    warp_id=warp.warp_id,
+                    epoch=cta.barrier_count)
+            if warp.mask_depth > 0:
+                self._emit(
+                    "synccheck", "unpopped-mask",
+                    f"syncthreads() while warp {warp.warp_id} holds "
+                    f"{warp.mask_depth} unreconverged push_mask level(s)",
+                    warp_id=warp.warp_id,
+                    epoch=cta.barrier_count)
+
+    def scheduler_barrier_mismatch(self, done_warps, barrier_index: int,
+                                   ) -> None:
+        """A stream finished while its siblings wait at a barrier."""
+        if not self.enabled("synccheck"):
+            return
+        for w in done_warps:
+            self._emit(
+                "synccheck", "barrier-count-mismatch",
+                f"warp {w} finished its stream while other warps wait at "
+                f"barrier #{barrier_index}: mismatched barrier counts",
+                warp_id=int(w), epoch=barrier_index)
+
+    # -- global memory: initcheck (valid bits + region bounds) --------------
+
+    def register_global(self, mem) -> None:
+        """Attach shadow state to a :class:`GlobalMemory`."""
+        mem._san_shadow = _GlobalShadow(mem.data.size)
+
+    def global_alloc(self, mem, name: str, base: int, words: int) -> None:
+        """Record a named region (the allocator is a bump pointer, so
+        bases arrive sorted)."""
+        shadow: _GlobalShadow = mem._san_shadow
+        shadow.bases.append(base)
+        shadow.lengths.append(words)
+        shadow.names.append(name)
+
+    def global_memset(self, mem, base: int, words: int) -> None:
+        """A host-side ``cudaMemset``-style fill defines its words."""
+        mem._san_shadow.valid[base:base + words] = True
+
+    def global_access(self, mem, kind: str, addresses: np.ndarray,
+                      written: np.ndarray | None = None) -> None:
+        """Record one warp access to global memory.
+
+        ``kind`` is ``"load"``, ``"store"`` or ``"atomic"``; ``written``
+        carries the subset of addresses an atomic actually modified.
+        """
+        shadow: _GlobalShadow = mem._san_shadow
+        addrs = np.asarray(addresses, dtype=np.int64)
+        if self.enabled("initcheck") and addrs.size:
+            if shadow.bases:
+                regions = shadow.region_of(addrs)
+                outside = addrs[regions == -1]
+                if outside.size:
+                    self._emit_addrs(
+                        "initcheck", "unallocated",
+                        "access to global word {addr} outside every "
+                        "allocated region", outside)
+                touched = np.unique(regions[regions >= 0])
+                if touched.size > 1:
+                    names = ", ".join(repr(shadow.names[i]) for i in touched)
+                    self._emit(
+                        "initcheck", "region-straddle",
+                        f"one warp {kind} straddles {touched.size} regions "
+                        f"({names})",
+                        region=shadow.names[int(touched[0])],
+                        address=int(addrs.min()))
+            if kind != "store":
+                bad = addrs[~shadow.valid[addrs]]
+                if bad.size:
+                    self._emit_addrs(
+                        "initcheck", "uninit-gmem-load",
+                        kind + " of never-stored global word {addr}",
+                        bad)
+        if kind == "store":
+            shadow.valid[addrs] = True
+        elif written is not None and written.size:
+            shadow.valid[np.asarray(written, dtype=np.int64)] = True
+
+    # -- ledger audit -------------------------------------------------------
+
+    def note_access(self, mem, kind: str) -> None:
+        """One memory access happened (whether or not it was charged)."""
+        key = (id(mem), kind)
+        entry = self._audit.get(key)
+        if entry is None:
+            self._audit[key] = [1, 0]
+            if id(mem) not in self._audit_names:
+                self._audit_names[id(mem)] = type(mem).__name__
+                self._audit_keepalive.append(mem)
+        else:
+            entry[0] += 1
+
+    def note_charge(self, mem, kind: str) -> None:
+        """One ledger charge was issued for a memory access."""
+        key = (id(mem), kind)
+        entry = self._audit.get(key)
+        if entry is None:
+            self._audit[key] = [0, 1]
+            if id(mem) not in self._audit_names:
+                self._audit_names[id(mem)] = type(mem).__name__
+                self._audit_keepalive.append(mem)
+        else:
+            entry[1] += 1
+
+    def finalize(self) -> SanitizerReport:
+        """Run the ledger audit over the accesses seen so far and return
+        the report.
+
+        Idempotent across runs: the audit counters are consumed, so a
+        sanitizer shared by several launches reports each launch's
+        mismatches once.
+        """
+        if self.enabled("ledger"):
+            for (mem_id, kind), (accesses, charges) in sorted(
+                    self._audit.items(), key=lambda kv: kv[0][1]):
+                name = self._audit_names.get(mem_id, "memory")
+                # region carries the audited stream so findings for
+                # different kinds/memories keep distinct dedup keys
+                where = f"{name}.{kind}"
+                if charges < accesses:
+                    self._emit(
+                        "ledger", "uncharged-access",
+                        f"{accesses - charges} of {accesses} {kind} "
+                        f"accesses on {name} never charged the cost "
+                        f"ledger", region=where)
+                elif charges > accesses:
+                    self._emit(
+                        "ledger", "double-charge",
+                        f"{kind} on {name} charged {charges} times for "
+                        f"{accesses} accesses", region=where)
+        self._audit.clear()
+        self._audit_names.clear()
+        self._audit_keepalive.clear()
+        return self.report

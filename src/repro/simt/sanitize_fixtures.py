@@ -1,0 +1,210 @@
+"""Deliberately-buggy kernels proving each sanitizer checker fires.
+
+Every fixture below plants exactly one class of SIMT defect -- the kind
+the paper's matching kernels must avoid -- runs it under a fresh
+:class:`~repro.simt.sanitize.Sanitizer`, and returns the finalized
+:class:`~repro.simt.sanitize_report.SanitizerReport`.  The unit tests
+assert each report contains the planted defect's finding code (and the
+differential suite asserts the *shipped* kernels never produce any of
+them).
+
+The catalogue (finding codes in parentheses):
+
+=========================  =============================================
+fixture                    planted defect
+=========================  =============================================
+``shared_write_write``     two warps store the same vote word in one
+                           barrier epoch (``racecheck/write-write``)
+``shared_missing_barrier`` consumer warp reads the producer's word with
+                           no ``syncthreads`` between
+                           (``racecheck/write-read``)
+``divergent_barrier``      ``syncthreads()`` inside an unreconverged
+                           ``push_mask`` branch (``synccheck/
+                           divergent-barrier`` + ``unpopped-mask``)
+``barrier_count_mismatch`` one warp's stream retires without arriving at
+                           its siblings' barrier (``synccheck/
+                           barrier-count-mismatch``)
+``uninit_shared_read``     load of a never-stored shared word
+                           (``initcheck/uninit-smem-load``)
+``uninit_global_read``     load of a never-stored global word
+                           (``initcheck/uninit-gmem-load``)
+``region_straddle``        one warp access spanning two allocations
+                           (``initcheck/region-straddle``)
+``unallocated_access``     in-bounds access outside every named region
+                           (``initcheck/unallocated``)
+``uncharged_access``       traffic on a memory with a detached ledger
+                           (``ledger/uncharged-access``)
+``double_charge``          a kernel charging an access kind by hand on
+                           top of the memory's own charge
+                           (``ledger/double-charge``)
+=========================  =============================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cta import CTA
+from .gpu import PASCAL_GTX1080
+from .memory import GlobalMemory
+from .sanitize import Sanitizer
+from .sanitize_report import SanitizerReport
+from .sm import SMScheduler, WarpStream
+from .timing import CostLedger
+
+__all__ = ["FIXTURES", "EXPECTED_CODES", "run_fixture"]
+
+
+def shared_write_write() -> SanitizerReport:
+    """Two warps store the same shared word without a barrier between."""
+    san = Sanitizer()
+    cta = CTA(num_warps=2, shared_words=32, sanitize=san)
+    word = np.array([5])
+    cta.shared.store(word, np.array([1]), warp_id=0)
+    cta.shared.store(word, np.array([2]), warp_id=1)   # planted race
+    return san.finalize()
+
+
+def shared_missing_barrier() -> SanitizerReport:
+    """Producer stores, consumer loads, and the ``syncthreads`` that
+    should separate them is missing."""
+    san = Sanitizer()
+    cta = CTA(num_warps=2, shared_words=32, sanitize=san)
+    word = np.array([7])
+    cta.shared.store(word, np.array([42]), warp_id=0)
+    # BUG: no cta.syncthreads() here
+    cta.shared.load(word, warp_id=1)
+    return san.finalize()
+
+
+def divergent_barrier() -> SanitizerReport:
+    """``syncthreads()`` reached inside a divergent branch -- the classic
+    CUDA deadlock (only some lanes arrive)."""
+    san = Sanitizer()
+    cta = CTA(num_warps=1, shared_words=32, sanitize=san)
+    warp = cta.warps[0]
+    warp.push_mask(warp.lanes < 16)   # half the warp enters the branch
+    cta.syncthreads()                 # planted: barrier inside the branch
+    return san.finalize()
+
+
+def barrier_count_mismatch() -> SanitizerReport:
+    """One warp executes fewer barriers than its siblings; the scheduler
+    releases the barrier anyway (a relaxation) and reports it."""
+    san = Sanitizer()
+    sched = SMScheduler(PASCAL_GTX1080, sanitize=san)
+    streams = [
+        WarpStream(warp_id=0, instructions=["alu", "sync", "alu"]),
+        WarpStream(warp_id=1, instructions=["alu"]),   # never arrives
+    ]
+    sched.run(streams)
+    return san.finalize()
+
+
+def uninit_shared_read() -> SanitizerReport:
+    """Load of a shared word no warp ever stored."""
+    san = Sanitizer()
+    cta = CTA(num_warps=1, shared_words=32, sanitize=san)
+    cta.shared.load(np.array([9]), warp_id=0)   # planted uninit read
+    return san.finalize()
+
+
+def uninit_global_read() -> SanitizerReport:
+    """Load of a global word that was allocated but never stored or
+    memset."""
+    san = Sanitizer()
+    ledger = CostLedger()
+    mem = GlobalMemory(64, ledger=ledger, sanitize=san)
+    mem.alloc("queue", 32)
+    mem.store(np.array([0]), np.array([1]))
+    mem.load(np.array([1]))    # planted: word 1 was never written
+    return san.finalize()
+
+
+def region_straddle() -> SanitizerReport:
+    """One warp access that spans two named allocations -- in bounds
+    globally, but no correct kernel addresses across region edges."""
+    san = Sanitizer()
+    ledger = CostLedger()
+    mem = GlobalMemory(64, ledger=ledger, sanitize=san)
+    mem.alloc("keys", 16)
+    mem.alloc("vals", 16)
+    mem.memset("keys")
+    mem.memset("vals")
+    mem.load(np.array([14, 15, 16, 17]))   # planted: keys into vals
+    return san.finalize()
+
+
+def unallocated_access() -> SanitizerReport:
+    """Access inside the backing array but outside every allocation."""
+    san = Sanitizer()
+    ledger = CostLedger()
+    mem = GlobalMemory(64, ledger=ledger, sanitize=san)
+    mem.alloc("keys", 16)
+    mem.memset("keys")
+    mem.store(np.array([40]), np.array([1]))   # planted: past the region
+    return san.finalize()
+
+
+def uncharged_access() -> SanitizerReport:
+    """A kernel running its memory without a cost ledger: every access
+    is modeled but never priced."""
+    san = Sanitizer()
+    mem = GlobalMemory(16, sanitize=san)        # BUG: ledger=None
+    mem.alloc("buf", 16)
+    mem.memset("buf")
+    mem.load(np.arange(4))
+    return san.finalize()
+
+
+def double_charge() -> SanitizerReport:
+    """A kernel charging a load by hand on top of the memory's own
+    automatic charge."""
+    san = Sanitizer()
+    ledger = CostLedger()
+    mem = GlobalMemory(16, ledger=ledger, sanitize=san)
+    mem.alloc("buf", 16)
+    mem.memset("buf")
+    mem.load(np.arange(4))
+    ledger.issue("gmem_load", 1)       # planted: manual double charge
+    san.note_charge(mem, "gmem_load")
+    return san.finalize()
+
+
+#: Fixture registry: name -> zero-argument callable returning the report.
+FIXTURES = {
+    "shared_write_write": shared_write_write,
+    "shared_missing_barrier": shared_missing_barrier,
+    "divergent_barrier": divergent_barrier,
+    "barrier_count_mismatch": barrier_count_mismatch,
+    "uninit_shared_read": uninit_shared_read,
+    "uninit_global_read": uninit_global_read,
+    "region_straddle": region_straddle,
+    "unallocated_access": unallocated_access,
+    "uncharged_access": uncharged_access,
+    "double_charge": double_charge,
+}
+
+#: The finding code each fixture is expected to produce.
+EXPECTED_CODES = {
+    "shared_write_write": ("racecheck", "write-write"),
+    "shared_missing_barrier": ("racecheck", "write-read"),
+    "divergent_barrier": ("synccheck", "divergent-barrier"),
+    "barrier_count_mismatch": ("synccheck", "barrier-count-mismatch"),
+    "uninit_shared_read": ("initcheck", "uninit-smem-load"),
+    "uninit_global_read": ("initcheck", "uninit-gmem-load"),
+    "region_straddle": ("initcheck", "region-straddle"),
+    "unallocated_access": ("initcheck", "unallocated"),
+    "uncharged_access": ("ledger", "uncharged-access"),
+    "double_charge": ("ledger", "double-charge"),
+}
+
+
+def run_fixture(name: str) -> SanitizerReport:
+    """Run one fixture by name and return its report."""
+    try:
+        fixture = FIXTURES[name]
+    except KeyError:
+        raise KeyError(f"unknown fixture {name!r}; have "
+                       f"{sorted(FIXTURES)}") from None
+    return fixture()

@@ -1,0 +1,151 @@
+"""Structured findings for the SIMT sanitizer.
+
+:class:`~repro.simt.sanitize.Sanitizer` is the dynamic-analysis pass; this
+module is its output format: one :class:`Finding` per detected defect
+(severity, checker, kernel, address/region, barrier epoch) accumulated in
+a :class:`SanitizerReport` that callers can inspect, render as a summary,
+or turn into a hard failure with :meth:`SanitizerReport.assert_clean`.
+
+Findings are deduplicated on ``(checker, code, address, region, warp,
+epoch)`` and
+capped per checker so a single buggy loop cannot flood the report; the
+suppressed remainder is still counted, so ``counts()`` (and therefore CI
+gates) never under-report a firing checker.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "SanitizerReport", "SanitizerError",
+           "SEVERITY_ERROR", "SEVERITY_WARNING"]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sanitizer detection.
+
+    Attributes
+    ----------
+    checker:
+        ``"racecheck"``, ``"synccheck"``, ``"initcheck"`` or ``"ledger"``.
+    code:
+        Short machine-readable defect slug (``"write-write"``,
+        ``"uninit-load"``, ``"region-straddle"``, ...).
+    severity:
+        ``"error"`` or ``"warning"``.
+    message:
+        Human-readable description.
+    kernel:
+        Label of the kernel that was executing (when known).
+    address:
+        Word address involved (memory checkers).
+    region:
+        Named :class:`~repro.simt.memory.GlobalMemory` region (when
+        resolvable).
+    epoch:
+        Barrier epoch of the access (racecheck).
+    warp_id:
+        Warp that triggered the detection (when known).
+    """
+
+    checker: str
+    code: str
+    severity: str
+    message: str
+    kernel: str | None = None
+    address: int | None = None
+    region: str | None = None
+    epoch: int | None = None
+    warp_id: int | None = None
+
+
+class SanitizerError(RuntimeError):
+    """Raised by :meth:`SanitizerReport.assert_clean` on findings."""
+
+    def __init__(self, report: "SanitizerReport") -> None:
+        super().__init__(report.summary())
+        self.report = report
+
+
+class SanitizerReport:
+    """Accumulated findings of one sanitized run (or several).
+
+    Parameters
+    ----------
+    max_per_checker:
+        Recorded-findings cap per checker; further detections only bump
+        the suppressed counter (and still count in :meth:`counts`).
+    """
+
+    def __init__(self, max_per_checker: int = 100) -> None:
+        self.max_per_checker = max_per_checker
+        self.findings: list[Finding] = []
+        self.suppressed: Counter = Counter()
+        self._seen: set[tuple] = set()
+        self._per_checker: Counter = Counter()
+
+    def add(self, finding: Finding) -> bool:
+        """Record a finding; returns False when deduplicated/capped."""
+        key = (finding.checker, finding.code, finding.address,
+               finding.region, finding.warp_id, finding.epoch)
+        if key in self._seen or (self._per_checker[finding.checker]
+                                 >= self.max_per_checker):
+            self.suppressed[finding.checker] += 1
+            return False
+        self._seen.add(key)
+        self._per_checker[finding.checker] += 1
+        self.findings.append(finding)
+        return True
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was detected (including suppressed)."""
+        return not self.findings and not self.suppressed
+
+    def by_checker(self, checker: str) -> list[Finding]:
+        """Recorded findings of one checker."""
+        return [f for f in self.findings if f.checker == checker]
+
+    def counts(self) -> dict[str, int]:
+        """Total detections per checker, suppressed included."""
+        totals: Counter = Counter(self._per_checker)
+        totals.update(self.suppressed)
+        return dict(totals)
+
+    def errors(self) -> list[Finding]:
+        """Recorded findings with error severity."""
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
+
+    def summary(self) -> str:
+        """Multi-line human summary (stable ordering)."""
+        if self.clean:
+            return "sanitizer: clean (no findings)"
+        lines = [f"sanitizer: {sum(self.counts().values())} finding(s)"]
+        for checker in sorted(self.counts()):
+            lines.append(f"  [{checker}] {self.counts()[checker]} "
+                         f"({self.suppressed.get(checker, 0)} suppressed)")
+            for f in self.by_checker(checker):
+                where = []
+                if f.kernel is not None:
+                    where.append(f"kernel={f.kernel}")
+                if f.region is not None:
+                    where.append(f"region={f.region!r}")
+                if f.address is not None:
+                    where.append(f"addr={f.address}")
+                if f.epoch is not None:
+                    where.append(f"epoch={f.epoch}")
+                if f.warp_id is not None:
+                    where.append(f"warp={f.warp_id}")
+                suffix = f" ({', '.join(where)})" if where else ""
+                lines.append(f"    {f.severity}: {f.message}{suffix}")
+        return "\n".join(lines)
+
+    def assert_clean(self) -> None:
+        """Raise :class:`SanitizerError` unless the report is clean."""
+        if not self.clean:
+            raise SanitizerError(self)

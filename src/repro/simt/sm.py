@@ -85,15 +85,22 @@ class SMScheduler:
         Device parameters (scheduler count, latencies, issue costs).
     policy:
         ``"gto"`` (greedy-then-oldest) or ``"rr"`` (round-robin).
+    sanitize:
+        Optional :class:`~repro.simt.sanitize.Sanitizer`; ``None`` falls
+        back to ``spec.sanitize``.  When attached, a stream that finishes
+        while its siblings wait at a barrier (a barrier-count mismatch the
+        scheduler tolerates but real hardware would hang on) is reported
+        to synccheck.
     """
 
     def __init__(self, spec: GPUSpec = PASCAL_GTX1080,
-                 policy: str = "gto", obs=None) -> None:
+                 policy: str = "gto", obs=None, sanitize=None) -> None:
         if policy not in ("gto", "rr"):
             raise ValueError("policy must be 'gto' or 'rr'")
         self.spec = spec
         self.policy = policy
         self._obs = obs
+        self._san = sanitize if sanitize is not None else spec.sanitize
 
     def run(self, streams: Sequence[WarpStream],
             max_cycles: int = 50_000_000) -> ScheduleResult:
@@ -111,6 +118,7 @@ class SMScheduler:
         idle_slots = 0
         last_issued: int | None = None
         cycle = 0
+        barriers_released = 0
         spec = self.spec
 
         def runnable(i: int, now: float) -> bool:
@@ -124,6 +132,16 @@ class SMScheduler:
             waiting = [i for i in range(n) if at_barrier[i]]
             if waiting and all(streams[i].done or at_barrier[i]
                                for i in range(n)):
+                barriers_released += 1
+                if self._san is not None:
+                    # Real hardware hangs when a warp retires without
+                    # arriving; the scheduler releases the barrier anyway
+                    # (a relaxation) and reports the mismatch.
+                    done_now = [streams[i].warp_id for i in range(n)
+                                if streams[i].done]
+                    if done_now:
+                        self._san.scheduler_barrier_mismatch(
+                            done_now, barriers_released)
                 release_at = cycle + SYNC_OVERHEAD_CYCLES
                 for i in waiting:
                     at_barrier[i] = False

@@ -200,6 +200,10 @@ class Warp:
     warp_size: int = WARP_SIZE
     ledger: "object | None" = None
     active: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: Nesting depth of :meth:`push_mask` frames not yet reconverged by
+    #: :meth:`pop_mask`.  Pure bookkeeping (no cost); the sanitizer's
+    #: synccheck reads it to flag barriers inside divergent regions.
+    mask_depth: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.warp_size < 1 or self.warp_size > 32:
@@ -236,12 +240,14 @@ class Warp:
         predicate = np.asarray(predicate, dtype=bool)
         prev = self.active.copy()
         self.active = self.active & predicate
+        self.mask_depth += 1
         self._issue("branch")
         return prev
 
     def pop_mask(self, saved: np.ndarray) -> None:
         """Reconverge after a divergent branch."""
         self.active = np.asarray(saved, dtype=bool).copy()
+        self.mask_depth = max(0, self.mask_depth - 1)
 
     # -- arithmetic (cost-tracked helpers) ----------------------------------
 
@@ -280,6 +286,16 @@ class Warp:
 
     # -- shuffles ------------------------------------------------------------
 
+    def _check_shuffle_sources(self, src: np.ndarray) -> None:
+        """Reject shuffles where any active lane reads an inactive source.
+
+        In hardware that read is undefined behaviour; every shuffle variant
+        enforces the same rule (window-clamped lanes read themselves, which
+        is always defined since the reader is active).
+        """
+        if not self.active[src[self.active]].all():
+            raise WarpDivergenceError("shuffle reads from inactive lane")
+
     def shfl(self, values: np.ndarray, src_lane: int | np.ndarray) -> np.ndarray:
         """``__shfl``: every lane reads ``values`` from ``src_lane``.
 
@@ -290,34 +306,45 @@ class Warp:
         values = np.asarray(values)
         src = np.broadcast_to(np.asarray(src_lane, dtype=np.int64) % self.warp_size,
                               (self.warp_size,))
-        if not self.active[src[self.active]].all():
-            raise WarpDivergenceError("shuffle reads from inactive lane")
+        self._check_shuffle_sources(src)
         self._issue("shfl")
         return values[src]
 
     def shfl_up(self, values: np.ndarray, delta: int) -> np.ndarray:
         """``__shfl_up``: lane ``i`` reads lane ``i - delta``; lanes below
-        ``delta`` keep their own value."""
+        ``delta`` keep their own value.
+
+        Like :meth:`shfl`, an active lane reading an inactive source raises
+        :class:`WarpDivergenceError` (UB in hardware)."""
         values = np.asarray(values)
         src = self.lanes - int(delta)
         src = np.where(src < 0, self.lanes, src)
+        self._check_shuffle_sources(src)
         self._issue("shfl")
         return values[src]
 
     def shfl_down(self, values: np.ndarray, delta: int) -> np.ndarray:
         """``__shfl_down``: lane ``i`` reads lane ``i + delta``; top lanes keep
-        their own value."""
+        their own value.
+
+        Like :meth:`shfl`, an active lane reading an inactive source raises
+        :class:`WarpDivergenceError` (UB in hardware)."""
         values = np.asarray(values)
         src = self.lanes + int(delta)
         src = np.where(src >= self.warp_size, self.lanes, src)
+        self._check_shuffle_sources(src)
         self._issue("shfl")
         return values[src]
 
     def shfl_xor(self, values: np.ndarray, mask: int) -> np.ndarray:
-        """``__shfl_xor``: butterfly exchange pattern."""
+        """``__shfl_xor``: butterfly exchange pattern.
+
+        Like :meth:`shfl`, an active lane reading an inactive source raises
+        :class:`WarpDivergenceError` (UB in hardware)."""
         values = np.asarray(values)
         src = self.lanes ^ int(mask)
         src = np.where(src >= self.warp_size, self.lanes, src)
+        self._check_shuffle_sources(src)
         self._issue("shfl")
         return values[src]
 
@@ -327,28 +354,46 @@ class Warp:
         """Warp tree-reduction via ``shfl_down``; returns the lane-0 total.
 
         Issues ``log2(warp_size)`` shuffle + add pairs, like the canonical
-        CUDA warp reduce.
+        CUDA warp reduce: inactive lanes contribute 0, then the tree runs
+        reconverged under the full mask (the ``__shfl_down_sync(FULL_MASK,
+        ...)`` idiom), so partial masks never make the shuffles read
+        undefined lanes.
         """
         vals = np.asarray(values, dtype=np.int64).copy()
         vals[~self.active] = 0
-        delta = 1
-        while delta < self.warp_size:
-            shifted = self.shfl_down(vals, delta)
-            self._issue("alu")
-            vals = vals + np.where(self.lanes + delta < self.warp_size, shifted, 0)
-            delta <<= 1
+        saved = self.active
+        self.active = full_active(self.warp_size)
+        try:
+            delta = 1
+            while delta < self.warp_size:
+                shifted = self.shfl_down(vals, delta)
+                self._issue("alu")
+                vals = vals + np.where(self.lanes + delta < self.warp_size,
+                                       shifted, 0)
+                delta <<= 1
+        finally:
+            self.active = saved
         return int(vals[0])
 
     def inclusive_scan(self, values: np.ndarray) -> np.ndarray:
-        """Warp-level inclusive prefix sum (Kogge-Stone via ``shfl_up``)."""
+        """Warp-level inclusive prefix sum (Kogge-Stone via ``shfl_up``).
+
+        Reconverges to the full mask for the shuffle tree, as
+        :meth:`reduce_sum` does; inactive lanes contribute 0.
+        """
         vals = np.asarray(values, dtype=np.int64).copy()
         vals[~self.active] = 0
-        delta = 1
-        while delta < self.warp_size:
-            shifted = self.shfl_up(vals, delta)
-            self._issue("alu")
-            vals = vals + np.where(self.lanes >= delta, shifted, 0)
-            delta <<= 1
+        saved = self.active
+        self.active = full_active(self.warp_size)
+        try:
+            delta = 1
+            while delta < self.warp_size:
+                shifted = self.shfl_up(vals, delta)
+                self._issue("alu")
+                vals = vals + np.where(self.lanes >= delta, shifted, 0)
+                delta <<= 1
+        finally:
+            self.active = saved
         return vals
 
     def exclusive_scan(self, values: np.ndarray) -> np.ndarray:

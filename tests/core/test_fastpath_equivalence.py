@@ -264,6 +264,69 @@ def test_obs_attachment_preserves_ledger():
     assert ledger_signature(obs_ledger) == ledger_signature(plain_ledger)
 
 
+# -- sanitizer: zero overhead when off, bit-identical when on ------------------
+
+
+@pytest.mark.parametrize("workload", ["random", "wildcard", "reversed"])
+@pytest.mark.parametrize("n", [96, 160])
+def test_sanitize_attachment_is_bit_identical_matrix_pedantic(workload, n):
+    """Attaching the sanitizer must not perturb the model: the pedantic
+    path's match vector, modeled cycles, and per-phase ledger totals are
+    identical with and without the analysis pass (and the shipped kernel
+    is clean, so nothing is even recorded)."""
+    from repro.simt.sanitize import Sanitizer
+    msgs, reqs = WORKLOADS[workload](n, seed=0)
+    kw = dict(warps_per_cta=2, window=8)
+    san = Sanitizer()
+    inst = MatrixMatcher(sanitize=san, **kw).match_pedantic(msgs, reqs)
+    plain = MatrixMatcher(**kw).match_pedantic(msgs, reqs)
+    assert san.report.clean, san.report.summary()
+    assert np.array_equal(inst.request_to_message, plain.request_to_message)
+    assert inst.cycles == plain.cycles
+    assert inst.iterations == plain.iterations
+
+
+@pytest.mark.parametrize("n", [64, 300])
+def test_sanitize_attachment_is_bit_identical_hash_pedantic(n):
+    from repro.simt.sanitize import Sanitizer
+    msgs, reqs = matching_workload(n, seed=1)
+    san = Sanitizer()
+    inst = HashMatcher(sanitize=san).match_pedantic(msgs, reqs)
+    plain = HashMatcher().match_pedantic(msgs, reqs)
+    assert san.report.clean, san.report.summary()
+    assert np.array_equal(inst.request_to_message, plain.request_to_message)
+    assert inst.cycles == plain.cycles
+
+
+@pytest.mark.parametrize("factory,workload", [
+    (lambda san: MatrixMatcher(sanitize=san), "random"),
+    (lambda san: MatrixMatcher(sanitize=san), "wildcard"),
+    (lambda san: PartitionedMatcher(n_queues=4, sanitize=san), "ordered"),
+    (lambda san: HashMatcher(sanitize=san), "partial"),
+], ids=["matrix-random", "matrix-wildcard", "partitioned-ordered",
+        "hash-partial"])
+def test_sanitize_attachment_is_bit_identical_fast_paths(factory, workload):
+    from repro.simt.sanitize import Sanitizer
+    msgs, reqs = WORKLOADS[workload](513, seed=1)
+    san = Sanitizer()
+    inst = factory(san).match(msgs, reqs)
+    plain = factory(None).match(msgs, reqs)
+    assert np.array_equal(inst.request_to_message, plain.request_to_message)
+    assert inst.cycles == plain.cycles
+    assert inst.iterations == plain.iterations
+
+
+def test_sanitize_attachment_preserves_pedantic_ledger():
+    from repro.simt.sanitize import Sanitizer
+    msgs, reqs = WORKLOADS["random"](160, seed=2)
+    kw = dict(warps_per_cta=2, window=8)
+    san = Sanitizer()
+    inst = MatrixMatcher(sanitize=san, **kw).match_pedantic(msgs, reqs)
+    plain = MatrixMatcher(**kw).match_pedantic(msgs, reqs)
+    assert inst.cycles == plain.cycles
+    assert san.report.clean
+
+
 def test_blockwise_scan_memory_bound():
     """Matching 10^5 messages must not materialize the dense
     n_msg x n_req matrix: peak extra memory is O(block x n_req)."""

@@ -1,0 +1,293 @@
+"""Unit tests for the SIMT sanitizer: checkers, report, fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import Observability
+from repro.simt.cta import CTA
+from repro.simt.gpu import PASCAL_GTX1080
+from repro.simt.kernel import KernelLaunch
+from repro.simt.memory import GlobalMemory, SharedMemory
+from repro.simt.sanitize import CHECKERS, Sanitizer
+from repro.simt.sanitize_fixtures import EXPECTED_CODES, FIXTURES, run_fixture
+from repro.simt.sanitize_report import (SEVERITY_ERROR, Finding,
+                                        SanitizerError, SanitizerReport)
+from repro.simt.sm import SMScheduler, WarpStream
+from repro.simt.timing import CostLedger
+
+
+def _finding(**kw) -> Finding:
+    base = dict(checker="racecheck", code="write-write",
+                severity=SEVERITY_ERROR, message="m")
+    base.update(kw)
+    return Finding(**base)
+
+
+class TestSanitizerReport:
+    def test_empty_report_is_clean(self):
+        rep = SanitizerReport()
+        assert rep.clean
+        assert rep.counts() == {}
+        assert "clean" in rep.summary()
+        rep.assert_clean()   # no raise
+
+    def test_add_and_query(self):
+        rep = SanitizerReport()
+        assert rep.add(_finding(address=3))
+        assert not rep.clean
+        assert rep.by_checker("racecheck")
+        assert rep.counts() == {"racecheck": 1}
+        assert rep.errors()
+
+    def test_dedup_on_identity(self):
+        rep = SanitizerReport()
+        assert rep.add(_finding(address=3, warp_id=1, epoch=0))
+        assert not rep.add(_finding(address=3, warp_id=1, epoch=0))
+        # different warp / epoch / address are distinct findings
+        assert rep.add(_finding(address=3, warp_id=2, epoch=0))
+        assert rep.add(_finding(address=3, warp_id=1, epoch=1))
+        assert rep.add(_finding(address=4, warp_id=1, epoch=0))
+        assert rep.counts() == {"racecheck": 5}   # dedup still counted
+        assert len(rep.findings) == 4
+
+    def test_per_checker_cap_counts_suppressed(self):
+        rep = SanitizerReport(max_per_checker=3)
+        for a in range(10):
+            rep.add(_finding(address=a))
+        assert len(rep.findings) == 3
+        assert rep.counts() == {"racecheck": 10}
+        assert not rep.clean
+        assert "suppressed" in rep.summary()
+
+    def test_assert_clean_raises_with_report(self):
+        rep = SanitizerReport()
+        rep.add(_finding())
+        with pytest.raises(SanitizerError) as exc:
+            rep.assert_clean()
+        assert exc.value.report is rep
+        assert "racecheck" in str(exc.value)
+
+    def test_summary_mentions_location(self):
+        rep = SanitizerReport()
+        rep.add(_finding(address=7, kernel="k", region="r", epoch=2,
+                         warp_id=5))
+        s = rep.summary()
+        for token in ("addr=7", "kernel=k", "region='r'", "epoch=2",
+                      "warp=5"):
+            assert token in s
+
+
+class TestSanitizerConfig:
+    def test_all_checkers_default(self):
+        san = Sanitizer()
+        assert all(san.enabled(c) for c in CHECKERS)
+
+    def test_subset_selection(self):
+        san = Sanitizer(checkers=("racecheck",))
+        assert san.enabled("racecheck")
+        assert not san.enabled("initcheck")
+
+    def test_unknown_checker_rejected(self):
+        with pytest.raises(ValueError):
+            Sanitizer(checkers=("racecheck", "bogus"))
+
+    def test_disabled_checker_stays_silent(self):
+        san = Sanitizer(checkers=("synccheck",))
+        cta = CTA(num_warps=2, shared_words=16, sanitize=san)
+        word = np.array([0])
+        cta.shared.store(word, np.array([1]), warp_id=0)
+        cta.shared.store(word, np.array([2]), warp_id=1)  # race, unchecked
+        assert san.finalize().clean
+
+
+class TestFixturesFire:
+    @pytest.mark.parametrize("name", sorted(FIXTURES))
+    def test_fixture_detected(self, name):
+        report = run_fixture(name)
+        checker, code = EXPECTED_CODES[name]
+        assert any(f.checker == checker and f.code == code
+                   for f in report.findings), report.summary()
+
+    def test_unknown_fixture_rejected(self):
+        with pytest.raises(KeyError):
+            run_fixture("nonexistent")
+
+
+class TestRacecheckSemantics:
+    def test_barrier_orders_producer_consumer(self):
+        san = Sanitizer()
+        cta = CTA(num_warps=2, shared_words=16, sanitize=san)
+        word = np.array([4])
+        cta.shared.store(word, np.array([1]), warp_id=0)
+        cta.syncthreads()
+        cta.shared.load(word, warp_id=1)
+        assert san.finalize().clean
+
+    def test_same_warp_rewrite_is_not_a_race(self):
+        san = Sanitizer()
+        cta = CTA(num_warps=2, shared_words=16, sanitize=san)
+        word = np.array([4])
+        cta.shared.store(word, np.array([1]), warp_id=0)
+        cta.shared.store(word, np.array([2]), warp_id=0)
+        cta.shared.load(word, warp_id=0)
+        assert san.finalize().clean
+
+    def test_read_read_is_not_a_race(self):
+        san = Sanitizer()
+        cta = CTA(num_warps=2, shared_words=16, sanitize=san)
+        word = np.array([4])
+        cta.shared.store(word, np.array([1]), warp_id=0)
+        cta.syncthreads()
+        cta.shared.load(word, warp_id=0)
+        cta.shared.load(word, warp_id=1)
+        assert san.finalize().clean
+
+    def test_read_then_write_without_barrier_is_a_race(self):
+        san = Sanitizer()
+        cta = CTA(num_warps=2, shared_words=16, sanitize=san)
+        word = np.array([4])
+        cta.shared.store(word, np.array([1]), warp_id=0)
+        cta.syncthreads()
+        cta.shared.load(word, warp_id=0)
+        cta.shared.store(word, np.array([9]), warp_id=1)
+        rep = san.finalize()
+        assert any(f.code == "read-write" for f in rep.findings)
+
+    def test_epoch_advances_with_barriers(self):
+        san = Sanitizer()
+        cta = CTA(num_warps=1, shared_words=16, sanitize=san)
+        assert cta.shared._san_shadow.epoch == 0
+        cta.syncthreads()
+        cta.syncthreads()
+        assert cta.shared._san_shadow.epoch == 2
+
+
+class TestInitcheckSemantics:
+    def test_store_defines_word(self):
+        san = Sanitizer()
+        led = CostLedger()
+        mem = GlobalMemory(32, ledger=led, sanitize=san)
+        mem.alloc("buf", 32)
+        mem.store(np.array([3]), np.array([1]))
+        mem.load(np.array([3]))
+        assert san.finalize().clean
+
+    def test_memset_defines_region(self):
+        san = Sanitizer()
+        led = CostLedger()
+        mem = GlobalMemory(32, ledger=led, sanitize=san)
+        mem.alloc("buf", 16)
+        mem.memset("buf")
+        mem.load(np.arange(16))
+        assert san.finalize().clean
+
+    def test_atomic_win_defines_word(self):
+        san = Sanitizer()
+        led = CostLedger()
+        mem = GlobalMemory(32, ledger=led, sanitize=san)
+        mem.alloc("buf", 16)
+        mem.memset("buf")
+        won = mem.atomic_cas(np.array([2]), np.array([0]), np.array([9]))
+        assert won.all()
+        mem.load(np.array([2]))
+        assert san.finalize().clean
+
+    def test_shared_uninit_read_fires_and_store_defines(self):
+        san = Sanitizer()
+        smem = SharedMemory(16, ledger=CostLedger(), sanitize=san)
+        smem.store(np.array([1]), np.array([5]), warp_id=0)
+        smem.load(np.array([1]), warp_id=0)    # defined
+        smem.load(np.array([2]), warp_id=0)    # never stored
+        rep = san.finalize()
+        bad = [f for f in rep.findings if f.code == "uninit-smem-load"]
+        assert len(bad) == 1 and bad[0].address == 2
+
+    def test_straddle_reports_region_names(self):
+        rep = run_fixture("region_straddle")
+        straddle = [f for f in rep.findings if f.code == "region-straddle"]
+        assert straddle and straddle[0].region == "keys"
+
+
+class TestLedgerAudit:
+    def test_charged_traffic_is_clean(self):
+        san = Sanitizer()
+        led = CostLedger()
+        mem = GlobalMemory(32, ledger=led, sanitize=san)
+        mem.alloc("buf", 32)
+        mem.memset("buf")
+        mem.store(np.arange(8), np.arange(8))
+        mem.load(np.arange(8))
+        mem.atomic_cas(np.array([0]), np.array([0]), np.array([1]))
+        assert san.finalize().clean
+
+    def test_audit_is_consumed_by_finalize(self):
+        san = Sanitizer()
+        mem = GlobalMemory(16, sanitize=san)     # detached ledger
+        mem.alloc("buf", 16)
+        mem.memset("buf")
+        mem.load(np.array([0]))
+        first = san.finalize()
+        assert not first.clean
+        # second finalize must not re-report the same traffic
+        n = len(first.findings)
+        assert len(san.finalize().findings) == n
+
+
+class TestKnobThreading:
+    def test_kernel_launch_threads_sanitizer(self):
+        san = Sanitizer()
+
+        def racy_kernel(cta):
+            word = np.array([0])
+            cta.shared.store(word, np.array([1]), warp_id=0)
+            cta.shared.store(word, np.array([2]), warp_id=1)
+
+        launch = KernelLaunch(PASCAL_GTX1080, warps_per_cta=2,
+                              shared_words=16, sanitize=san)
+        launch.run(racy_kernel)
+        rep = san.report
+        assert any(f.code == "write-write" for f in rep.findings)
+        assert rep.findings[0].kernel == "racy_kernel"
+
+    def test_spec_level_default(self):
+        san = Sanitizer()
+        spec = PASCAL_GTX1080.with_(sanitize=san)
+        assert spec == PASCAL_GTX1080        # excluded from equality
+
+        def uninit_kernel(cta):
+            cta.shared.load(np.array([3]), warp_id=0)
+
+        KernelLaunch(spec, warps_per_cta=1, shared_words=8).run(
+            uninit_kernel)
+        assert any(f.code == "uninit-smem-load" for f in san.report.findings)
+
+    def test_scheduler_spec_default(self):
+        san = Sanitizer()
+        spec = PASCAL_GTX1080.with_(sanitize=san)
+        streams = [WarpStream(0, ["alu", "sync", "alu"]),
+                   WarpStream(1, ["alu"])]
+        SMScheduler(spec).run(streams)
+        assert any(f.code == "barrier-count-mismatch"
+                   for f in san.report.findings)
+
+    def test_balanced_streams_are_clean(self):
+        san = Sanitizer()
+        streams = [WarpStream(0, ["alu", "sync", "alu"]),
+                   WarpStream(1, ["alu", "sync", "alu"])]
+        SMScheduler(PASCAL_GTX1080, sanitize=san).run(streams)
+        assert san.finalize().clean
+
+
+class TestObsIntegration:
+    def test_findings_emit_counter_and_instant(self):
+        obs = Observability.enabled()
+        san = Sanitizer(obs=obs)
+        cta = CTA(num_warps=1, shared_words=8, sanitize=san)
+        cta.shared.load(np.array([0]), warp_id=0)   # uninit read
+        san.finalize()
+        snap = obs.snapshot()
+        assert snap["counters"]["sanitizer.findings"] >= 1
+        names = [ev["name"] for ev in obs.tracer.events]
+        assert "sanitizer.finding" in names

@@ -162,6 +162,17 @@ class TestWarp:
         w.pop_mask(saved)
         assert w.active.all()
 
+    def test_mask_depth_tracks_push_pop_nesting(self):
+        w = Warp()
+        assert w.mask_depth == 0
+        outer = w.push_mask(lane_ids() < 16)
+        inner = w.push_mask(lane_ids() < 8)
+        assert w.mask_depth == 2
+        w.pop_mask(inner)
+        assert w.mask_depth == 1
+        w.pop_mask(outer)
+        assert w.mask_depth == 0
+
     def test_ledger_records_issues(self):
         led = CostLedger()
         w = Warp(ledger=led)
@@ -171,6 +182,83 @@ class TestWarp:
         assert led.total("ballot") == 1
         assert led.total("shfl") == 1
         assert led.total("vote") == 1
+
+
+class TestShuffleDivergence:
+    """All four shuffle variants reject inactive-source reads alike
+    (reading an inactive lane is UB in hardware), and the built-in
+    reductions stay legal under partial masks by reconverging."""
+
+    def test_shfl_up_from_inactive_raises(self):
+        w = Warp()
+        w.active[4] = False   # lane 5 would read lane 4
+        with pytest.raises(WarpDivergenceError):
+            w.shfl_up(np.arange(WARP_SIZE), 1)
+
+    def test_shfl_down_from_inactive_raises(self):
+        w = Warp()
+        w.active[5] = False   # lane 4 would read lane 5
+        with pytest.raises(WarpDivergenceError):
+            w.shfl_down(np.arange(WARP_SIZE), 1)
+
+    def test_shfl_xor_from_inactive_raises(self):
+        w = Warp()
+        w.active[1] = False   # lane 0 would read lane 0^1 = 1
+        with pytest.raises(WarpDivergenceError):
+            w.shfl_xor(np.arange(WARP_SIZE), 1)
+
+    def test_shfl_from_inactive_raises_vector_src(self):
+        w = Warp()
+        w.active[7] = False
+        src = np.full(WARP_SIZE, 7)
+        with pytest.raises(WarpDivergenceError):
+            w.shfl(np.arange(WARP_SIZE), src)
+
+    def test_clamped_lanes_reading_self_are_legal(self):
+        # Window clamping maps out-of-range sources to the reader itself;
+        # an active reader reading itself is always defined, even when
+        # other (unread) lanes are inactive.
+        w = Warp()
+        w.active[16:] = False
+        vals = np.arange(WARP_SIZE)
+        # shfl_up(16): active lanes 0..15 would read lanes -16..-1, which
+        # clamp to the readers themselves -- all active, so legal.
+        up = w.shfl_up(vals, 16)
+        assert np.array_equal(up[:16], vals[:16])
+
+    def test_shfl_down_into_inactive_upper_half_raises(self):
+        w = Warp()
+        w.active[16:] = False
+        with pytest.raises(WarpDivergenceError):
+            w.shfl_down(np.arange(WARP_SIZE), 16)
+
+    def test_reduce_sum_still_respects_mask(self):
+        # the canonical masked reduce: zero inactive contributions, then
+        # run the tree reconverged -- must not raise and must exclude
+        # inactive lanes from the total
+        w = Warp()
+        w.active[16:] = False
+        assert w.reduce_sum(np.ones(WARP_SIZE, dtype=np.int64)) == 16
+        assert w.active.sum() == 16   # mask restored after the tree
+
+    def test_inclusive_scan_still_respects_mask(self):
+        w = Warp()
+        w.active[16:] = False
+        vals = np.ones(WARP_SIZE, dtype=np.int64)
+        inc = w.inclusive_scan(vals)
+        assert inc[15] == 16
+        assert inc[31] == 16   # inactive lanes contributed zero
+        assert w.active.sum() == 16
+
+    def test_reduction_ledger_counts_unchanged_by_mask(self):
+        led_full = CostLedger()
+        Warp(ledger=led_full).reduce_sum(np.ones(WARP_SIZE, dtype=np.int64))
+        led_masked = CostLedger()
+        wm = Warp(ledger=led_masked)
+        wm.active[16:] = False
+        wm.reduce_sum(np.ones(WARP_SIZE, dtype=np.int64))
+        assert led_full.total("shfl") == led_masked.total("shfl")
+        assert led_full.total("alu") == led_masked.total("alu")
 
     def test_invalid_warp_size(self):
         with pytest.raises(ValueError):
