@@ -1,0 +1,152 @@
+"""Serve-layer load harness: sustained matches/s under open-loop load.
+
+Not a paper figure.  Drives :class:`repro.serve.MatchingService` through
+open-loop workloads derived from the proxy-application traces
+(``repro.traces.apps``) and appends a labeled entry to ``BENCH_serve.json``
+at the repository root: sustained host-side matches/s plus p50/p99
+request latency (virtual seconds, deterministic per seed) per workload.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]
+        [--label LABEL] [--no-json] [--seed SEED] [--rate RPS]
+        [--steps N] [--ranks N]
+
+``--smoke`` runs a tiny sweep, writes the report to a temporary file,
+schema-checks it, and leaves ``BENCH_serve.json`` untouched (the CI
+serve job runs this mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+
+from repro.bench import Table, format_rate, write_result
+from repro.bench.regression import (ServePerfRecord, append_entry,
+                                    serve_report_path, validate_serve_entry)
+from repro.serve import (DEFAULT_BENCH_APPS, ServeWorkload, run_workload,
+                         workload_from_app)
+
+
+def bench_workloads(*, seed: int = 0, rate_rps: float = 4000.0,
+                    steps: int = 4, n_ranks: int = 16,
+                    ) -> list[ServeWorkload]:
+    """One single-tenant workload per default bench app (>= 3)."""
+    return [
+        workload_from_app(app, rate_rps=rate_rps, n_ranks=n_ranks,
+                          steps=steps, seed=seed,
+                          ordering_required=ordering_required)
+        for app, ordering_required in DEFAULT_BENCH_APPS
+    ]
+
+
+def run_one(workload: ServeWorkload, *, seed: int = 0,
+            n_shards: int = 2, promote_after: int = 2) -> ServePerfRecord:
+    """Serve one workload and fold the run into a perf record."""
+    service, wall = run_workload(workload, n_shards=n_shards, seed=seed,
+                                 promote_after=promote_after)
+    report = service.report()
+    return ServePerfRecord(
+        workload=workload.name,
+        tenants=len(workload.tenants),
+        n_envelopes=workload.n_envelopes,
+        submitted=report["submitted"],
+        accepted=report["accepted"],
+        shed_retryable=report["shed_retryable"],
+        shed_overloaded=report["shed_overloaded"],
+        flushes=report["flushes"],
+        matched=report["matched"],
+        retunes=report["retunes"],
+        seconds=wall,
+        matches_per_second=report["matched"] / wall if wall > 0 else 0.0,
+        latency_p50_vt=report["latency_p50_vt"],
+        latency_p99_vt=report["latency_p99_vt"],
+        seed=seed,
+    )
+
+
+def serve_table(records: list[ServePerfRecord],
+                title: str = "Serve-layer sustained throughput") -> Table:
+    table = Table(title=title, columns=["workload", "matched", "shed",
+                                        "retunes", "rate", "p99 latency"])
+    for r in records:
+        shed = r.shed_retryable + r.shed_overloaded
+        p99 = (f"{r.latency_p99_vt * 1e6:.1f}us"
+               if r.latency_p99_vt is not None else "-")
+        table.add(r.workload, r.matched, shed, r.retunes,
+                  format_rate(r.matches_per_second), p99)
+    table.note("sustained host matches/s over the whole serve run "
+               "(open-loop offered load); latency percentiles are in "
+               "virtual time, deterministic per seed")
+    return table
+
+
+def smoke_check(seed: int = 0) -> list[ServePerfRecord]:
+    """Tiny sweep into a temp report + schema validation (CI mode)."""
+    records = [run_one(w, seed=seed)
+               for w in bench_workloads(seed=seed, steps=2, n_ranks=8)]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "BENCH_serve.json"
+        append_entry(records, label="smoke", path=path)
+        with open(path) as f:
+            report = json.load(f)
+        problems = validate_serve_entry(report["entries"][-1])
+        if problems:
+            raise SystemExit("serve report schema check failed:\n  "
+                             + "\n  ".join(problems))
+    return records
+
+
+def test_report_serve_perf():
+    """Smoke entry for ``pytest benchmarks/``: tiny sweep, temp report
+    only, so the committed BENCH_serve.json stays put."""
+    records = smoke_check()
+    write_result("serve_perf", serve_table(
+        records, title="Serve-layer sustained throughput (smoke)").show())
+    assert len(records) >= 3
+    assert all(r.matched > 0 for r in records)
+    assert all(r.matches_per_second > 0 for r in records)
+
+
+def main(argv: list[str] | None = None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny sweep + schema check; no report-file write")
+    ap.add_argument("--label", default="dev",
+                    help="entry label in BENCH_serve.json")
+    ap.add_argument("--no-json", action="store_true",
+                    help="print the table without touching the report file")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--rate", type=float, default=4000.0,
+                    help="offered load in requests per virtual second")
+    ap.add_argument("--steps", type=int, default=4,
+                    help="trace timesteps per workload")
+    ap.add_argument("--ranks", type=int, default=16,
+                    help="ranks per generated trace")
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        records = smoke_check(seed=args.seed)
+        serve_table(records, title="Serve smoke (schema checked)").show()
+        print("serve report schema: ok")
+        return
+
+    workloads = bench_workloads(seed=args.seed, rate_rps=args.rate,
+                                steps=args.steps, n_ranks=args.ranks)
+    records = []
+    for w in workloads:
+        rec = run_one(w, seed=args.seed)
+        records.append(rec)
+        print(f"  {rec.workload}: {rec.matched} matched in "
+              f"{rec.seconds:.3f}s {format_rate(rec.matches_per_second)}")
+    serve_table(records).show()
+    if not args.no_json:
+        append_entry(records, label=args.label, path=serve_report_path())
+        print(f"appended entry {args.label!r} to {serve_report_path()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,13 @@ Commands
     Run the synthetic matching microbenchmark at queue length N.
 ``calibrate``
     Re-derive the per-device calibration multipliers.
+``serve-demo [--seed K] [--steps S] [--ranks N] [--rate R] [--obs]``
+    Run the three-tenant serving demo (``repro.serve``) and print its
+    deterministic run report; ``--obs`` attaches the observability layer
+    and prints the tracer/metrics summary.
+``bench {host,serve} [--seed K]``
+    Quick host-throughput or serve-layer sweep, printed only (the
+    report-writing harnesses live in ``benchmarks/``).
 """
 
 from __future__ import annotations
@@ -105,6 +112,63 @@ def _cmd_calibrate(_args) -> int:
     return 0
 
 
+def _cmd_serve_demo(args) -> int:
+    from .serve import demo
+    obs = None
+    if args.obs:
+        from .obs import Observability
+        obs = Observability.enabled()
+    service, workload, wall = demo(seed=args.seed, steps=args.steps,
+                                   n_ranks=args.ranks, rate_rps=args.rate,
+                                   obs=obs)
+    report = service.report()
+    print(f"serve-demo: {len(workload.tenants)} tenants, "
+          f"{workload.n_envelopes} envelopes offered at {args.rate:g} req/s "
+          f"(virtual), seed={args.seed}")
+    print(f"  submitted={report['submitted']} accepted={report['accepted']} "
+          f"shed={report['shed_retryable']}+{report['shed_overloaded']} "
+          f"flushes={report['flushes']} matched={report['matched']}")
+    p50, p99 = report["latency_p50_vt"], report["latency_p99_vt"]
+    if p50 is not None:
+        print(f"  latency p50/p99: {p50 * 1e6:.1f}/{p99 * 1e6:.1f} "
+              f"virtual us; host wall {wall * 1e3:.1f} ms")
+    for name, t in report["tenants"].items():
+        moves = " -> ".join([t["retunes"][0][0]] +
+                            [r[1] for r in t["retunes"]]
+                            ) if t["retunes"] else t["engine"]
+        print(f"  {name:16s} shard={t['shard']} engine={moves} "
+              f"flushes={t['flushes']} matched={t['matched']}")
+    if obs is not None:
+        from .obs.report import summary
+        print(summary(obs))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.target == "host":
+        from .bench.regression import QUICK_SIZES, run_suite
+        for rec in run_suite(sizes=QUICK_SIZES):
+            print(f"{rec.matcher:12s} n={rec.n:<6d} {rec.seconds:.3f}s "
+                  f"{rec.matches_per_second / 1e6:.2f} Mmatches/s")
+        return 0
+    from .serve import (DEFAULT_BENCH_APPS, merge_workloads, run_workload,
+                        workload_from_app)
+    parts = [workload_from_app(app, n_ranks=8, steps=2, seed=args.seed,
+                               ordering_required=ordering_required)
+             for app, ordering_required in DEFAULT_BENCH_APPS]
+    for workload in parts + [merge_workloads("mixed", parts)]:
+        service, wall = run_workload(workload, n_shards=2, seed=args.seed,
+                                     promote_after=2)
+        report = service.report()
+        rate = report["matched"] / wall if wall > 0 else 0.0
+        print(f"{workload.name:16s} matched={report['matched']:<6d} "
+              f"shed={report['shed_retryable'] + report['shed_overloaded']:<4d} "
+              f"retunes={report['retunes']} {rate / 1e3:.1f} Kmatches/s")
+    print("(printed only; benchmarks/bench_host_perf.py and "
+          "benchmarks/bench_serve.py write the labeled reports)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -136,10 +200,24 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("calibrate", help="re-derive calibration multipliers")
 
+    p = sub.add_parser("serve-demo", help="run the three-tenant serve demo")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--steps", type=int, default=3)
+    p.add_argument("--ranks", type=int, default=16)
+    p.add_argument("--rate", type=float, default=4000.0,
+                   help="offered load, requests per virtual second")
+    p.add_argument("--obs", action="store_true",
+                   help="attach observability; print tracer/metrics summary")
+
+    p = sub.add_parser("bench", help="quick printed benchmark sweep")
+    p.add_argument("target", choices=["host", "serve"])
+    p.add_argument("--seed", type=int, default=0)
+
     args = parser.parse_args(argv)
     handler = {"apps": _cmd_apps, "analyze": _cmd_analyze,
                "trace": _cmd_trace, "replay": _cmd_replay,
-               "match": _cmd_match, "calibrate": _cmd_calibrate}
+               "match": _cmd_match, "calibrate": _cmd_calibrate,
+               "serve-demo": _cmd_serve_demo, "bench": _cmd_bench}
     try:
         return handler[args.command](args)
     except (KeyError, ValueError, OSError) as exc:

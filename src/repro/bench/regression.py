@@ -37,14 +37,18 @@ __all__ = [
     "QUICK_SIZES",
     "MATCHER_FACTORIES",
     "HostPerfRecord",
+    "ServePerfRecord",
     "append_entry",
     "default_report_path",
     "entry_rates",
     "load_report",
     "regression_failures",
     "run_suite",
+    "serve_entry_rates",
+    "serve_report_path",
     "speedup",
     "time_match",
+    "validate_serve_entry",
 ]
 
 #: Queue depths of the full sweep: the paper's Figure 4-6 sweeps reach
@@ -157,6 +161,68 @@ def append_entry(records: Sequence[HostPerfRecord], label: str,
         json.dump(report, f, indent=2)
         f.write("\n")
     return report
+
+
+# -- serve-layer report ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServePerfRecord:
+    """One serve-bench workload run (``benchmarks/bench_serve.py``).
+
+    ``matches_per_second`` is sustained *host* throughput (matched pairs
+    over wall seconds of the whole serve run, submission loop + drain);
+    the latency percentiles are in *virtual* seconds, so they are
+    deterministic for a given workload and seed.
+    """
+
+    workload: str
+    tenants: int
+    n_envelopes: int
+    submitted: int
+    accepted: int
+    shed_retryable: int
+    shed_overloaded: int
+    flushes: int
+    matched: int
+    retunes: int
+    seconds: float
+    matches_per_second: float
+    latency_p50_vt: float | None
+    latency_p99_vt: float | None
+    seed: int
+
+
+#: Every field a serve record must carry (the ``--smoke`` schema check).
+SERVE_RECORD_FIELDS = tuple(ServePerfRecord.__dataclass_fields__)
+
+
+def serve_report_path() -> Path:
+    """``BENCH_serve.json`` at the repository root."""
+    return Path(__file__).resolve().parents[3] / "BENCH_serve.json"
+
+
+def serve_entry_rates(entry: dict) -> dict[str, float]:
+    """``{workload: matches_per_second}`` for one serve report entry."""
+    return {r["workload"]: r["matches_per_second"]
+            for r in entry["records"]}
+
+
+def validate_serve_entry(entry: dict) -> list[str]:
+    """Schema problems in one serve report entry (empty list = valid)."""
+    problems = []
+    for key in ("label", "timestamp", "records"):
+        if key not in entry:
+            problems.append(f"entry missing {key!r}")
+    for i, rec in enumerate(entry.get("records", [])):
+        for field_name in SERVE_RECORD_FIELDS:
+            if field_name not in rec:
+                problems.append(f"record {i} missing {field_name!r}")
+        if rec.get("matched", 0) < 0 or rec.get("seconds", 0) <= 0:
+            problems.append(f"record {i} has non-positive timing")
+    if not entry.get("records"):
+        problems.append("entry has no records")
+    return problems
 
 
 def entry_rates(entry: dict) -> dict[tuple[str, int], float]:

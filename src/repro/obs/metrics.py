@@ -96,14 +96,54 @@ class Histogram:
         """Mean of all observations (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """Bucket-interpolated percentile ``q`` in [0, 100].
+
+        Well-defined on every series: ``None`` when the histogram is
+        empty (an explicit null, never NaN), the sample itself on a
+        single-sample series, and a value linearly interpolated within
+        the covering power-of-two bucket -- clamped to the observed
+        [min, max] -- otherwise.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return None
+        if self.count == 1 or self.min == self.max:
+            return self.min
+        # rank of the target observation, 1-based
+        rank = max(1.0, q / 100.0 * self.count)
+        cum = 0
+        for i, filled in enumerate(self.buckets):
+            lower = 0.0 if i == 0 else float(HISTOGRAM_BUCKETS[i - 1])
+            upper = (float(HISTOGRAM_BUCKETS[i])
+                     if i < len(HISTOGRAM_BUCKETS) else self.max)
+            if filled and cum + filled >= rank:
+                # interpolate by position inside this bucket
+                frac = (rank - cum) / filled
+                value = lower + frac * (upper - lower)
+                return min(max(value, self.min), self.max)
+            cum += filled
+        return self.max
+
     def summary(self) -> dict:
-        """JSON-friendly summary of the distribution."""
+        """JSON-friendly summary of the distribution.
+
+        Empty histograms snapshot to explicit nulls for every
+        value-derived field (never ``inf``/NaN, never an exception), so
+        a latency series that saw no traffic serializes cleanly.
+        """
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "mean": None,
+                    "min": None, "max": None, "p50": None, "p99": None}
         return {
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
         }
 
 

@@ -1,0 +1,56 @@
+"""repro.serve -- a sharded, workload-aware matching service.
+
+Every entry point below this package is a one-shot library call; this
+package is the layer that owns *lifecycles*: many isolated tenants,
+concurrent request streams, bounded queues, overload behaviour, and
+online engine selection.  It composes every prior subsystem into one
+system:
+
+* **batching** (:mod:`.batching`) -- requests accumulate into
+  :class:`~repro.core.envelope.EnvelopeBatch`\\ es and flush on size /
+  virtual-time watermarks, so the array-native fast paths are always fed
+  batches;
+* **admission control** (:mod:`.admission`) -- bounded per-shard inboxes
+  with graduated shedding (``retryable`` above a soft watermark,
+  ``overloaded`` at capacity) instead of unbounded growth;
+* **workload profiling + autotuning** (:mod:`.profiler`,
+  :mod:`.autotuner`) -- Table I statistics computed live per tenant
+  drive promotions and demotions along the Table II lattice
+  (matrix <-> partitioned <-> hash), with promotion hysteresis and every
+  rebuild charged as a kernel relaunch;
+* **deterministic scheduling** (:mod:`.scheduler`) -- a seeded
+  virtual-time event loop; no wall clock on any decision path, so every
+  serve run is replayable bit-for-bit;
+* **open-loop load generation** (:mod:`.loadgen`) -- tenant streams
+  derived from the proxy-application traces, driving
+  ``benchmarks/bench_serve.py`` and ``python -m repro serve-demo``.
+
+See ``docs/SERVING.md`` for the architecture walk-through.
+"""
+
+from .admission import AdmissionController, AdmissionPolicy
+from .autotuner import LATTICE, Autotuner, RetuneEvent, lattice_rank
+from .batching import BatchAccumulator, BatchPolicy, concat_batches
+from .loadgen import (DEFAULT_BENCH_APPS, ServeArrival, ServeWorkload,
+                      busiest_rank, demo, merge_workloads, run_workload,
+                      tenant_stream_from_trace, workload_from_app)
+from .messages import (ACCEPTED, OVERLOADED, RETRYABLE, FlushResult,
+                       ServeRequest, TenantSpec, Ticket)
+from .profiler import StreamProfiler, WorkloadProfile
+from .scheduler import EventLoop, TimerEvent, VirtualClock
+from .service import MatchingService
+from .shard import Shard, TenantState
+
+__all__ = [
+    "ACCEPTED", "RETRYABLE", "OVERLOADED",
+    "TenantSpec", "ServeRequest", "Ticket", "FlushResult",
+    "BatchPolicy", "BatchAccumulator", "concat_batches",
+    "AdmissionPolicy", "AdmissionController",
+    "WorkloadProfile", "StreamProfiler",
+    "LATTICE", "lattice_rank", "Autotuner", "RetuneEvent",
+    "VirtualClock", "TimerEvent", "EventLoop",
+    "Shard", "TenantState", "MatchingService",
+    "ServeArrival", "ServeWorkload", "busiest_rank",
+    "tenant_stream_from_trace", "workload_from_app", "merge_workloads",
+    "DEFAULT_BENCH_APPS", "run_workload", "demo",
+]

@@ -1,0 +1,109 @@
+"""Admission control: bounded inboxes and structured load shedding.
+
+Each shard owns a bounded inbox (the sum of its tenants' accumulated
+envelopes).  Unbounded queue growth is the classic overload failure --
+latency climbs until everything times out -- so the serve layer sheds
+instead, in two graduated steps:
+
+* above the **soft watermark** (``soft_fraction * capacity``) new work is
+  refused with ``retryable`` and a deterministic virtual-time retry hint
+  (one batch-delay period: by then the accumulated batches have flushed);
+* at **capacity** new work is refused with ``overloaded`` -- the hard
+  backstop.
+
+Admission decisions depend only on the current inbox depth and the
+request's envelope count, never on wall time or randomness, so an
+identical submitted stream sheds identically on every run (the
+determinism contract).
+
+The controller also keeps the shed accounting the bench and the obs
+layer report: admitted/shed counts per outcome class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .messages import ACCEPTED, OVERLOADED, RETRYABLE
+
+__all__ = ["AdmissionPolicy", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounded-inbox parameters of one shard.
+
+    Parameters
+    ----------
+    capacity:
+        Hard bound on a shard's pending envelopes.  A request whose
+        envelopes would push the inbox past this is shed ``overloaded``.
+    soft_fraction:
+        Fraction of capacity past which new requests are shed
+        ``retryable`` instead of admitted (graceful degradation ahead of
+        the hard wall).  ``1.0`` disables the soft band.
+    retry_after_vt:
+        Virtual-seconds hint returned with ``retryable`` tickets.
+        ``None`` derives it from the batch policy's flush delay.
+    """
+
+    capacity: int = 8192
+    soft_fraction: float = 0.75
+    retry_after_vt: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not 0.0 < self.soft_fraction <= 1.0:
+            raise ValueError("soft_fraction must be in (0, 1]")
+
+    @property
+    def soft_watermark(self) -> int:
+        """Inbox depth at which the retryable band starts."""
+        return int(self.soft_fraction * self.capacity)
+
+
+class AdmissionController:
+    """Stateful admission decisions + shed accounting for one shard."""
+
+    def __init__(self, policy: AdmissionPolicy | None = None,
+                 default_retry_after_vt: float = 1e-3) -> None:
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self._retry_after = (self.policy.retry_after_vt
+                             if self.policy.retry_after_vt is not None
+                             else default_retry_after_vt)
+        self.admitted = 0
+        self.shed_retryable = 0
+        self.shed_overloaded = 0
+
+    @property
+    def shed_total(self) -> int:
+        """All shed requests, both classes."""
+        return self.shed_retryable + self.shed_overloaded
+
+    def decide(self, n_envelopes: int,
+               inbox_depth: int) -> tuple[str, float | None, str]:
+        """Admit or shed a request of ``n_envelopes`` at the given depth.
+
+        Returns ``(status, retry_after_vt, reason)``.  Oversized requests
+        (bigger than the whole inbox) are always ``overloaded``: no
+        amount of retrying can admit them under this policy.
+        """
+        pol = self.policy
+        if n_envelopes > pol.capacity:
+            self.shed_overloaded += 1
+            return (OVERLOADED, None,
+                    f"request of {n_envelopes} envelopes exceeds shard "
+                    f"capacity {pol.capacity}")
+        if inbox_depth + n_envelopes > pol.capacity:
+            self.shed_overloaded += 1
+            return (OVERLOADED, None,
+                    f"inbox full ({inbox_depth}/{pol.capacity})")
+        if (pol.soft_fraction < 1.0
+                and inbox_depth + n_envelopes > pol.soft_watermark):
+            self.shed_retryable += 1
+            return (RETRYABLE, self._retry_after,
+                    f"inbox above soft watermark "
+                    f"({inbox_depth}/{pol.soft_watermark})")
+        self.admitted += 1
+        return (ACCEPTED, None, "")

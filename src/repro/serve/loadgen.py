@@ -1,0 +1,213 @@
+"""Open-loop load generation from proxy-application traces.
+
+The serve bench needs realistic tenant streams, and the repository
+already models thirteen DOE proxy applications (:mod:`repro.traces.apps`)
+whose matching-relevant statistics land on the paper's Table I.  This
+module turns a trace into a serve workload:
+
+* pick the trace's **busiest rank** (most arriving messages + posted
+  receives -- the worst-case matching queue of the app);
+* cut that rank's event stream into request-sized chunks *in trace
+  order* (messages = sends addressed to the rank, receive requests =
+  posts by the rank), preserving the interleaving MPI matching depends
+  on;
+* assign arrival times **open-loop**: a seeded Poisson process at a
+  fixed request rate, independent of service completions.  Open-loop is
+  the honest overload methodology -- a closed loop slows its own
+  offered load exactly when the service degrades, hiding the knee.
+
+``run_workload`` drives a :class:`~repro.serve.service.MatchingService`
+through a workload and is the engine under both ``benchmarks/bench_serve.py``
+and ``python -m repro serve-demo``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.envelope import EnvelopeBatch
+from ..traces import generate_trace
+from ..traces.events import Trace
+from .admission import AdmissionPolicy
+from .batching import BatchPolicy
+from .messages import TenantSpec
+from .service import MatchingService
+
+__all__ = ["ServeArrival", "ServeWorkload", "busiest_rank",
+           "tenant_stream_from_trace", "workload_from_app",
+           "merge_workloads", "DEFAULT_BENCH_APPS", "run_workload", "demo"]
+
+#: The serve bench's trace-derived workloads: one wildcard-using app
+#: (pinned to the matrix path), one ordered app (earns the partitioned
+#: path), one ordering-tolerant app (reaches the hash path).
+DEFAULT_BENCH_APPS: tuple[tuple[str, bool], ...] = (
+    ("df_minife", True),        # MPI_ANY_SOURCE user -> matrix
+    ("exmatex_lulesh", True),   # no wildcards, ordered -> partitioned
+    ("df_amg", False),          # no wildcards, unordered-tolerant -> hash
+)
+
+
+@dataclass(frozen=True)
+class ServeArrival:
+    """One open-loop arrival: a request's content and virtual time."""
+
+    vt: float
+    tenant: str
+    messages: EnvelopeBatch
+    requests: EnvelopeBatch
+
+
+@dataclass(frozen=True)
+class ServeWorkload:
+    """A named multi-tenant arrival stream (sorted by virtual time)."""
+
+    name: str
+    tenants: tuple[TenantSpec, ...]
+    arrivals: tuple[ServeArrival, ...]
+
+    @property
+    def n_envelopes(self) -> int:
+        return sum(len(a.messages) + len(a.requests) for a in self.arrivals)
+
+
+def busiest_rank(trace: Trace) -> int:
+    """The rank with the most matching work (arrivals + posts);
+    deterministic lowest-index tie-break."""
+    load = np.zeros(trace.n_ranks, dtype=np.int64)
+    for ev in trace.events:
+        if ev.kind == "send":
+            load[ev.dst] += 1
+        elif ev.kind == "post_recv":
+            load[ev.rank] += 1
+    return int(np.argmax(load))
+
+
+def tenant_stream_from_trace(trace: Trace, rank: int, chunk_envelopes: int = 64,
+                             ) -> list[tuple[EnvelopeBatch, EnvelopeBatch]]:
+    """Cut one rank's matching stream into request-sized chunks.
+
+    Each chunk is ``(messages, requests)`` in trace order: messages are
+    sends addressed to ``rank`` (src = sender), requests are the
+    receives ``rank`` posted (wildcards preserved).  Order within and
+    across chunks follows the trace, which is what MPI matching
+    semantics key on.
+    """
+    if chunk_envelopes < 1:
+        raise ValueError("chunk_envelopes must be >= 1")
+    chunks: list[tuple[EnvelopeBatch, EnvelopeBatch]] = []
+    msg_rows: list[tuple[int, int, int]] = []
+    req_rows: list[tuple[int, int, int]] = []
+
+    def emit() -> None:
+        if not msg_rows and not req_rows:
+            return
+        chunks.append((
+            EnvelopeBatch(src=[r[0] for r in msg_rows],
+                          tag=[r[1] for r in msg_rows],
+                          comm=[r[2] for r in msg_rows]),
+            EnvelopeBatch(src=[r[0] for r in req_rows],
+                          tag=[r[1] for r in req_rows],
+                          comm=[r[2] for r in req_rows])))
+        msg_rows.clear()
+        req_rows.clear()
+
+    for ev in trace.events:
+        if ev.kind == "send" and ev.dst == rank:
+            msg_rows.append((ev.rank, ev.tag, ev.comm))
+        elif ev.kind == "post_recv" and ev.rank == rank:
+            req_rows.append((ev.src, ev.tag, ev.comm))
+        else:
+            continue
+        if len(msg_rows) + len(req_rows) >= chunk_envelopes:
+            emit()
+    emit()
+    return chunks
+
+
+def workload_from_app(app: str, *, rate_rps: float = 2000.0,
+                      n_ranks: int | None = None, steps: int | None = None,
+                      chunk_envelopes: int = 64, seed: int = 0,
+                      ordering_required: bool = True,
+                      tenant_name: str | None = None) -> ServeWorkload:
+    """Build a one-tenant open-loop workload from a proxy-app trace.
+
+    ``rate_rps`` is the offered request rate in requests per *virtual*
+    second; arrivals are a seeded Poisson process (open-loop).
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    trace = generate_trace(app, n_ranks=n_ranks, steps=steps, seed=seed)
+    rank = busiest_rank(trace)
+    chunks = tenant_stream_from_trace(trace, rank,
+                                      chunk_envelopes=chunk_envelopes)
+    name = tenant_name if tenant_name is not None else app
+    spec = TenantSpec(name=name, ordering_required=ordering_required)
+    rng = np.random.default_rng(seed + 0x10AD)
+    gaps = rng.exponential(1.0 / rate_rps, size=len(chunks))
+    times = np.cumsum(gaps)
+    arrivals = tuple(
+        ServeArrival(vt=float(t), tenant=name, messages=m, requests=r)
+        for t, (m, r) in zip(times, chunks))
+    return ServeWorkload(name=app, tenants=(spec,), arrivals=arrivals)
+
+
+def merge_workloads(name: str,
+                    workloads: list[ServeWorkload]) -> ServeWorkload:
+    """Interleave several workloads into one multi-tenant stream."""
+    arrivals = sorted((a for w in workloads for a in w.arrivals),
+                      key=lambda a: (a.vt, a.tenant))
+    tenants = tuple(t for w in workloads for t in w.tenants)
+    return ServeWorkload(name=name, tenants=tenants,
+                         arrivals=tuple(arrivals))
+
+
+def run_workload(workload: ServeWorkload, *, n_shards: int = 1,
+                 admission: AdmissionPolicy | None = None,
+                 batching: BatchPolicy | None = None, seed: int = 0,
+                 promote_after: int = 3, profile_window: int = 8,
+                 verify: bool = False, obs=None,
+                 ) -> tuple[MatchingService, float]:
+    """Drive a service through a workload; returns (service, wall seconds).
+
+    Wall time covers the submission loop plus the final drain -- the
+    sustained host-side serving rate -- and is measurement-only: no
+    decision inside the service reads it.
+    """
+    service = MatchingService(n_shards=n_shards, admission=admission,
+                              batching=batching, seed=seed,
+                              promote_after=promote_after,
+                              profile_window=profile_window,
+                              verify=verify, obs=obs)
+    for spec in workload.tenants:
+        service.register(spec)
+    t0 = time.perf_counter()
+    for arrival in workload.arrivals:
+        service.submit(arrival.tenant, arrival.messages, arrival.requests,
+                       at_vt=arrival.vt)
+    if workload.arrivals:
+        # run out every armed deadline timer before the final drain
+        last_deadline = service.loop.now + (
+            service.shards[0].batching.max_delay_vt * 2)
+        service.advance_to(last_deadline)
+    service.drain()
+    wall = time.perf_counter() - t0
+    return service, wall
+
+
+def demo(seed: int = 0, steps: int = 3, n_ranks: int = 16,
+         rate_rps: float = 4000.0, obs=None,
+         ) -> tuple[MatchingService, ServeWorkload, float]:
+    """A small three-tenant serve scenario (the CLI's ``serve-demo``)."""
+    parts = [
+        workload_from_app(app, rate_rps=rate_rps, n_ranks=n_ranks,
+                          steps=steps, seed=seed,
+                          ordering_required=ordering_required)
+        for app, ordering_required in DEFAULT_BENCH_APPS
+    ]
+    workload = merge_workloads("serve-demo", parts)
+    service, wall = run_workload(workload, n_shards=2, seed=seed,
+                                 promote_after=2, obs=obs)
+    return service, workload, wall

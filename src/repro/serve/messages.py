@@ -1,0 +1,148 @@
+"""Serve-layer protocol types: tenants, requests, tickets, flush results.
+
+The serving subsystem speaks a small request/response protocol on top of
+the matching core.  A client belongs to a *tenant* (an isolated matching
+domain with its own engine, queues, and relaxation state) and submits
+:class:`ServeRequest`\\ s carrying message and receive-request envelopes.
+Every submission is answered immediately with a :class:`Ticket`:
+
+* ``accepted`` -- the envelopes joined the tenant's batch accumulator and
+  will be matched at the next flush;
+* ``retryable`` -- the shard's inbox is above its soft watermark; the
+  request was **not** admitted, and the ticket carries a deterministic
+  ``retry_after_vt`` hint (virtual seconds);
+* ``overloaded`` -- the inbox is full; the request was shed outright.
+
+Structured shedding instead of unbounded queue growth is the serve-layer
+analogue of the transport's credit backpressure (PR 2): the system
+degrades by answering honestly, never by falling over.
+
+Matching work completes asynchronously at flush time; each flush yields
+one :class:`FlushResult` tying the :class:`~repro.core.result.MatchOutcome`
+back to the covered request sequence numbers with per-request virtual
+latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.envelope import EnvelopeBatch
+from ..core.relaxations import RelaxationSet
+from ..core.result import MatchOutcome
+
+__all__ = ["ACCEPTED", "RETRYABLE", "OVERLOADED", "TenantSpec",
+           "ServeRequest", "Ticket", "FlushResult"]
+
+#: Ticket status: the request was admitted to the tenant's accumulator.
+ACCEPTED = "accepted"
+
+#: Ticket status: shed above the soft watermark; safe to retry at
+#: ``retry_after_vt``.
+RETRYABLE = "retryable"
+
+#: Ticket status: shed at full capacity; the client must back off and
+#: re-issue (the serve layer keeps no record of the envelopes).
+OVERLOADED = "overloaded"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declared identity and matching contract of one tenant.
+
+    Parameters
+    ----------
+    name:
+        Unique tenant identifier (also the obs label).
+    relaxations:
+        Pinned relaxation set.  ``None`` (default) starts at full MPI
+        semantics (matrix path) and lets the autotuner walk the Table II
+        lattice as the observed workload permits.
+    ordering_required:
+        Semantic contract: does the tenant depend on MPI non-overtaking
+        order?  Ordering need is *not* observable from envelopes alone,
+        so the hash design point is only reachable when the tenant
+        declares it does not need ordering.
+    autotune:
+        Enable the profiler-driven lattice walk.  Pinned-relaxation
+        tenants (``relaxations`` not ``None``) are never retuned.
+    n_queues, n_ctas:
+        Engine build knobs, forwarded to
+        :class:`~repro.core.engine.MatchingEngine`.
+    """
+
+    name: str
+    relaxations: RelaxationSet | None = None
+    ordering_required: bool = True
+    autotune: bool = True
+    n_queues: int = 4
+    n_ctas: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.relaxations is not None and self.autotune:
+            # a pinned tenant is by definition not autotuned
+            object.__setattr__(self, "autotune", False)
+
+    def initial_relaxations(self) -> RelaxationSet:
+        """Where the tenant's engine starts on the lattice."""
+        if self.relaxations is not None:
+            return self.relaxations
+        # autotuned tenants start fully compliant and earn promotions
+        return RelaxationSet(wildcards=True, ordering=True, unexpected=True)
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One admitted unit of client work: envelopes plus arrival time."""
+
+    tenant: str
+    seq: int
+    arrival_vt: float
+    messages: EnvelopeBatch
+    requests: EnvelopeBatch
+
+    @property
+    def n_envelopes(self) -> int:
+        """Total envelopes this request adds to the inbox."""
+        return len(self.messages) + len(self.requests)
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """Immediate answer to a submission."""
+
+    status: str
+    tenant: str
+    seq: int
+    retry_after_vt: float | None = None
+    reason: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        return self.status == ACCEPTED
+
+    @property
+    def shed(self) -> bool:
+        return self.status in (RETRYABLE, OVERLOADED)
+
+
+@dataclass
+class FlushResult:
+    """One batch flush: the outcome and the requests it covered."""
+
+    tenant: str
+    shard_id: int
+    flush_seq: int
+    flush_vt: float
+    outcome: MatchOutcome
+    covered_seqs: tuple[int, ...] = ()
+    latencies_vt: tuple[float, ...] = ()
+    engine_label: str = ""
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def completion_vt(self) -> float:
+        """Virtual completion time: flush time plus modeled device time."""
+        return self.flush_vt + self.outcome.seconds

@@ -1,0 +1,169 @@
+"""Live workload profiling: Table I statistics over a tenant's stream.
+
+The paper's core result is that the right matcher is a *function of
+measurable workload properties*: Table I's per-application statistics
+(wildcard usage, peer counts, communicator counts, queue depths, tuple
+distributions) decide which Table II relaxation point is safe and
+profitable.  This module computes the same statistics **online**, over a
+sliding window of a tenant's flushed batches, so the autotuner can make
+that decision continuously instead of once per application port.
+
+The statistics mirror :mod:`repro.traces.analyzer` (the offline Table I
+reconstruction) and reuse its entropy machinery; UMQ/PRQ depth proxies
+come from the per-flush unmatched counts, exactly what the Figure 2
+queue replay measures offline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.envelope import ANY_SOURCE, ANY_TAG, EnvelopeBatch
+from ..core.result import MatchOutcome
+from ..traces.analyzer import normalized_entropy
+
+__all__ = ["WorkloadProfile", "StreamProfiler"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Table I-style statistics of a tenant's recent stream.
+
+    All fields aggregate over the profiler's sliding window of flushes.
+    """
+
+    window_flushes: int
+    n_messages: int
+    n_requests: int
+    src_wildcard_fraction: float
+    tag_wildcard_fraction: float
+    n_peers: int
+    n_comms: int
+    duplicate_tuple_fraction: float
+    tag_entropy: float
+    umq_depth_mean: float
+    prq_depth_mean: float
+
+    @property
+    def wildcard_fraction(self) -> float:
+        """Requests wildcarding src or tag (upper bound of the two)."""
+        return max(self.src_wildcard_fraction, self.tag_wildcard_fraction)
+
+    @property
+    def uses_wildcards(self) -> bool:
+        """Did any windowed request carry a wildcard?"""
+        return self.wildcard_fraction > 0.0
+
+    @property
+    def hash_friendly(self) -> bool:
+        """Is the tuple stream diverse enough for the hash path?
+
+        The paper's Figure 6(a) argument: a dominant duplicated tuple
+        collides every probe chain.  A low duplicate fraction keeps
+        two-level table chains short.
+        """
+        return self.duplicate_tuple_fraction < 0.5
+
+
+@dataclass
+class _FlushStats:
+    """Per-flush raw counters the window aggregates."""
+
+    n_messages: int
+    n_requests: int
+    src_wildcards: int
+    tag_wildcards: int
+    peers: frozenset
+    comms: frozenset
+    duplicates: int
+    tag_counts: dict
+    umq_depth: int
+    prq_depth: int
+
+
+class StreamProfiler:
+    """Sliding-window Table I statistics over flushed batches.
+
+    Parameters
+    ----------
+    window_flushes:
+        Number of most-recent flushes the profile aggregates over.  The
+        window is what lets a tenant *recover* promotions: a one-off
+        wildcard burst ages out instead of pinning the tenant to the
+        matrix path forever.
+    """
+
+    def __init__(self, window_flushes: int = 8) -> None:
+        if window_flushes < 1:
+            raise ValueError("window_flushes must be >= 1")
+        self.window_flushes = window_flushes
+        self._window: deque[_FlushStats] = deque(maxlen=window_flushes)
+        self.total_flushes = 0
+
+    def ingest(self, messages: EnvelopeBatch, requests: EnvelopeBatch,
+               outcome: MatchOutcome) -> None:
+        """Fold one flush into the window."""
+        src_wc = int(np.count_nonzero(requests.src == ANY_SOURCE))
+        tag_wc = int(np.count_nonzero(requests.tag == ANY_TAG))
+        if len(messages):
+            packed = ((messages.comm.astype(np.int64) << 48)
+                      | (messages.src << 16) | messages.tag)
+            n_unique = int(np.unique(packed).size)
+            duplicates = len(messages) - n_unique
+            peers = frozenset(np.unique(messages.src).tolist())
+        else:
+            duplicates = 0
+            peers = frozenset()
+        comms = frozenset(np.unique(
+            np.concatenate([messages.comm, requests.comm])).tolist()
+            if (len(messages) or len(requests)) else [])
+        tags, counts = (np.unique(messages.tag, return_counts=True)
+                        if len(messages) else (np.array([]), np.array([])))
+        self._window.append(_FlushStats(
+            n_messages=len(messages),
+            n_requests=len(requests),
+            src_wildcards=src_wc,
+            tag_wildcards=tag_wc,
+            peers=peers,
+            comms=comms,
+            duplicates=duplicates,
+            tag_counts=dict(zip(tags.tolist(), counts.tolist())),
+            umq_depth=outcome.n_messages - outcome.matched_count,
+            prq_depth=outcome.n_requests - outcome.matched_count,
+        ))
+        self.total_flushes += 1
+
+    def profile(self) -> WorkloadProfile:
+        """The aggregated profile of the current window."""
+        w = list(self._window)
+        n_msgs = sum(s.n_messages for s in w)
+        n_reqs = sum(s.n_requests for s in w)
+        peers: set = set()
+        comms: set = set()
+        tag_counts: dict = {}
+        for s in w:
+            peers |= s.peers
+            comms |= s.comms
+            for t, c in s.tag_counts.items():
+                tag_counts[t] = tag_counts.get(t, 0) + c
+        return WorkloadProfile(
+            window_flushes=len(w),
+            n_messages=n_msgs,
+            n_requests=n_reqs,
+            src_wildcard_fraction=(sum(s.src_wildcards for s in w) / n_reqs
+                                   if n_reqs else 0.0),
+            tag_wildcard_fraction=(sum(s.tag_wildcards for s in w) / n_reqs
+                                   if n_reqs else 0.0),
+            n_peers=len(peers),
+            n_comms=len(comms),
+            duplicate_tuple_fraction=(sum(s.duplicates for s in w) / n_msgs
+                                      if n_msgs else 0.0),
+            tag_entropy=normalized_entropy(tag_counts.values()),
+            umq_depth_mean=(float(np.mean([s.umq_depth for s in w]))
+                            if w else 0.0),
+            prq_depth_mean=(float(np.mean([s.prq_depth for s in w]))
+                            if w else 0.0),
+        )

@@ -99,3 +99,55 @@ class TestMatching:
     def test_invalid_params(self):
         with pytest.raises(ValueError):
             AdaptiveMatcher(max_queues=0)
+
+
+class TestRetuneHysteresis:
+    """The planner must not churn configurations on a stable workload,
+    and each genuine configuration change costs exactly one relaunch."""
+
+    def test_no_replan_churn_on_stable_workload(self, rng):
+        m = AdaptiveMatcher()
+        msgs, reqs = permuted_pair(rng, 4000, n_ranks=64)
+        plans = set()
+        for _ in range(10):
+            out = m.match(msgs, reqs)
+            plans.add(out.meta["plan"])
+        assert len(plans) == 1
+        assert m.relaunches == 0
+
+    def test_statistically_stable_workload_does_not_relaunch(self, rng):
+        """Fresh same-shaped batches (not the identical arrays) land on
+        the same plan: the policy keys on queue statistics, not object
+        identity."""
+        m = AdaptiveMatcher()
+        for _ in range(6):
+            msgs, reqs = permuted_pair(rng, 4000, n_ranks=64)
+            m.match(msgs, reqs)
+        assert m.relaunches == 0
+
+    def test_relaunch_charged_exactly_once_per_change(self, rng):
+        m = AdaptiveMatcher()
+        small = permuted_pair(rng, 50, n_ranks=16)
+        big = permuted_pair(rng, 4000, n_ranks=64)
+        m.match(*small)
+        changed = m.match(*big)                    # one config change
+        baseline = AdaptiveMatcher().match(*big)   # same plan, no change
+        assert changed.meta["plan"] == baseline.meta["plan"]
+        assert changed.cycles == pytest.approx(
+            baseline.cycles + RELAUNCH_OVERHEAD_CYCLES)
+        assert changed.meta["relaunches"] == 1
+        # flapping charges once per flip, never more
+        m.match(*small)
+        m.match(*small)
+        assert m.relaunches == 2
+
+    def test_relaunch_adds_device_seconds_too(self, rng):
+        from repro.core.adaptive import relaunch_seconds
+        m = AdaptiveMatcher()
+        small = permuted_pair(rng, 50, n_ranks=16)
+        big = permuted_pair(rng, 4000, n_ranks=64)
+        m.match(*small)
+        changed = m.match(*big)
+        baseline = AdaptiveMatcher().match(*big)
+        assert changed.seconds == pytest.approx(
+            baseline.seconds + relaunch_seconds(m.spec))

@@ -1,0 +1,81 @@
+"""Batching edge cases: empty and single-envelope passes.
+
+The serve layer's accumulator can legally flush a zero-length or a
+one-envelope batch (``BatchPolicy(max_envelopes=1)`` is the pass-through
+configuration), so every matcher and the engine must treat those shapes
+as first-class inputs, not degenerate surprises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MatchingEngine
+from repro.core.envelope import EnvelopeBatch
+from repro.core.hash_matching import HashMatcher
+from repro.core.matrix_matching import MatrixMatcher
+from repro.core.partitioned import PartitionedMatcher
+from repro.core.relaxations import RelaxationSet
+from repro.core.result import NO_MATCH
+
+MATCHERS = {
+    "matrix": lambda: MatrixMatcher(),
+    "partitioned": lambda: PartitionedMatcher(n_queues=4),
+    "hash": lambda: HashMatcher(),
+}
+
+LATTICE_CONFIGS = (
+    RelaxationSet(wildcards=True, ordering=True, unexpected=True),
+    RelaxationSet(wildcards=False, ordering=True, unexpected=True),
+    RelaxationSet(wildcards=False, ordering=False, unexpected=True),
+)
+
+EMPTY = EnvelopeBatch.empty()
+ONE = EnvelopeBatch(src=[3], tag=[7])
+
+
+@pytest.mark.parametrize("name", sorted(MATCHERS))
+class TestMatcherEdges:
+    def test_empty_by_empty(self, name):
+        out = MATCHERS[name]().match(EMPTY, EMPTY)
+        assert out.matched_count == 0
+        assert out.request_to_message.shape == (0,)
+        assert np.isfinite(out.seconds) and out.seconds >= 0
+
+    def test_single_message_no_requests(self, name):
+        out = MATCHERS[name]().match(ONE, EMPTY)
+        assert out.matched_count == 0
+        assert out.n_messages == 1 and out.n_requests == 0
+
+    def test_single_request_no_messages(self, name):
+        out = MATCHERS[name]().match(EMPTY, ONE)
+        assert out.matched_count == 0
+        assert out.request_to_message.tolist() == [NO_MATCH]
+
+    def test_single_envelope_pair_matches(self, name):
+        out = MATCHERS[name]().match(ONE, ONE)
+        assert out.matched_count == 1
+        assert out.request_to_message.tolist() == [0]
+
+    def test_single_envelope_pair_mismatch(self, name):
+        out = MATCHERS[name]().match(ONE, EnvelopeBatch(src=[3], tag=[8]))
+        assert out.matched_count == 0
+
+
+@pytest.mark.parametrize("rel", LATTICE_CONFIGS,
+                         ids=lambda r: r.label())
+class TestEngineEdges:
+    def test_empty_batches(self, rel):
+        out = MatchingEngine(relaxations=rel).match(EMPTY, EMPTY)
+        assert out.matched_count == 0
+        assert out.request_to_message.shape == (0,)
+
+    def test_single_envelope_batch(self, rel):
+        out = MatchingEngine(relaxations=rel).match(ONE, ONE)
+        assert out.matched_count == 1
+
+    def test_asymmetric_singletons(self, rel):
+        engine = MatchingEngine(relaxations=rel)
+        assert engine.match(ONE, EMPTY).matched_count == 0
+        assert engine.match(EMPTY, ONE).matched_count == 0

@@ -1,0 +1,99 @@
+"""Histogram snapshot hardening: explicit nulls and defined percentiles.
+
+A latency series that saw no traffic must snapshot to explicit nulls
+(never ``inf``/NaN, never an exception), and percentile queries must be
+well-defined on every series -- including a single sample, where the
+percentile *is* the sample.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import HISTOGRAM_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestEmptyHistogram:
+    def test_summary_is_explicit_nulls(self):
+        s = Histogram().summary()
+        assert s == {"count": 0, "sum": 0.0, "mean": None,
+                     "min": None, "max": None, "p50": None, "p99": None}
+
+    def test_summary_has_no_nonfinite_floats(self):
+        for v in Histogram().summary().values():
+            if isinstance(v, float):
+                assert math.isfinite(v)
+
+    def test_percentile_is_none(self):
+        h = Histogram()
+        assert h.percentile(0) is None
+        assert h.percentile(50) is None
+        assert h.percentile(100) is None
+
+    def test_snapshot_serializes(self):
+        reg = MetricsRegistry()
+        reg.histogram("serve.latency_us")  # created, never observed
+        snap = reg.snapshot()
+        parsed = json.loads(json.dumps(snap))
+        assert parsed["histograms"]["serve.latency_us"]["p99"] is None
+
+
+class TestSingleSample:
+    def test_every_percentile_is_the_sample(self):
+        h = Histogram()
+        h.observe(7.25)
+        for q in (0, 1, 50, 99, 100):
+            assert h.percentile(q) == 7.25
+
+    def test_summary_fields(self):
+        h = Histogram()
+        h.observe(3.0)
+        s = h.summary()
+        assert s["min"] == s["max"] == s["p50"] == s["p99"] == 3.0
+
+    def test_repeated_identical_values(self):
+        h = Histogram()
+        h.observe(5.0, count=10)
+        assert h.percentile(50) == 5.0
+        assert h.percentile(99) == 5.0
+
+
+class TestMultiSample:
+    def test_percentiles_clamped_to_observed_range(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 4.0, 8.0, 100.0, 1000.0):
+            h.observe(v)
+        for q in (0, 25, 50, 75, 99, 100):
+            p = h.percentile(q)
+            assert h.min <= p <= h.max
+
+    def test_percentiles_monotone_in_q(self):
+        h = Histogram()
+        for v in (1.0, 3.0, 9.0, 27.0, 81.0, 243.0, 729.0):
+            h.observe(v)
+        qs = (0, 10, 25, 50, 75, 90, 99, 100)
+        ps = [h.percentile(q) for q in qs]
+        assert ps == sorted(ps)
+
+    def test_p50_le_p99_in_summary(self):
+        h = Histogram()
+        for v in range(1, 200):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["p50"] <= s["p99"] <= s["max"]
+
+    def test_overflow_bucket_uses_observed_max(self):
+        h = Histogram()
+        big = float(HISTOGRAM_BUCKETS[-1]) * 8
+        h.observe(1.0)
+        h.observe(big, count=99)
+        assert h.percentile(99) <= big
+
+    def test_out_of_range_q_raises(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(100.5)

@@ -76,7 +76,7 @@ class TestMetrics:
         h = Histogram()
         h.observe(5.0, count=0)
         assert h.count == 0
-        assert h.summary()["min"] == 0.0
+        assert h.summary()["min"] is None
 
     def test_registry_lazy_creation_and_snapshot(self):
         reg = MetricsRegistry()

@@ -1,0 +1,86 @@
+"""Admission control: graduated shedding and deterministic decisions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import AdmissionController, AdmissionPolicy
+from repro.serve.messages import ACCEPTED, OVERLOADED, RETRYABLE
+
+
+class TestPolicy:
+    def test_soft_watermark(self):
+        pol = AdmissionPolicy(capacity=100, soft_fraction=0.75)
+        assert pol.soft_watermark == 75
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(capacity=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(soft_fraction=0.0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(soft_fraction=1.5)
+
+
+class TestController:
+    def test_accepts_under_soft_watermark(self):
+        ctl = AdmissionController(AdmissionPolicy(capacity=100))
+        status, retry, reason = ctl.decide(10, inbox_depth=0)
+        assert status == ACCEPTED and retry is None and reason == ""
+        assert ctl.admitted == 1
+
+    def test_retryable_above_soft_watermark(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(capacity=100, soft_fraction=0.5),
+            default_retry_after_vt=0.25)
+        status, retry, reason = ctl.decide(10, inbox_depth=60)
+        assert status == RETRYABLE
+        assert retry == pytest.approx(0.25)
+        assert "soft watermark" in reason
+        assert ctl.shed_retryable == 1
+
+    def test_overloaded_at_capacity(self):
+        ctl = AdmissionController(AdmissionPolicy(capacity=100))
+        status, retry, _ = ctl.decide(10, inbox_depth=95)
+        assert status == OVERLOADED and retry is None
+        assert ctl.shed_overloaded == 1
+
+    def test_oversized_request_always_overloaded(self):
+        ctl = AdmissionController(AdmissionPolicy(capacity=100))
+        status, _, reason = ctl.decide(101, inbox_depth=0)
+        assert status == OVERLOADED
+        assert "exceeds shard capacity" in reason
+
+    def test_soft_fraction_one_disables_retryable_band(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(capacity=100, soft_fraction=1.0))
+        assert ctl.decide(10, inbox_depth=89)[0] == ACCEPTED
+        assert ctl.decide(10, inbox_depth=91)[0] == OVERLOADED
+        assert ctl.shed_retryable == 0
+
+    def test_policy_retry_hint_overrides_default(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(capacity=10, soft_fraction=0.5,
+                            retry_after_vt=2.0),
+            default_retry_after_vt=0.1)
+        _, retry, _ = ctl.decide(1, inbox_depth=9)
+        assert retry == pytest.approx(2.0)
+
+    def test_decisions_are_a_pure_function_of_inputs(self):
+        """Identical (envelopes, depth) streams shed identically."""
+        stream = [(10, 0), (10, 60), (10, 95), (200, 0), (1, 49)]
+        pol = AdmissionPolicy(capacity=100, soft_fraction=0.5)
+        runs = []
+        for _ in range(2):
+            ctl = AdmissionController(pol)
+            runs.append([ctl.decide(n, d) for n, d in stream])
+        assert runs[0] == runs[1]
+
+    def test_shed_total(self):
+        ctl = AdmissionController(AdmissionPolicy(capacity=10,
+                                                  soft_fraction=0.5))
+        ctl.decide(5, inbox_depth=0)    # accepted (right at the watermark)
+        ctl.decide(6, inbox_depth=5)    # overloaded (would exceed capacity)
+        ctl.decide(4, inbox_depth=5)    # retryable (above soft watermark 5)
+        assert ctl.admitted == 1
+        assert ctl.shed_total == 2

@@ -1,0 +1,101 @@
+"""Batch accumulator: watermarks, epochs, and edge-case flushes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import EnvelopeBatch
+from repro.serve.batching import BatchAccumulator, BatchPolicy, concat_batches
+from repro.serve.messages import ServeRequest
+
+
+def _request(seq: int, vt: float, n_msgs: int = 2,
+             n_reqs: int = 2) -> ServeRequest:
+    msgs = EnvelopeBatch(src=list(range(n_msgs)), tag=[seq] * n_msgs)
+    reqs = EnvelopeBatch(src=list(range(n_reqs)), tag=[seq] * n_reqs)
+    return ServeRequest(tenant="t", seq=seq, arrival_vt=vt,
+                        messages=msgs, requests=reqs)
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        pol = BatchPolicy()
+        assert pol.max_envelopes >= 1 and pol.max_delay_vt > 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_envelopes=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_delay_vt=0.0)
+
+
+class TestConcat:
+    def test_empty_input_yields_empty_batch(self):
+        out = concat_batches([])
+        assert len(out) == 0
+
+    def test_skips_empty_members_preserves_order(self):
+        a = EnvelopeBatch(src=[1, 2], tag=[10, 20])
+        b = EnvelopeBatch.empty()
+        c = EnvelopeBatch(src=[3], tag=[30])
+        out = concat_batches([a, b, c])
+        assert out.src.tolist() == [1, 2, 3]
+        assert out.tag.tolist() == [10, 20, 30]
+
+    def test_single_member_passthrough(self):
+        a = EnvelopeBatch(src=[5], tag=[7])
+        out = concat_batches([EnvelopeBatch.empty(), a])
+        assert out is a
+
+
+class TestAccumulator:
+    def test_size_watermark(self):
+        acc = BatchAccumulator(BatchPolicy(max_envelopes=8))
+        acc.admit(_request(0, 0.0))     # 4 envelopes
+        assert not acc.size_ready()
+        acc.admit(_request(1, 0.0))     # 8 envelopes
+        assert acc.size_ready()
+        assert len(acc) == 8
+
+    def test_time_watermark_from_first_admit(self):
+        acc = BatchAccumulator(BatchPolicy(max_delay_vt=0.5))
+        assert acc.deadline_vt is None
+        acc.admit(_request(0, 1.0))
+        acc.admit(_request(1, 1.3))     # later admit does not move deadline
+        assert acc.deadline_vt == pytest.approx(1.5)
+        assert not acc.time_ready(1.4)
+        assert acc.time_ready(1.5)
+
+    def test_flush_concatenates_in_admission_order(self):
+        acc = BatchAccumulator()
+        acc.admit(_request(0, 0.0))
+        acc.admit(_request(1, 0.1))
+        messages, requests, covered = acc.flush()
+        assert [r.seq for r in covered] == [0, 1]
+        assert messages.tag.tolist() == [0, 0, 1, 1]
+        assert requests.tag.tolist() == [0, 0, 1, 1]
+        assert len(acc) == 0 and acc.deadline_vt is None
+
+    def test_empty_flush_returns_valid_zero_length_batches(self):
+        acc = BatchAccumulator()
+        messages, requests, covered = acc.flush()
+        assert covered == []
+        assert len(messages) == 0 and len(requests) == 0
+        assert isinstance(messages.src, np.ndarray)
+
+    def test_single_envelope_batch_is_legal(self):
+        acc = BatchAccumulator(BatchPolicy(max_envelopes=1))
+        acc.admit(_request(0, 0.0, n_msgs=1, n_reqs=0))
+        assert acc.size_ready()
+        messages, requests, covered = acc.flush()
+        assert len(messages) == 1 and len(requests) == 0
+        assert len(covered) == 1
+
+    def test_epoch_increments_on_every_flush(self):
+        acc = BatchAccumulator()
+        assert acc.epoch == 0
+        acc.flush()
+        acc.admit(_request(0, 0.0))
+        acc.flush()
+        assert acc.epoch == 2
