@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import platform
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import MISSING, asdict, dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
@@ -45,6 +45,7 @@ __all__ = [
     "regression_failures",
     "run_suite",
     "serve_entry_rates",
+    "serve_regression_failures",
     "serve_report_path",
     "speedup",
     "time_match",
@@ -191,10 +192,18 @@ class ServePerfRecord:
     latency_p50_vt: float | None
     latency_p99_vt: float | None
     seed: int
+    #: wall-seconds per pipeline stage (loadgen/admission/batching/
+    #: match/result) from a :class:`~repro.serve.stages.StageClock`;
+    #: optional so entries recorded before the breakdown stay valid.
+    stage_seconds: dict | None = None
 
 
 #: Every field a serve record must carry (the ``--smoke`` schema check).
-SERVE_RECORD_FIELDS = tuple(ServePerfRecord.__dataclass_fields__)
+#: Defaulted fields are optional -- entries recorded before they were
+#: introduced must keep validating.
+SERVE_RECORD_FIELDS = tuple(
+    name for name, f in ServePerfRecord.__dataclass_fields__.items()
+    if f.default is MISSING)
 
 
 def serve_report_path() -> Path:
@@ -223,6 +232,30 @@ def validate_serve_entry(entry: dict) -> list[str]:
     if not entry.get("records"):
         problems.append("entry has no records")
     return problems
+
+
+def serve_regression_failures(report: dict, base_label: str,
+                              new_label: str, min_ratio: float = 0.6,
+                              ) -> list[tuple[str, float]]:
+    """Serve workloads where ``new`` regressed below ``min_ratio`` x base.
+
+    The serve-layer analogue of :func:`regression_failures`: compares
+    sustained matches/s per workload between two labeled
+    ``BENCH_serve.json`` entries and returns failing
+    ``(workload, ratio)`` pairs, worst first.  Same 0.6 default: host
+    timing is noisy, but a near-2x slowdown is a real regression.
+    """
+    if not 0 < min_ratio <= 1.0:
+        raise ValueError("min_ratio must be in (0, 1]")
+    base = serve_entry_rates(_entry(report, base_label))
+    new = serve_entry_rates(_entry(report, new_label))
+    failures = []
+    for workload in sorted(base.keys() & new.keys()):
+        ratio = new[workload] / base[workload]
+        if ratio < min_ratio:
+            failures.append((workload, ratio))
+    failures.sort(key=lambda f: f[1])
+    return failures
 
 
 def entry_rates(entry: dict) -> dict[tuple[str, int], float]:

@@ -246,6 +246,23 @@ class MatchingEngine:
                                     relaxations=self.relaxations.label())
         return outcome
 
+    def submit_batch(self, messages, requests) -> MatchOutcome:
+        """Columnar batch ingest: match one pre-batched column pair.
+
+        The native envelope representation end-to-end is the packed
+        struct-of-arrays :class:`~repro.core.envelope.EnvelopeBatch`;
+        scalar :class:`~repro.core.envelope.Envelope` iterables are
+        accepted as an adapter (the MPI layer's shape) and converted
+        exactly once at this boundary, so no per-envelope work survives
+        past ingest.  Matching semantics, demotion behaviour, and
+        outcomes are identical to :meth:`match`.
+        """
+        if not isinstance(messages, EnvelopeBatch):
+            messages = EnvelopeBatch.from_envelopes(messages)
+        if not isinstance(requests, EnvelopeBatch):
+            requests = EnvelopeBatch.from_envelopes(requests)
+        return self.match(messages, requests)
+
     def reference(self, messages: EnvelopeBatch,
                   requests: EnvelopeBatch) -> MatchOutcome:
         """The sequential MPI oracle's assignment (no device timing)."""

@@ -137,13 +137,19 @@ class EnvelopeBatch:
     Fields are int64 arrays; wildcards are the value ``-1``.  Batches are
     immutable-by-convention: kernels index them but never write.
 
+    A batch may carry its **packed64 key column** (``_packed``): computed
+    lazily by :meth:`packed` and propagated through :meth:`view`,
+    :meth:`take`, slicing, and :meth:`concatenate`, so a column that was
+    packed once at the loadgen boundary is never re-packed anywhere
+    downstream -- the serve layer's zero-re-marshalling contract.
+
     Parameters
     ----------
     src, tag, comm:
         Integer sequences of equal length.
     """
 
-    __slots__ = ("src", "tag", "comm")
+    __slots__ = ("src", "tag", "comm", "_packed")
 
     def __init__(self, src: Sequence[int] | np.ndarray,
                  tag: Sequence[int] | np.ndarray,
@@ -154,6 +160,7 @@ class EnvelopeBatch:
             self.comm = np.zeros_like(self.src)
         else:
             self.comm = np.asarray(comm, dtype=np.int64)
+        self._packed: np.ndarray | None = None
         if not (self.src.shape == self.tag.shape == self.comm.shape):
             raise ValueError("src/tag/comm must have identical shapes")
         if self.src.ndim != 1:
@@ -164,6 +171,26 @@ class EnvelopeBatch:
             raise ValueError("communicators cannot be negative or wildcarded")
 
     # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def view(cls, src: np.ndarray, tag: np.ndarray, comm: np.ndarray,
+             packed: np.ndarray | None = None) -> "EnvelopeBatch":
+        """Trusted zero-copy constructor: adopt columns without validation.
+
+        The caller guarantees the columns are 1-D int64 arrays of equal
+        length that would pass ``__init__`` validation (slices of an
+        already-validated batch, columns built by the trace loadgen).
+        ``packed`` optionally carries the matching packed64 key column.
+        This is the hot-path constructor: per-item and per-slice
+        validation scans are exactly the re-marshalling cost the
+        columnar data plane removes.
+        """
+        batch = cls.__new__(cls)
+        batch.src = src
+        batch.tag = tag
+        batch.comm = comm
+        batch._packed = packed
+        return batch
 
     @classmethod
     def from_envelopes(cls, envelopes: Iterable[Envelope]) -> "EnvelopeBatch":
@@ -186,7 +213,9 @@ class EnvelopeBatch:
         if isinstance(index, (int, np.integer)):
             return Envelope(src=int(self.src[index]), tag=int(self.tag[index]),
                             comm=int(self.comm[index]))
-        return EnvelopeBatch(self.src[index], self.tag[index], self.comm[index])
+        return EnvelopeBatch.view(
+            self.src[index], self.tag[index], self.comm[index],
+            packed=None if self._packed is None else self._packed[index])
 
     def __iter__(self) -> Iterator[Envelope]:
         for i in range(len(self)):
@@ -225,11 +254,17 @@ class EnvelopeBatch:
         but communicator ids are validated to 16 bits so the result always
         fits in the signed range for comm < 2**15.  We keep comm values
         small in practice; overflow is checked.
+
+        The result is cached on the batch and propagated through views
+        (:meth:`view`, :meth:`take`, slicing, :meth:`concatenate`), so a
+        column is packed at most once however many layers slice it.
         """
-        self.assert_concrete("packed() input")
-        if (self.comm >= 2**15).any():
-            raise ValueError("comm too large for signed 64-bit packing")
-        return (self.comm << 48) | (self.src << 16) | self.tag
+        if self._packed is None:
+            self.assert_concrete("packed() input")
+            if (self.comm >= 2**15).any():
+                raise ValueError("comm too large for signed 64-bit packing")
+            self._packed = (self.comm << 48) | (self.src << 16) | self.tag
+        return self._packed
 
     def match_matrix(self, requests: "EnvelopeBatch") -> np.ndarray:
         """Boolean matrix ``M[i, j]`` = message *i* matches request *j*.
@@ -263,15 +298,22 @@ class EnvelopeBatch:
         return src_ok & tag_ok & comm_ok
 
     def concatenate(self, other: "EnvelopeBatch") -> "EnvelopeBatch":
-        """New batch with ``other`` appended."""
-        return EnvelopeBatch(np.concatenate([self.src, other.src]),
-                             np.concatenate([self.tag, other.tag]),
-                             np.concatenate([self.comm, other.comm]))
+        """New batch with ``other`` appended (packed cache propagates
+        when both sides carry one)."""
+        packed = (np.concatenate([self._packed, other._packed])
+                  if self._packed is not None and other._packed is not None
+                  else None)
+        return EnvelopeBatch.view(np.concatenate([self.src, other.src]),
+                                  np.concatenate([self.tag, other.tag]),
+                                  np.concatenate([self.comm, other.comm]),
+                                  packed=packed)
 
     def take(self, indices: np.ndarray) -> "EnvelopeBatch":
         """New batch with the selected rows."""
         idx = np.asarray(indices, dtype=np.int64)
-        return EnvelopeBatch(self.src[idx], self.tag[idx], self.comm[idx])
+        return EnvelopeBatch.view(
+            self.src[idx], self.tag[idx], self.comm[idx],
+            packed=None if self._packed is None else self._packed[idx])
 
     @classmethod
     def random(cls, n: int, n_ranks: int = 64, n_tags: int = 16,

@@ -290,6 +290,14 @@ class HashMatcher:
         winner per empty slot per round.  Depth 1 is the paper's policy.
         ``base_slots`` optionally carries the precomputed offset-0 slot of
         every pending key (identical to hashing in place).
+
+        The one-winner-per-slot election is a reverse scatter: writing
+        pending positions slot-wise in reverse order leaves the *first*
+        contender of every slot in the scratch table, exactly the winner
+        a stable sort-by-slot would pick -- in O(n) instead of
+        O(n log n), which is what un-flattens the 64k host-rate curve.
+        Only scattered entries of the scratch table are ever read back,
+        so it needs no initialization.
         """
         pending = req_indices
         pending_keys = keys
@@ -301,12 +309,10 @@ class HashMatcher:
             base = (self._slot_of(pending_keys, level, salt)
                     if pending_slots is None else pending_slots)
             slots = (base + offset) % level.keys.size
-            order = np.argsort(slots, kind="stable")
-            sorted_slots = slots[order]
-            first_of_slot = np.ones(sorted_slots.size, dtype=bool)
-            first_of_slot[1:] = sorted_slots[1:] != sorted_slots[:-1]
-            is_winner = np.zeros(pending.size, dtype=bool)
-            is_winner[order] = first_of_slot
+            positions = np.arange(pending.size, dtype=np.int64)
+            winner = np.empty(level.keys.size, dtype=np.int64)
+            winner[slots[::-1]] = positions[::-1]
+            is_winner = winner[slots] == positions
             can_place = is_winner & ~level.used[slots]
             sel = np.nonzero(can_place)[0]
             placed += int(sel.size)
@@ -368,15 +374,15 @@ class HashMatcher:
             hit = level.used[slots] & (level.keys[slots] == pending_keys)
             # Only hitting threads attempt the claim CAS, so the
             # one-per-slot winner is chosen among hits; non-matching
-            # probes never contend.
+            # probes never contend.  Same reverse-scatter election as
+            # placement: the first hit of every slot wins its CAS.
             hit_pos = np.nonzero(hit)[0]
             hit_slots = slots[hit_pos]
-            order = np.argsort(hit_slots, kind="stable")
-            sorted_slots = hit_slots[order]
-            first_of_slot = np.ones(sorted_slots.size, dtype=bool)
-            first_of_slot[1:] = sorted_slots[1:] != sorted_slots[:-1]
             claim = np.zeros(pending.size, dtype=bool)
-            claim[hit_pos[order]] = first_of_slot
+            if hit_pos.size:
+                winner = np.empty(level.keys.size, dtype=np.int64)
+                winner[hit_slots[::-1]] = hit_pos[::-1]
+                claim[hit_pos] = winner[hit_slots] == hit_pos
             sel = np.nonzero(claim)[0]
             matched += int(sel.size)
             out[level.req_idx[slots[sel]]] = pending[sel]

@@ -29,11 +29,11 @@ without counters.  Helpers no-op on whichever half is missing.
 
 from __future__ import annotations
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, percentile
 from .tracer import Tracer
 
 __all__ = ["Observability", "Tracer", "MetricsRegistry", "Counter", "Gauge",
-           "Histogram"]
+           "Histogram", "percentile"]
 
 
 class Observability:

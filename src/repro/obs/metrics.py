@@ -25,10 +25,37 @@ results (the zero-overhead-when-off contract is enforced by
 
 from __future__ import annotations
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "percentile"]
 
 #: Upper bucket bounds of every histogram: 1, 2, 4, ... 2**19, +inf.
 HISTOGRAM_BUCKETS = tuple(2 ** i for i in range(20))
+
+
+def percentile(values, q: float) -> float | None:
+    """Quantile of a raw sample series through the histogram estimator.
+
+    Fills one :class:`Histogram` from ``values`` (vectorized -- the
+    bucket boundaries match :meth:`Histogram.observe` exactly) and
+    returns :meth:`Histogram.percentile`.  Reports that hold raw samples
+    (the serve bench's latency lists) route through this instead of
+    ``np.percentile`` so they quote the *same* quantile a live metrics
+    registry would for the same series -- one estimator everywhere.
+    ``None`` on an empty series, like the histogram itself.
+    """
+    import numpy as np
+
+    arr = np.asarray(values, dtype=float).ravel()
+    hist = Histogram()
+    if arr.size:
+        hist.count = int(arr.size)
+        hist.total = float(arr.sum())
+        hist.min = float(arr.min())
+        hist.max = float(arr.max())
+        idx = np.searchsorted(np.asarray(HISTOGRAM_BUCKETS, dtype=float),
+                              arr, side="left")
+        hist.buckets = np.bincount(
+            idx, minlength=len(HISTOGRAM_BUCKETS) + 1).tolist()
+    return hist.percentile(q)
 
 
 class Counter:

@@ -40,6 +40,7 @@ from .profiler import StreamProfiler, WorkloadProfile
 from .scheduler import EventLoop, TimerEvent, VirtualClock
 from .service import MatchingService
 from .shard import Shard, TenantState
+from .stages import SERVE_STAGES, StageClock
 
 __all__ = [
     "ACCEPTED", "RETRYABLE", "OVERLOADED",
@@ -53,4 +54,5 @@ __all__ = [
     "ServeArrival", "ServeWorkload", "busiest_rank",
     "tenant_stream_from_trace", "workload_from_app", "merge_workloads",
     "DEFAULT_BENCH_APPS", "run_workload", "demo",
+    "SERVE_STAGES", "StageClock",
 ]

@@ -34,15 +34,26 @@ __all__ = ["BatchPolicy", "BatchAccumulator", "concat_batches"]
 
 
 def concat_batches(batches: Sequence[EnvelopeBatch]) -> EnvelopeBatch:
-    """Concatenate envelope batches in order (empty input -> empty batch)."""
+    """Concatenate envelope batches in order (empty input -> empty batch).
+
+    This is the whole flush: one ``np.concatenate`` per column over the
+    admitted views, no per-envelope work.  When every member carries its
+    packed64 key column (loadgen-emitted message blocks do), the result
+    keeps a concatenated key column too, so the matcher downstream never
+    re-packs what the loadgen already packed.
+    """
     batches = [b for b in batches if len(b)]
     if not batches:
         return EnvelopeBatch.empty()
     if len(batches) == 1:
         return batches[0]
-    return EnvelopeBatch(np.concatenate([b.src for b in batches]),
-                         np.concatenate([b.tag for b in batches]),
-                         np.concatenate([b.comm for b in batches]))
+    packs = [b._packed for b in batches]
+    return EnvelopeBatch.view(
+        np.concatenate([b.src for b in batches]),
+        np.concatenate([b.tag for b in batches]),
+        np.concatenate([b.comm for b in batches]),
+        packed=(np.concatenate(packs)
+                if all(p is not None for p in packs) else None))
 
 
 @dataclass(frozen=True)

@@ -73,57 +73,97 @@ class ServeWorkload:
         return sum(len(a.messages) + len(a.requests) for a in self.arrivals)
 
 
+def _trace_columns(trace: Trace) -> dict[str, np.ndarray]:
+    """The trace's matching-relevant events as packed NumPy columns.
+
+    One Python pass over the event objects (the unavoidable boundary
+    between the object-shaped trace schema and the columnar data plane);
+    everything downstream -- busiest-rank selection, chunk cutting,
+    envelope packing -- is pure array work on these columns.  Cached in
+    ``trace.meta`` so the pass runs once per trace.
+
+    Columns cover sends and receive posts only, trace order preserved:
+    ``is_msg`` flags sends; ``owner`` is the matching rank (``dst`` for
+    sends, the posting rank for receives); ``src`` is the envelope
+    source (sender rank for sends, possibly-wildcard ``src`` for posts).
+    """
+    cached = trace.meta.get("_loadgen_columns")
+    if cached is not None and cached["n_events"] == len(trace.events):
+        return cached
+    is_msg: list[bool] = []
+    owner: list[int] = []
+    src: list[int] = []
+    tag: list[int] = []
+    comm: list[int] = []
+    for ev in trace.events:
+        if ev.kind == "send":
+            is_msg.append(True)
+            owner.append(ev.dst)
+            src.append(ev.rank)
+        elif ev.kind == "post_recv":
+            is_msg.append(False)
+            owner.append(ev.rank)
+            src.append(ev.src)
+        else:
+            continue
+        tag.append(ev.tag)
+        comm.append(ev.comm)
+    cols = {
+        "n_events": len(trace.events),
+        "is_msg": np.asarray(is_msg, dtype=bool),
+        "owner": np.asarray(owner, dtype=np.int64),
+        "src": np.asarray(src, dtype=np.int64),
+        "tag": np.asarray(tag, dtype=np.int64),
+        "comm": np.asarray(comm, dtype=np.int64),
+    }
+    trace.meta["_loadgen_columns"] = cols
+    return cols
+
+
 def busiest_rank(trace: Trace) -> int:
     """The rank with the most matching work (arrivals + posts);
     deterministic lowest-index tie-break."""
-    load = np.zeros(trace.n_ranks, dtype=np.int64)
-    for ev in trace.events:
-        if ev.kind == "send":
-            load[ev.dst] += 1
-        elif ev.kind == "post_recv":
-            load[ev.rank] += 1
+    cols = _trace_columns(trace)
+    load = np.bincount(cols["owner"], minlength=trace.n_ranks)
     return int(np.argmax(load))
 
 
 def tenant_stream_from_trace(trace: Trace, rank: int, chunk_envelopes: int = 64,
                              ) -> list[tuple[EnvelopeBatch, EnvelopeBatch]]:
-    """Cut one rank's matching stream into request-sized chunks.
+    """Cut one rank's matching stream into request-sized column blocks.
 
     Each chunk is ``(messages, requests)`` in trace order: messages are
     sends addressed to ``rank`` (src = sender), requests are the
     receives ``rank`` posted (wildcards preserved).  Order within and
     across chunks follows the trace, which is what MPI matching
     semantics key on.
+
+    Chunks are zero-copy views into one contiguous column set per rank
+    stream; the message side additionally carries its packed64 key
+    column, computed here exactly once, so no layer between the loadgen
+    and the matcher ever re-packs an envelope.
     """
     if chunk_envelopes < 1:
         raise ValueError("chunk_envelopes must be >= 1")
+    cols = _trace_columns(trace)
+    mine = cols["owner"] == rank
+    is_msg = cols["is_msg"][mine]
+    src = cols["src"][mine]
+    tag = cols["tag"][mine]
+    comm = cols["comm"][mine]
+    # Pack the whole stream's message keys in one shot.  Request rows
+    # may carry wildcards and are never packed (the packed form has no
+    # wildcard encoding); their lanes here are dead values.
+    packed = (comm << 48) | (src << 16) | tag
     chunks: list[tuple[EnvelopeBatch, EnvelopeBatch]] = []
-    msg_rows: list[tuple[int, int, int]] = []
-    req_rows: list[tuple[int, int, int]] = []
-
-    def emit() -> None:
-        if not msg_rows and not req_rows:
-            return
+    for lo in range(0, int(src.size), chunk_envelopes):
+        sel = slice(lo, lo + chunk_envelopes)
+        msg = is_msg[sel]
+        req = ~msg
         chunks.append((
-            EnvelopeBatch(src=[r[0] for r in msg_rows],
-                          tag=[r[1] for r in msg_rows],
-                          comm=[r[2] for r in msg_rows]),
-            EnvelopeBatch(src=[r[0] for r in req_rows],
-                          tag=[r[1] for r in req_rows],
-                          comm=[r[2] for r in req_rows])))
-        msg_rows.clear()
-        req_rows.clear()
-
-    for ev in trace.events:
-        if ev.kind == "send" and ev.dst == rank:
-            msg_rows.append((ev.rank, ev.tag, ev.comm))
-        elif ev.kind == "post_recv" and ev.rank == rank:
-            req_rows.append((ev.src, ev.tag, ev.comm))
-        else:
-            continue
-        if len(msg_rows) + len(req_rows) >= chunk_envelopes:
-            emit()
-    emit()
+            EnvelopeBatch.view(src[sel][msg], tag[sel][msg], comm[sel][msg],
+                               packed=packed[sel][msg]),
+            EnvelopeBatch.view(src[sel][req], tag[sel][req], comm[sel][req])))
     return chunks
 
 
@@ -168,19 +208,21 @@ def run_workload(workload: ServeWorkload, *, n_shards: int = 1,
                  admission: AdmissionPolicy | None = None,
                  batching: BatchPolicy | None = None, seed: int = 0,
                  promote_after: int = 3, profile_window: int = 8,
-                 verify: bool = False, obs=None,
+                 verify: bool = False, obs=None, stages=None,
                  ) -> tuple[MatchingService, float]:
     """Drive a service through a workload; returns (service, wall seconds).
 
     Wall time covers the submission loop plus the final drain -- the
     sustained host-side serving rate -- and is measurement-only: no
-    decision inside the service reads it.
+    decision inside the service reads it.  An optional
+    :class:`~repro.serve.stages.StageClock` additionally splits that
+    wall time across the pipeline stages.
     """
     service = MatchingService(n_shards=n_shards, admission=admission,
                               batching=batching, seed=seed,
                               promote_after=promote_after,
                               profile_window=profile_window,
-                              verify=verify, obs=obs)
+                              verify=verify, obs=obs, stages=stages)
     for spec in workload.tenants:
         service.register(spec)
     t0 = time.perf_counter()

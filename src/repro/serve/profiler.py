@@ -46,6 +46,12 @@ class WorkloadProfile:
     tag_entropy: float
     umq_depth_mean: float
     prq_depth_mean: float
+    #: windowed sum of each flush's *excess* hottest-tuple multiplicity
+    #: (max multiplicity - 1) over the windowed message count -- how much
+    #: of the stream piles onto its single hottest tuple (the
+    #: probe-chain length driver).  0.0 for an all-unique stream of any
+    #: size; ~1.0 when one tuple carries a whole flush.
+    dominant_tuple_fraction: float = 0.0
 
     @property
     def wildcard_fraction(self) -> float:
@@ -61,25 +67,38 @@ class WorkloadProfile:
     def hash_friendly(self) -> bool:
         """Is the tuple stream diverse enough for the hash path?
 
-        The paper's Figure 6(a) argument: a dominant duplicated tuple
-        collides every probe chain.  A low duplicate fraction keeps
-        two-level table chains short.
+        The paper's Figure 6(a) argument: a *dominant* duplicated tuple
+        collides every probe chain.  Hash-table chain length is driven
+        by the multiplicity of the hottest tuple, not by the aggregate
+        duplicate count: a stream that repeats many *different* tuples
+        a few times each (df_AMG re-sends the same neighbour/tag pairs
+        every solver sweep, duplicate fraction ~0.9) keeps every chain
+        short, while one tuple carrying a quarter of the stream
+        serializes a quarter of the probes.  Gate on dominance, not on
+        duplication.
         """
-        return self.duplicate_tuple_fraction < 0.5
+        return self.dominant_tuple_fraction < 0.25
 
 
 @dataclass
 class _FlushStats:
-    """Per-flush raw counters the window aggregates."""
+    """Per-flush raw counters the window aggregates.
+
+    Set-valued stats are kept as the sorted unique *arrays*
+    ``np.unique`` already produced -- the window aggregation is then a
+    unique-of-concatenation, never a Python set union over items.
+    """
 
     n_messages: int
     n_requests: int
     src_wildcards: int
     tag_wildcards: int
-    peers: frozenset
-    comms: frozenset
+    peers: np.ndarray
+    comms: np.ndarray
     duplicates: int
-    tag_counts: dict
+    dominant: int
+    tags: np.ndarray
+    tag_counts: np.ndarray
     umq_depth: int
     prq_depth: int
 
@@ -105,23 +124,33 @@ class StreamProfiler:
 
     def ingest(self, messages: EnvelopeBatch, requests: EnvelopeBatch,
                outcome: MatchOutcome) -> None:
-        """Fold one flush into the window."""
+        """Fold one flush into the window.
+
+        Pure column work: the tuple statistics come from one
+        ``np.unique`` over the flush's packed64 key column (reusing the
+        batch's cached keys when the columnar data plane already packed
+        them), never from per-envelope Python iteration.
+        """
         src_wc = int(np.count_nonzero(requests.src == ANY_SOURCE))
         tag_wc = int(np.count_nonzero(requests.tag == ANY_TAG))
+        empty = np.array([], dtype=np.int64)
         if len(messages):
-            packed = ((messages.comm.astype(np.int64) << 48)
-                      | (messages.src << 16) | messages.tag)
-            n_unique = int(np.unique(packed).size)
-            duplicates = len(messages) - n_unique
-            peers = frozenset(np.unique(messages.src).tolist())
+            packed = messages._packed
+            if packed is None:
+                packed = ((messages.comm << 48)
+                          | (messages.src << 16) | messages.tag)
+            _, tuple_counts = np.unique(packed, return_counts=True)
+            duplicates = len(messages) - int(tuple_counts.size)
+            dominant = int(tuple_counts.max()) - 1
+            peers = np.unique(messages.src)
+            tags, counts = np.unique(messages.tag, return_counts=True)
         else:
             duplicates = 0
-            peers = frozenset()
-        comms = frozenset(np.unique(
-            np.concatenate([messages.comm, requests.comm])).tolist()
-            if (len(messages) or len(requests)) else [])
-        tags, counts = (np.unique(messages.tag, return_counts=True)
-                        if len(messages) else (np.array([]), np.array([])))
+            dominant = 0
+            peers = empty
+            tags, counts = empty, empty
+        comms = (np.unique(np.concatenate([messages.comm, requests.comm]))
+                 if (len(messages) or len(requests)) else empty)
         self._window.append(_FlushStats(
             n_messages=len(messages),
             n_requests=len(requests),
@@ -130,7 +159,9 @@ class StreamProfiler:
             peers=peers,
             comms=comms,
             duplicates=duplicates,
-            tag_counts=dict(zip(tags.tolist(), counts.tolist())),
+            dominant=dominant,
+            tags=tags,
+            tag_counts=counts,
             umq_depth=outcome.n_messages - outcome.matched_count,
             prq_depth=outcome.n_requests - outcome.matched_count,
         ))
@@ -141,14 +172,21 @@ class StreamProfiler:
         w = list(self._window)
         n_msgs = sum(s.n_messages for s in w)
         n_reqs = sum(s.n_requests for s in w)
-        peers: set = set()
-        comms: set = set()
-        tag_counts: dict = {}
-        for s in w:
-            peers |= s.peers
-            comms |= s.comms
-            for t, c in s.tag_counts.items():
-                tag_counts[t] = tag_counts.get(t, 0) + c
+        n_peers = int(np.unique(np.concatenate(
+            [s.peers for s in w])).size) if w else 0
+        n_comms = int(np.unique(np.concatenate(
+            [s.comms for s in w])).size) if w else 0
+        # merge the per-flush (tag, count) columns by tag
+        if w:
+            all_tags = np.concatenate([s.tags for s in w])
+            all_counts = np.concatenate([s.tag_counts for s in w])
+            if all_tags.size:
+                _, inverse = np.unique(all_tags, return_inverse=True)
+                merged_counts = np.bincount(inverse, weights=all_counts)
+            else:
+                merged_counts = np.array([])
+        else:
+            merged_counts = np.array([])
         return WorkloadProfile(
             window_flushes=len(w),
             n_messages=n_msgs,
@@ -157,13 +195,15 @@ class StreamProfiler:
                                    if n_reqs else 0.0),
             tag_wildcard_fraction=(sum(s.tag_wildcards for s in w) / n_reqs
                                    if n_reqs else 0.0),
-            n_peers=len(peers),
-            n_comms=len(comms),
+            n_peers=n_peers,
+            n_comms=n_comms,
             duplicate_tuple_fraction=(sum(s.duplicates for s in w) / n_msgs
                                       if n_msgs else 0.0),
-            tag_entropy=normalized_entropy(tag_counts.values()),
+            tag_entropy=normalized_entropy(merged_counts),
             umq_depth_mean=(float(np.mean([s.umq_depth for s in w]))
                             if w else 0.0),
             prq_depth_mean=(float(np.mean([s.prq_depth for s in w]))
                             if w else 0.0),
+            dominant_tuple_fraction=(sum(s.dominant for s in w) / n_msgs
+                                     if n_msgs else 0.0),
         )

@@ -31,6 +31,7 @@ import zlib
 import numpy as np
 
 from ..core.envelope import EnvelopeBatch
+from ..obs.metrics import percentile
 from ..simt.gpu import GPUSpec, PASCAL_GTX1080
 from .admission import AdmissionPolicy
 from .autotuner import RetuneEvent
@@ -38,6 +39,7 @@ from .batching import BatchPolicy
 from .messages import FlushResult, ServeRequest, TenantSpec, Ticket
 from .scheduler import EventLoop
 from .shard import Shard, TenantState
+from .stages import StageClock
 
 __all__ = ["MatchingService"]
 
@@ -72,6 +74,9 @@ class MatchingService:
     obs:
         Optional :class:`~repro.obs.Observability` handle threaded to
         every shard and engine.
+    stages:
+        Optional :class:`~repro.serve.stages.StageClock` threaded to
+        every shard: per-stage wall-time breakdown, measurement-only.
 
     Examples
     --------
@@ -93,15 +98,16 @@ class MatchingService:
                  batching: BatchPolicy | None = None,
                  seed: int = 0, promote_after: int = 3,
                  profile_window: int = 8, verify: bool = False,
-                 obs=None) -> None:
+                 obs=None, stages: StageClock | None = None) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         self._obs = obs
+        self.stages = stages
         self.loop = EventLoop(seed=seed)
         self.shards = [Shard(shard_id=i, gpu=gpu, admission=admission,
                              batching=batching, promote_after=promote_after,
                              profile_window=profile_window, verify=verify,
-                             obs=obs)
+                             obs=obs, stages=stages)
                        for i in range(n_shards)]
         self._placement: dict[str, int] = {}
         self._next_seq = 0
@@ -218,8 +224,17 @@ class MatchingService:
         return np.asarray(lats, dtype=float)
 
     def report(self) -> dict:
-        """Deterministic JSON-friendly run summary."""
+        """Deterministic JSON-friendly run summary.
+
+        Latency quantiles go through the observability layer's bucketed
+        :func:`~repro.obs.metrics.percentile` estimator -- over the same
+        microsecond series the ``serve.latency_us`` histogram observes --
+        so a report and a live metrics snapshot of the same run quote
+        identical p50/p99 values.
+        """
         lat = self.latencies_vt
+        p50_us = percentile(lat * 1e6, 50)
+        p99_us = percentile(lat * 1e6, 99)
         shed = self.shed_counts
         return {
             "virtual_seconds": self.loop.now,
@@ -231,8 +246,8 @@ class MatchingService:
             "matched": int(sum(r.outcome.matched_count
                                for r in self.results)),
             "retunes": len(self.retune_events),
-            "latency_p50_vt": float(np.percentile(lat, 50)) if lat.size else None,
-            "latency_p99_vt": float(np.percentile(lat, 99)) if lat.size else None,
+            "latency_p50_vt": p50_us / 1e6 if p50_us is not None else None,
+            "latency_p99_vt": p99_us / 1e6 if p99_us is not None else None,
             "tenants": {
                 name: {
                     "shard": self._placement[name],

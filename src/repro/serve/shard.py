@@ -34,6 +34,7 @@ from .autotuner import Autotuner
 from .batching import BatchAccumulator, BatchPolicy
 from .messages import ACCEPTED, FlushResult, ServeRequest, TenantSpec, Ticket
 from .profiler import StreamProfiler
+from .stages import StageClock
 
 __all__ = ["TenantState", "Shard"]
 
@@ -85,13 +86,17 @@ class Shard:
         (slow; for tests).
     obs:
         Optional observability handle.
+    stages:
+        Optional :class:`~repro.serve.stages.StageClock`
+        (measurement-only wall-time breakdown; never read by decisions).
     """
 
     def __init__(self, shard_id: int, gpu: GPUSpec = PASCAL_GTX1080,
                  admission: AdmissionPolicy | None = None,
                  batching: BatchPolicy | None = None,
                  promote_after: int = 3, profile_window: int = 8,
-                 verify: bool = False, obs=None) -> None:
+                 verify: bool = False, obs=None,
+                 stages: StageClock | None = None) -> None:
         self.shard_id = shard_id
         self.gpu = gpu
         self.batching = batching if batching is not None else BatchPolicy()
@@ -101,6 +106,7 @@ class Shard:
         self.profile_window = profile_window
         self.verify = verify
         self._obs = obs
+        self._stages = stages
         self.tenants: dict[str, TenantState] = {}
 
     # -- tenant lifecycle ---------------------------------------------------------
@@ -145,10 +151,14 @@ class Shard:
         the tenant's accumulator over its size watermark.
         """
         ts = self.tenants[request.tenant]
+        stages = self._stages
+        t0 = StageClock.start() if stages is not None else 0.0
         status, retry_after, reason = self.admission.decide(
             request.n_envelopes, self.inbox_depth)
         obs = self._obs
         if status != ACCEPTED:
+            if stages is not None:
+                stages.stop("admission", t0)
             if obs is not None:
                 obs.count(f"serve.shed.{status}")
                 obs.instant("serve.shed", tenant=request.tenant,
@@ -159,7 +169,12 @@ class Shard:
                                            if retry_after is not None
                                            else None),
                            reason=reason), None)
+        if stages is not None:
+            stages.stop("admission", t0)
+            t0 = StageClock.start()
         ts.accumulator.admit(request)
+        if stages is not None:
+            stages.stop("batching", t0)
         ts.requests_total += 1
         if obs is not None:
             obs.count("serve.accepted")
@@ -175,13 +190,21 @@ class Shard:
     def flush_tenant(self, tenant: str, now_vt: float) -> FlushResult | None:
         """Drain one tenant's accumulator through its engine."""
         ts = self.tenants[tenant]
+        stages = self._stages
+        t0 = StageClock.start() if stages is not None else 0.0
         messages, requests, covered = ts.accumulator.flush()
+        if stages is not None:
+            stages.stop("batching", t0)
         if not covered:
             return None
         obs = self._obs
         trace_start = (obs.tracer.now
                        if obs is not None and obs.tracer is not None else 0.0)
-        outcome = ts.engine.match(messages, requests)
+        t0 = StageClock.start() if stages is not None else 0.0
+        outcome = ts.engine.submit_batch(messages, requests)
+        if stages is not None:
+            stages.stop("match", t0)
+            t0 = StageClock.start()
         # mirror engine-side graceful demotions into the retune log
         for ev in ts.engine.demotions[ts.demotions_seen:]:
             ts.autotuner.record_external_demotion(ev.from_label, ev.to_label,
@@ -223,6 +246,8 @@ class Shard:
                             from_label=event.from_label,
                             to_label=event.to_label,
                             direction=event.direction)
+        if stages is not None:
+            stages.stop("result", t0)
         if obs is not None:
             obs.count("serve.flushes")
             obs.count("serve.matched", float(outcome.matched_count))

@@ -1,0 +1,68 @@
+"""Per-stage wall-clock accounting for the serve pipeline.
+
+The serve bench's headline number -- sustained host matches/s -- says
+*that* the pipeline is fast or slow, not *where* the time goes.  A
+:class:`StageClock` splits a serve run's wall time across the pipeline's
+stages so overhead is measured, not inferred:
+
+* ``loadgen``   -- building the workload's column stream from a trace;
+* ``admission`` -- admission decisions and ticket construction;
+* ``batching``  -- accumulator admits and flush concatenation;
+* ``match``     -- the tenant engines' matching passes;
+* ``result``    -- flush-result assembly, profiling, and autotuning.
+
+Timing is **measurement-only**: the clock reads ``time.perf_counter``
+but nothing in the serve layer ever branches on it, so attaching a clock
+cannot perturb outcomes, shedding, or retunes (the same contract as the
+observability handle, and the only sanctioned use of wall time in the
+serve layer).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["SERVE_STAGES", "StageClock"]
+
+#: The serve pipeline's stages, pipeline order.
+SERVE_STAGES = ("loadgen", "admission", "batching", "match", "result")
+
+
+class StageClock:
+    """Accumulated wall seconds per serve pipeline stage.
+
+    Instrumentation sites bracket their stage explicitly::
+
+        t0 = clock.start()
+        ...stage work...
+        clock.stop("match", t0)
+
+    which keeps the hot path free of context-manager overhead and keeps
+    every site greppable.  ``None`` is the default everywhere a clock is
+    accepted, behind a single ``is not None`` branch per site.
+    """
+
+    __slots__ = ("seconds", "counts")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {s: 0.0 for s in SERVE_STAGES}
+        self.counts: dict[str, int] = {s: 0 for s in SERVE_STAGES}
+
+    @staticmethod
+    def start() -> float:
+        """A wall-clock stamp to later :meth:`stop` against."""
+        return time.perf_counter()
+
+    def stop(self, stage: str, t0: float) -> None:
+        """Charge the elapsed time since ``t0`` to ``stage``."""
+        self.seconds[stage] += time.perf_counter() - t0
+        self.counts[stage] += 1
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Charge an externally measured duration to ``stage``."""
+        self.seconds[stage] += seconds
+        self.counts[stage] += 1
+
+    def snapshot(self) -> dict[str, float]:
+        """``{stage: seconds}``, pipeline order, JSON-friendly."""
+        return {s: self.seconds[s] for s in SERVE_STAGES}

@@ -122,7 +122,8 @@ def normalized_entropy(counts) -> float:
     applications" -- and it decides whether tag partitioning balances
     (EXT3) and how hash tables collide (Figure 6(a)).
     """
-    arr = np.asarray(list(counts), dtype=float)
+    arr = np.asarray(counts if isinstance(counts, np.ndarray)
+                     else list(counts), dtype=float).ravel()
     arr = arr[arr > 0]
     if arr.size <= 1:
         return 0.0

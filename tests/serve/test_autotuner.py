@@ -14,14 +14,16 @@ MATRIX, PARTITIONED, HASH = LATTICE
 
 
 def profile(*, wildcard_fraction: float = 0.0,
-            duplicate_fraction: float = 0.0) -> WorkloadProfile:
+            duplicate_fraction: float = 0.0,
+            dominant_fraction: float = 0.0) -> WorkloadProfile:
     """A synthetic windowed profile with the knobs the policy reads."""
     return WorkloadProfile(
         window_flushes=4, n_messages=100, n_requests=100,
         src_wildcard_fraction=wildcard_fraction, tag_wildcard_fraction=0.0,
         n_peers=8, n_comms=1,
         duplicate_tuple_fraction=duplicate_fraction,
-        tag_entropy=0.9, umq_depth_mean=2.0, prq_depth_mean=2.0)
+        tag_entropy=0.9, umq_depth_mean=2.0, prq_depth_mean=2.0,
+        dominant_tuple_fraction=dominant_fraction)
 
 
 class TestLattice:
@@ -49,9 +51,17 @@ class TestTargets:
         tuner = Autotuner(TenantSpec(name="t", ordering_required=False))
         assert tuner.target_rank(profile()) == 2
 
-    def test_duplicate_tuples_block_hash(self):
+    def test_dominant_tuple_blocks_hash(self):
         tuner = Autotuner(TenantSpec(name="t", ordering_required=False))
-        assert tuner.target_rank(profile(duplicate_fraction=0.8)) == 1
+        assert tuner.target_rank(profile(dominant_fraction=0.4)) == 1
+
+    def test_diverse_duplicates_do_not_block_hash(self):
+        """High aggregate duplication with no dominant tuple (df_AMG's
+        shape: the same neighbour/tag pairs re-sent every sweep) keeps
+        probe chains short and must stay hash-eligible."""
+        tuner = Autotuner(TenantSpec(name="t", ordering_required=False))
+        assert tuner.target_rank(profile(duplicate_fraction=0.9,
+                                         dominant_fraction=0.05)) == 2
 
 
 class TestWalk:

@@ -1,0 +1,143 @@
+"""Columnar-vs-scalar differential: the packed data plane changes speed,
+never outcomes.
+
+The columnar data plane threads packed NumPy columns (with a cached
+packed64 key column) from the loadgen through batching to the matcher.
+The scalar :class:`~repro.core.envelope.Envelope` path -- round-tripping
+every batch through Python objects, which drops every cache and every
+view relationship -- must produce **byte-identical** serve runs: same
+report, same tickets, same shed counts, same retune events, same match
+assignments.  Anything less means the cache is load-bearing, which
+would break the view/adapter contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import EnvelopeBatch
+from repro.serve import (AdmissionPolicy, BatchPolicy, MatchingService,
+                         tenant_stream_from_trace, workload_from_app)
+from repro.traces import generate_trace
+
+
+def scalarize(batch: EnvelopeBatch) -> EnvelopeBatch:
+    """Round-trip through scalar envelopes: no caches, no views."""
+    out = EnvelopeBatch.from_envelopes(list(batch))
+    assert out._packed is None
+    return out
+
+
+def run_service(workload, *, scalar: bool, seed: int = 11,
+                admission=None, batching=None):
+    svc = MatchingService(n_shards=2, seed=seed, promote_after=2,
+                          profile_window=4, admission=admission,
+                          batching=batching)
+    for spec in workload.tenants:
+        svc.register(spec)
+    for a in workload.arrivals:
+        messages, requests = a.messages, a.requests
+        if scalar:
+            messages, requests = scalarize(messages), scalarize(requests)
+        svc.submit(a.tenant, messages, requests, at_vt=a.vt)
+    svc.drain()
+    return svc
+
+
+@pytest.mark.parametrize("app,ordering", [
+    ("df_amg", False),          # dup-heavy, reaches the hash path
+    ("df_minife", True),        # wildcard user, stays on matrix
+])
+def test_columnar_and_scalar_runs_are_byte_identical(app, ordering):
+    workload = workload_from_app(app, steps=3, n_ranks=8, seed=5,
+                                 chunk_envelopes=32,
+                                 ordering_required=ordering)
+    col = run_service(workload, scalar=False)
+    sca = run_service(workload, scalar=True)
+
+    # the deterministic JSON report is the end-to-end fingerprint
+    assert json.dumps(col.report(), sort_keys=True) == \
+        json.dumps(sca.report(), sort_keys=True)
+    # every admission answer
+    assert [(t.status, t.tenant, t.seq, t.retry_after_vt, t.reason)
+            for t in col.tickets] == \
+        [(t.status, t.tenant, t.seq, t.retry_after_vt, t.reason)
+         for t in sca.tickets]
+    assert col.shed_counts == sca.shed_counts
+    # every retune decision, in order
+    assert [(e.from_label, e.to_label, e.direction, e.vt)
+            for e in col.retune_events] == \
+        [(e.from_label, e.to_label, e.direction, e.vt)
+         for e in sca.retune_events]
+    # every flush's exact match assignment
+    assert len(col.results) == len(sca.results)
+    for rc, rs in zip(col.results, sca.results):
+        assert rc.tenant == rs.tenant and rc.flush_seq == rs.flush_seq
+        assert rc.engine_label == rs.engine_label
+        assert np.array_equal(rc.outcome.request_to_message,
+                              rs.outcome.request_to_message)
+        assert rc.covered_seqs == rs.covered_seqs
+        assert rc.latencies_vt == rs.latencies_vt
+
+
+def test_differential_under_shedding():
+    """Admission decisions (and shed tickets) are cache-independent."""
+    workload = workload_from_app("df_amg", steps=3, n_ranks=8, seed=5,
+                                 chunk_envelopes=32,
+                                 ordering_required=False)
+    # a slow flush cadence against a tight inbox so admission actually bites
+    tight = AdmissionPolicy(capacity=128, soft_fraction=0.5)
+    small = BatchPolicy(max_envelopes=4096, max_delay_vt=0.05)
+    col = run_service(workload, scalar=False, admission=tight,
+                      batching=small)
+    sca = run_service(workload, scalar=True, admission=tight,
+                      batching=small)
+    assert col.shed_counts == sca.shed_counts
+    assert sum(col.shed_counts.values()) > 0   # the policy actually bit
+    assert [t.status for t in col.tickets] == [t.status for t in sca.tickets]
+    assert json.dumps(col.report(), sort_keys=True) == \
+        json.dumps(sca.report(), sort_keys=True)
+
+
+def test_report_quantiles_match_obs_histogram():
+    """The service report and a live metrics snapshot of the same run
+    quote identical latency quantiles: ``report()`` routes through the
+    same bucketed estimator the ``serve.latency_us`` histogram uses."""
+    from repro.obs import Observability
+
+    workload = workload_from_app("df_amg", steps=3, n_ranks=8, seed=5,
+                                 chunk_envelopes=32,
+                                 ordering_required=False)
+    obs = Observability.enabled()
+    svc = MatchingService(n_shards=2, seed=11, promote_after=2,
+                          profile_window=4, obs=obs)
+    for spec in workload.tenants:
+        svc.register(spec)
+    for a in workload.arrivals:
+        svc.submit(a.tenant, a.messages, a.requests, at_vt=a.vt)
+    svc.drain()
+    report = svc.report()
+    hist = obs.metrics.histogram("serve.latency_us")
+    assert hist.count == len(svc.latencies_vt) > 0
+    for q, key in ((50, "latency_p50_vt"), (99, "latency_p99_vt")):
+        assert report[key] == pytest.approx(hist.percentile(q) / 1e6)
+
+
+def test_loadgen_chunks_carry_the_packed_column():
+    """The zero-repacking contract: message chunks leave the loadgen with
+    their packed64 key column already computed, and it is exactly what
+    ``packed()`` would compute."""
+    trace = generate_trace("df_amg", n_ranks=8, steps=2, seed=3)
+    chunks = tenant_stream_from_trace(trace, rank=0, chunk_envelopes=16)
+    assert chunks
+    for messages, requests in chunks:
+        if len(messages):
+            assert messages._packed is not None
+            recomputed = ((messages.comm << 48) | (messages.src << 16)
+                          | messages.tag)
+            assert np.array_equal(messages.packed(), recomputed)
+        # the request side may hold wildcards and is never pre-packed
+        assert requests._packed is None
