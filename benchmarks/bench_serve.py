@@ -10,11 +10,17 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]
         [--label LABEL] [--no-json] [--seed SEED] [--rate RPS]
-        [--steps N] [--ranks N]
+        [--steps N] [--ranks N] [--sessions]
+        [--recover [--kill-at N]]
 
 ``--smoke`` runs a tiny sweep, writes the report to a temporary file,
 schema-checks it, and leaves ``BENCH_serve.json`` untouched (the CI
-serve job runs this mode).
+serve job runs this mode).  ``--smoke --kill-at 2 --recover`` instead
+runs the kill/recover smoke: a supervised run with a chaos kill after
+two flushes, asserting zero admitted requests lost and schema-checking
+the ``recovery_seconds`` / ``carryover_depth`` fields.  In full mode,
+``--recover`` appends one extra ``kill-recover`` record carrying the
+recovery figures next to the normal sweep.
 """
 
 from __future__ import annotations
@@ -30,13 +36,15 @@ from repro.bench.regression import (ServePerfRecord, append_entry,
                                     load_report, serve_entry_rates,
                                     serve_regression_failures,
                                     serve_report_path, validate_serve_entry)
-from repro.serve import (DEFAULT_BENCH_APPS, ServeWorkload, StageClock,
-                         run_workload, workload_from_app)
+from repro.serve import (DEFAULT_BENCH_APPS, BatchPolicy, MatchingService,
+                         ServeWorkload, ShardSupervisor, StageClock,
+                         merge_workloads, run_supervised, run_workload,
+                         workload_from_app)
 
 
 def bench_workloads(*, seed: int = 0, rate_rps: float = 4000.0,
                     steps: int = 16, n_ranks: int | None = None,
-                    chunk_envelopes: int = 256,
+                    chunk_envelopes: int = 256, session: bool = False,
                     ) -> list[tuple[ServeWorkload, float]]:
     """One ``(workload, loadgen_seconds)`` per default bench app (>= 3).
 
@@ -57,7 +65,8 @@ def bench_workloads(*, seed: int = 0, rate_rps: float = 4000.0,
                                      n_ranks=n_ranks, steps=steps,
                                      chunk_envelopes=chunk_envelopes,
                                      seed=seed,
-                                     ordering_required=ordering_required)
+                                     ordering_required=ordering_required,
+                                     session=session)
         out.append((workload, time.perf_counter() - t0))
     return out
 
@@ -133,6 +142,106 @@ def serve_table(records: list[ServePerfRecord],
                "matching engines' share of the serve-side staged wall "
                "time (loadgen excluded)")
     return table
+
+
+def recovery_record(*, seed: int = 0, kill_at: int = 2,
+                    sessions: bool = True, steps: int = 2,
+                    n_ranks: int | None = 8, rate_rps: float = 4000.0,
+                    chunk_envelopes: int = 64,
+                    n_shards: int = 2) -> ServePerfRecord:
+    """Kill-injected supervised run folded into one perf record.
+
+    Merges the default bench apps into a single multi-tenant workload
+    (session mode by default, so ``carryover_depth`` is exercised), arms
+    a chaos kill on the shard hosting the first tenant after ``kill_at``
+    non-empty flushes, and drives the whole thing through
+    :func:`repro.serve.run_supervised`.  The run must actually recover
+    -- zero admitted requests lost, none double-matched -- or this exits
+    nonzero; ``recovery_seconds`` is the summed recovery wall time and
+    ``carryover_depth`` the end-of-run session backlog.
+    """
+    t0 = time.perf_counter()
+    parts = [workload_from_app(app, rate_rps=rate_rps, n_ranks=n_ranks,
+                               steps=steps, chunk_envelopes=chunk_envelopes,
+                               seed=seed, ordering_required=ordering_required,
+                               session=sessions)
+             for app, ordering_required in DEFAULT_BENCH_APPS]
+    loadgen_seconds = time.perf_counter() - t0
+    workload = merge_workloads("kill-recover", parts)
+
+    # size watermark at the chunk size: every arrival triggers a
+    # synchronous flush, so the armed kill reliably fires mid-run
+    svc = MatchingService(n_shards=n_shards, seed=seed,
+                          batching=BatchPolicy(
+                              max_envelopes=chunk_envelopes))
+    for spec in workload.tenants:
+        svc.register(spec)
+    supervisor = ShardSupervisor(svc, checkpoint_every=2)
+    # kill the shard hosting the busiest tenant: the one guaranteed to
+    # flush often enough for the armed kill to fire
+    counts: dict[str, int] = {}
+    for arrival in workload.arrivals:
+        counts[arrival.tenant] = counts.get(arrival.tenant, 0) + 1
+    victim = svc._placement[max(counts, key=lambda n: (counts[n], n))]
+    run = run_supervised(workload, supervisor=supervisor,
+                         kill_shard=victim, kill_after_flushes=kill_at)
+
+    if not supervisor.recoveries:
+        raise SystemExit("kill/recover run: the armed kill never fired "
+                         f"(shard {victim} saw fewer than {kill_at} "
+                         "non-empty flushes)")
+    accepted = {t.seq for t in svc.tickets if t.accepted}
+    covered = [s for r in svc.results for s in r.covered_seqs]
+    if len(covered) != len(set(covered)):
+        raise SystemExit("kill/recover run: a request was matched twice")
+    if set(covered) != accepted:
+        lost = sorted(accepted - set(covered))
+        raise SystemExit(f"kill/recover run: admitted requests lost "
+                         f"across recovery: {lost}")
+
+    report = svc.report()
+    stages = StageClock()
+    if loadgen_seconds:
+        stages.add("loadgen", loadgen_seconds)
+    wall = run.wall_seconds
+    return ServePerfRecord(
+        workload=workload.name,
+        tenants=len(workload.tenants),
+        n_envelopes=workload.n_envelopes,
+        submitted=report["submitted"],
+        accepted=report["accepted"],
+        shed_retryable=report["shed_retryable"],
+        shed_overloaded=report["shed_overloaded"],
+        flushes=report["flushes"],
+        matched=report["matched"],
+        retunes=report["retunes"],
+        seconds=wall,
+        matches_per_second=report["matched"] / wall if wall > 0 else 0.0,
+        latency_p50_vt=report["latency_p50_vt"],
+        latency_p99_vt=report["latency_p99_vt"],
+        seed=seed,
+        stage_seconds=stages.snapshot(),
+        recovery_seconds=sum(r.wall_seconds for r in supervisor.recoveries),
+        carryover_depth=sum(t["carryover_depth"]
+                            for t in report["tenants"].values()),
+    )
+
+
+def recovery_smoke(seed: int = 0, kill_at: int = 2) -> ServePerfRecord:
+    """Kill/recover smoke (CI mode): tiny supervised run with a chaos
+    kill, temp-report schema check of the recovery fields, no report
+    write."""
+    rec = recovery_record(seed=seed, kill_at=kill_at)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "BENCH_serve.json"
+        append_entry([rec], label="smoke-recover", path=path)
+        with open(path) as f:
+            report = json.load(f)
+        problems = validate_serve_entry(report["entries"][-1])
+        if problems:
+            raise SystemExit("kill/recover report schema check failed:\n  "
+                             + "\n  ".join(problems))
+    return rec
 
 
 def smoke_check(seed: int = 0) -> list[ServePerfRecord]:
@@ -217,12 +326,33 @@ def main(argv: list[str] | None = None) -> None:
                          "(default: each app's native count)")
     ap.add_argument("--chunk", type=int, default=256,
                     help="envelopes per loadgen column block")
+    ap.add_argument("--sessions", action="store_true",
+                    help="run tenants in persistent-UMQ session mode "
+                         "(unmatched envelopes carry over across flushes)")
+    ap.add_argument("--kill-at", type=int, default=None, metavar="N",
+                    dest="kill_at",
+                    help="chaos: kill the victim shard after N non-empty "
+                         "flushes (requires --recover; default 2)")
+    ap.add_argument("--recover", action="store_true",
+                    help="run a kill-injected supervised pass and record "
+                         "recovery_seconds / carryover_depth")
     args = ap.parse_args(argv)
+    if args.kill_at is not None and not args.recover:
+        ap.error("--kill-at requires --recover")
+    kill_at = 2 if args.kill_at is None else args.kill_at
 
     if args.gate is not None:
         gate_check(base_label=args.gate)
         return
     if args.smoke:
+        if args.recover:
+            rec = recovery_smoke(seed=args.seed, kill_at=kill_at)
+            print(f"kill/recover smoke: shard recovered in "
+                  f"{rec.recovery_seconds * 1e3:.2f}ms, "
+                  f"{rec.matched} matched, zero admitted requests lost, "
+                  f"carryover depth {rec.carryover_depth}")
+            print("serve report schema (recovery fields): ok")
+            return
         records = smoke_check(seed=args.seed)
         serve_table(records, title="Serve smoke (schema checked)").show()
         print("serve report schema: ok")
@@ -230,7 +360,8 @@ def main(argv: list[str] | None = None) -> None:
 
     workloads = bench_workloads(seed=args.seed, rate_rps=args.rate,
                                 steps=args.steps, n_ranks=args.ranks,
-                                chunk_envelopes=args.chunk)
+                                chunk_envelopes=args.chunk,
+                                session=args.sessions)
     records = []
     for w, loadgen_seconds in workloads:
         rec = run_one(w, seed=args.seed, loadgen_seconds=loadgen_seconds)
@@ -240,6 +371,14 @@ def main(argv: list[str] | None = None) -> None:
         print(f"  {rec.workload}: {rec.matched} matched in "
               f"{rec.seconds:.3f}s {format_rate(rec.matches_per_second)}")
         print(f"    stages: {stages}")
+    if args.recover:
+        rec = recovery_record(seed=args.seed, kill_at=kill_at,
+                              sessions=True, steps=args.steps,
+                              n_ranks=args.ranks, rate_rps=args.rate)
+        records.append(rec)
+        print(f"  {rec.workload}: {rec.matched} matched, recovered in "
+              f"{rec.recovery_seconds * 1e3:.2f}ms, "
+              f"carryover depth {rec.carryover_depth}")
     serve_table(records).show()
     if not args.no_json:
         append_entry(records, label=args.label, path=serve_report_path())

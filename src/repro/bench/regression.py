@@ -196,6 +196,13 @@ class ServePerfRecord:
     #: match/result) from a :class:`~repro.serve.stages.StageClock`;
     #: optional so entries recorded before the breakdown stay valid.
     stage_seconds: dict | None = None
+    #: wall-seconds spent in crash recovery (checkpoint restore +
+    #: reconciliation + journal replay) when the run was kill-injected;
+    #: ``None`` for normal runs and entries predating fault tolerance.
+    recovery_seconds: float | None = None
+    #: end-of-run carried-over envelopes across session tenants
+    #: (UMQ + PRQ); ``None`` for entries predating sessions.
+    carryover_depth: int | None = None
 
 
 #: Every field a serve record must carry (the ``--smoke`` schema check).
@@ -229,6 +236,12 @@ def validate_serve_entry(entry: dict) -> list[str]:
                 problems.append(f"record {i} missing {field_name!r}")
         if rec.get("matched", 0) < 0 or rec.get("seconds", 0) <= 0:
             problems.append(f"record {i} has non-positive timing")
+        recovery = rec.get("recovery_seconds")
+        if recovery is not None and recovery < 0:
+            problems.append(f"record {i} has negative recovery_seconds")
+        carryover = rec.get("carryover_depth")
+        if carryover is not None and carryover < 0:
+            problems.append(f"record {i} has negative carryover_depth")
     if not entry.get("records"):
         problems.append("entry has no records")
     return problems

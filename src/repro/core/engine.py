@@ -263,6 +263,75 @@ class MatchingEngine:
             requests = EnvelopeBatch.from_envelopes(requests)
         return self.match(messages, requests)
 
+    # -- queue state as columns --------------------------------------------------
+
+    def export_unmatched(self, messages: EnvelopeBatch,
+                         requests: EnvelopeBatch, outcome: MatchOutcome,
+                         msg_indices=None, req_indices=None,
+                         ) -> tuple[EnvelopeBatch, EnvelopeBatch]:
+        """The pass's UMQ and PRQ as packed column blocks.
+
+        Returns ``(umq, prq)``: the messages left unmatched (the
+        unexpected-message queue) and the requests left posted (the
+        posted-receive queue), as zero-copy ``take`` views of the input
+        batches.  The views keep the cached packed64 key column, so
+        carrying unmatched envelopes into a later pass (persistent-UMQ
+        sessions) or a checkpoint never re-marshals them.
+
+        ``msg_indices`` / ``req_indices`` accept precomputed unmatched
+        index arrays so callers that already derived them from the
+        outcome don't pay the scan twice.
+        """
+        if msg_indices is None:
+            msg_indices = outcome.unmatched_message_indices()
+        if req_indices is None:
+            req_indices = outcome.unmatched_request_indices()
+        return messages.take(msg_indices), requests.take(req_indices)
+
+    # -- snapshot format ---------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Engine state for the serve snapshot format.
+
+        Covers everything a restored engine needs to continue
+        bit-identically: the relaxation point (matchers themselves hold
+        no cross-pass state), the demotion log, the relaunch cost still
+        pending against the next outcome, and the build knobs.
+        """
+        return {
+            "relaxations": self.relaxations.label(),
+            "demotions": [(e.from_label, e.to_label, e.reason,
+                           e.extra_seconds, e.extra_cycles)
+                          for e in self.demotions],
+            "pending_seconds": self._pending_demotion_seconds,
+            "pending_cycles": self._pending_demotion_cycles,
+            "n_queues": self._n_queues,
+            "n_ctas": self._n_ctas,
+            "window": self._window,
+            "demote_on_violation": self.demote_on_violation,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, gpu: GPUSpec = PASCAL_GTX1080,
+                   verify: bool = False, obs=None) -> "MatchingEngine":
+        """Rebuild an engine from :meth:`export_state` (inverse op)."""
+        engine = cls(gpu=gpu,
+                     relaxations=RelaxationSet.from_label(
+                         state["relaxations"]),
+                     n_queues=int(state["n_queues"]),
+                     n_ctas=int(state["n_ctas"]),
+                     window=int(state["window"]),
+                     verify=verify,
+                     demote_on_violation=bool(state["demote_on_violation"]),
+                     obs=obs)
+        engine.demotions = [
+            DemotionEvent(from_label=f, to_label=t, reason=r,
+                          extra_seconds=float(s), extra_cycles=float(c))
+            for f, t, r, s, c in state["demotions"]]
+        engine._pending_demotion_seconds = float(state["pending_seconds"])
+        engine._pending_demotion_cycles = float(state["pending_cycles"])
+        return engine
+
     def reference(self, messages: EnvelopeBatch,
                   requests: EnvelopeBatch) -> MatchOutcome:
         """The sequential MPI oracle's assignment (no device timing)."""

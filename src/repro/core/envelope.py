@@ -204,6 +204,31 @@ class EnvelopeBatch:
         """A zero-length batch."""
         return cls(src=[], tag=[], comm=[])
 
+    # -- snapshot format -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Columns for the serve snapshot codec, **including** the lazily
+        cached packed64 key column when present.
+
+        Carrying the cache through a snapshot is part of the columnar
+        data plane's zero-re-marshalling contract: a restored batch must
+        never silently re-pack what the loadgen packed before the
+        checkpoint (pinned by ``tests/serve/test_state.py``).
+        """
+        return {"src": self.src, "tag": self.tag, "comm": self.comm,
+                "packed": self._packed}
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "EnvelopeBatch":
+        """Rebuild a batch (and its packed-key cache) from
+        :meth:`state_dict` columns."""
+        return cls.view(np.asarray(state["src"], dtype=np.int64),
+                        np.asarray(state["tag"], dtype=np.int64),
+                        np.asarray(state["comm"], dtype=np.int64),
+                        packed=(None if state.get("packed") is None
+                                else np.asarray(state["packed"],
+                                                dtype=np.int64)))
+
     # -- container protocol ----------------------------------------------------
 
     def __len__(self) -> int:

@@ -117,6 +117,23 @@ class RelaxationSet:
         ]
         return "+".join(parts)
 
+    @classmethod
+    def from_label(cls, label: str) -> "RelaxationSet":
+        """Inverse of :meth:`label` (the snapshot format stores labels).
+
+        >>> RelaxationSet.from_label("nowc+noord+unexp")
+        RelaxationSet(wildcards=False, ordering=False, unexpected=True)
+        """
+        parts = label.split("+")
+        if len(parts) != 3:
+            raise ValueError(f"malformed relaxation label {label!r}")
+        wc, order, unexp = parts
+        if wc not in ("wc", "nowc") or order not in ("ord", "noord") \
+                or unexp not in ("unexp", "pre"):
+            raise ValueError(f"malformed relaxation label {label!r}")
+        return cls(wildcards=wc == "wc", ordering=order == "ord",
+                   unexpected=unexp == "unexp")
+
     # -- demotion lattice -------------------------------------------------------------
 
     def demoted_for_wildcards(self) -> "RelaxationSet":

@@ -23,9 +23,17 @@ system:
   serve run is replayable bit-for-bit;
 * **open-loop load generation** (:mod:`.loadgen`) -- tenant streams
   derived from the proxy-application traces, driving
-  ``benchmarks/bench_serve.py`` and ``python -m repro serve-demo``.
+  ``benchmarks/bench_serve.py`` and ``python -m repro serve-demo``;
+* **stateful sessions + fault tolerance** (:mod:`.state`,
+  :mod:`.supervisor`) -- persistent-UMQ carry-over for ``session``
+  tenants, a versioned CRC-guarded snapshot codec with bit-identical
+  checkpoint/restore, and a shard supervisor providing crash recovery
+  (checkpoint + journal replay, zero admitted requests lost) and live
+  tenant migration (drain -> snapshot -> catchup -> cutover) with
+  hot-spot rebalancing.
 
-See ``docs/SERVING.md`` for the architecture walk-through.
+See ``docs/SERVING.md`` for the architecture walk-through and
+``docs/FAULT_MODEL.md`` for the failure semantics.
 """
 
 from .admission import AdmissionController, AdmissionPolicy
@@ -34,17 +42,22 @@ from .batching import BatchAccumulator, BatchPolicy, concat_batches
 from .loadgen import (DEFAULT_BENCH_APPS, ServeArrival, ServeWorkload,
                       busiest_rank, demo, merge_workloads, run_workload,
                       tenant_stream_from_trace, workload_from_app)
-from .messages import (ACCEPTED, OVERLOADED, RETRYABLE, FlushResult,
-                       ServeRequest, TenantSpec, Ticket)
+from .messages import (ACCEPTED, MIGRATING, OVERLOADED, RETRYABLE,
+                       FlushResult, ServeRequest, ShardCrash, TenantSpec,
+                       Ticket)
 from .profiler import StreamProfiler, WorkloadProfile
 from .scheduler import EventLoop, TimerEvent, VirtualClock
 from .service import MatchingService
 from .shard import Shard, TenantState
 from .stages import SERVE_STAGES, StageClock
+from .state import (SessionState, SnapshotError, restore_service,
+                    snapshot_service)
+from .supervisor import (MigrationPlan, RebalancePolicy, RecoveryReport,
+                         ShardSupervisor, SupervisedRun, run_supervised)
 
 __all__ = [
-    "ACCEPTED", "RETRYABLE", "OVERLOADED",
-    "TenantSpec", "ServeRequest", "Ticket", "FlushResult",
+    "ACCEPTED", "RETRYABLE", "OVERLOADED", "MIGRATING",
+    "TenantSpec", "ServeRequest", "Ticket", "FlushResult", "ShardCrash",
     "BatchPolicy", "BatchAccumulator", "concat_batches",
     "AdmissionPolicy", "AdmissionController",
     "WorkloadProfile", "StreamProfiler",
@@ -55,4 +68,7 @@ __all__ = [
     "tenant_stream_from_trace", "workload_from_app", "merge_workloads",
     "DEFAULT_BENCH_APPS", "run_workload", "demo",
     "SERVE_STAGES", "StageClock",
+    "SessionState", "SnapshotError", "snapshot_service", "restore_service",
+    "ShardSupervisor", "RecoveryReport", "MigrationPlan",
+    "RebalancePolicy", "SupervisedRun", "run_supervised",
 ]

@@ -6,15 +6,19 @@ latency climbs until everything times out -- so the serve layer sheds
 instead, in two graduated steps:
 
 * above the **soft watermark** (``soft_fraction * capacity``) new work is
-  refused with ``retryable`` and a deterministic virtual-time retry hint
-  (one batch-delay period: by then the accumulated batches have flushed);
+  refused with ``retryable`` and a deterministic virtual-time retry hint;
 * at **capacity** new work is refused with ``overloaded`` -- the hard
   backstop.
 
-Admission decisions depend only on the current inbox depth and the
-request's envelope count, never on wall time or randomness, so an
-identical submitted stream sheds identically on every run (the
-determinism contract).
+The retry hint is **derived from virtual time**, not a constant: when
+the shard has a pending batch deadline, the hint is exactly the time
+until that flush fires (the earliest moment the inbox can have drained);
+only an idle shard falls back to the batch-delay default.  Admission
+decisions depend only on the current inbox depth, the request's envelope
+count, and the virtual clock -- never on wall time or randomness -- so
+an identical submitted stream sheds with identical hints on every run
+(the determinism contract, pinned by the retry-hint replay test in
+``tests/serve/test_state.py``).
 
 The controller also keeps the shed accounting the bench and the obs
 layer report: admitted/shed counts per outcome class.
@@ -75,17 +79,41 @@ class AdmissionController:
         self.admitted = 0
         self.shed_retryable = 0
         self.shed_overloaded = 0
+        #: requests refused with a ``migrating`` hint (counted by the
+        #: shard's migration path, not by :meth:`decide`)
+        self.shed_migrating = 0
 
     @property
     def shed_total(self) -> int:
-        """All shed requests, both classes."""
-        return self.shed_retryable + self.shed_overloaded
+        """All shed requests, every class."""
+        return self.shed_retryable + self.shed_overloaded + self.shed_migrating
 
-    def decide(self, n_envelopes: int,
-               inbox_depth: int) -> tuple[str, float | None, str]:
+    def retry_hint(self, now_vt: float | None = None,
+                   next_flush_vt: float | None = None) -> float:
+        """Deterministic relative retry hint (virtual seconds from now).
+
+        A configured ``AdmissionPolicy.retry_after_vt`` always wins.
+        Otherwise the hint is derived from virtual time: the span until
+        the shard's next pending batch deadline (the earliest moment the
+        inbox can have drained), falling back to the batch-delay default
+        only when the shard has no deadline armed (or the deadline is
+        already due).
+        """
+        if self.policy.retry_after_vt is not None:
+            return self.policy.retry_after_vt
+        if (now_vt is not None and next_flush_vt is not None
+                and next_flush_vt > now_vt):
+            return next_flush_vt - now_vt
+        return self._retry_after
+
+    def decide(self, n_envelopes: int, inbox_depth: int,
+               now_vt: float | None = None,
+               next_flush_vt: float | None = None,
+               ) -> tuple[str, float | None, str]:
         """Admit or shed a request of ``n_envelopes`` at the given depth.
 
-        Returns ``(status, retry_after_vt, reason)``.  Oversized requests
+        Returns ``(status, retry_after_vt, reason)`` with the retry hint
+        *relative* to now (see :meth:`retry_hint`).  Oversized requests
         (bigger than the whole inbox) are always ``overloaded``: no
         amount of retrying can admit them under this policy.
         """
@@ -102,8 +130,24 @@ class AdmissionController:
         if (pol.soft_fraction < 1.0
                 and inbox_depth + n_envelopes > pol.soft_watermark):
             self.shed_retryable += 1
-            return (RETRYABLE, self._retry_after,
+            return (RETRYABLE, self.retry_hint(now_vt, next_flush_vt),
                     f"inbox above soft watermark "
                     f"({inbox_depth}/{pol.soft_watermark})")
         self.admitted += 1
         return (ACCEPTED, None, "")
+
+    # -- snapshot format ---------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Shed accounting for the serve snapshot format."""
+        return {"admitted": self.admitted,
+                "shed_retryable": self.shed_retryable,
+                "shed_overloaded": self.shed_overloaded,
+                "shed_migrating": self.shed_migrating}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state` (policy is rebuilt separately)."""
+        self.admitted = int(state["admitted"])
+        self.shed_retryable = int(state["shed_retryable"])
+        self.shed_overloaded = int(state["shed_overloaded"])
+        self.shed_migrating = int(state["shed_migrating"])

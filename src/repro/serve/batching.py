@@ -145,3 +145,41 @@ class BatchAccumulator:
         self._first_admit_vt = None
         self.epoch += 1
         return messages, requests, covered
+
+    # -- snapshot format ----------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Accumulator state for the serve snapshot format.
+
+        ``pending`` holds the live :class:`ServeRequest` objects; the
+        codec in :mod:`repro.serve.state` turns their column batches
+        into the binary form.
+        """
+        return {"pending": list(self._pending),
+                "n_envelopes": self._n_envelopes,
+                "first_admit_vt": self._first_admit_vt,
+                "epoch": self.epoch}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state` (policy is rebuilt separately)."""
+        self._pending = list(state["pending"])
+        self._n_envelopes = int(state["n_envelopes"])
+        fa = state["first_admit_vt"]
+        self._first_admit_vt = None if fa is None else float(fa)
+        self.epoch = int(state["epoch"])
+
+    def discard_covered(self, covered_seqs: set[int]) -> int:
+        """Drop pending requests whose seq is in ``covered_seqs``.
+
+        Crash-recovery reconciliation: a restored checkpoint may hold
+        requests that a post-checkpoint flush already matched (the flush
+        ledger outlives the crashed shard).  Removing them here is what
+        keeps recovery exactly-once.  Returns the envelope count dropped.
+        """
+        keep = [r for r in self._pending if r.seq not in covered_seqs]
+        dropped = self._n_envelopes - sum(r.n_envelopes for r in keep)
+        if len(keep) != len(self._pending):
+            self._pending = keep
+            self._n_envelopes = sum(r.n_envelopes for r in keep)
+            self._first_admit_vt = (keep[0].arrival_vt if keep else None)
+        return dropped

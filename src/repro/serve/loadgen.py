@@ -171,11 +171,14 @@ def workload_from_app(app: str, *, rate_rps: float = 2000.0,
                       n_ranks: int | None = None, steps: int | None = None,
                       chunk_envelopes: int = 64, seed: int = 0,
                       ordering_required: bool = True,
-                      tenant_name: str | None = None) -> ServeWorkload:
+                      tenant_name: str | None = None,
+                      session: bool = False) -> ServeWorkload:
     """Build a one-tenant open-loop workload from a proxy-app trace.
 
     ``rate_rps`` is the offered request rate in requests per *virtual*
     second; arrivals are a seeded Poisson process (open-loop).
+    ``session=True`` declares the tenant persistent-UMQ: unmatched
+    envelopes carry over between flushes instead of being dropped.
     """
     if rate_rps <= 0:
         raise ValueError("rate_rps must be positive")
@@ -184,7 +187,8 @@ def workload_from_app(app: str, *, rate_rps: float = 2000.0,
     chunks = tenant_stream_from_trace(trace, rank,
                                       chunk_envelopes=chunk_envelopes)
     name = tenant_name if tenant_name is not None else app
-    spec = TenantSpec(name=name, ordering_required=ordering_required)
+    spec = TenantSpec(name=name, ordering_required=ordering_required,
+                      session=session)
     rng = np.random.default_rng(seed + 0x10AD)
     gaps = rng.exponential(1.0 / rate_rps, size=len(chunks))
     times = np.cumsum(gaps)

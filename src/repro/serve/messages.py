@@ -31,8 +31,8 @@ from ..core.envelope import EnvelopeBatch
 from ..core.relaxations import RelaxationSet
 from ..core.result import MatchOutcome
 
-__all__ = ["ACCEPTED", "RETRYABLE", "OVERLOADED", "TenantSpec",
-           "ServeRequest", "Ticket", "FlushResult"]
+__all__ = ["ACCEPTED", "RETRYABLE", "OVERLOADED", "MIGRATING", "TenantSpec",
+           "ServeRequest", "Ticket", "FlushResult", "ShardCrash"]
 
 #: Ticket status: the request was admitted to the tenant's accumulator.
 ACCEPTED = "accepted"
@@ -44,6 +44,29 @@ RETRYABLE = "retryable"
 #: Ticket status: shed at full capacity; the client must back off and
 #: re-issue (the serve layer keeps no record of the envelopes).
 OVERLOADED = "overloaded"
+
+#: Ticket status: the tenant is mid-migration between shards; the
+#: request was not admitted and should be re-issued at ``retry_after_vt``
+#: (the deterministic cutover time).  Unlike ``overloaded``, nothing is
+#: dropped for capacity reasons -- migration sheds only with a hint.
+MIGRATING = "migrating"
+
+
+class ShardCrash(RuntimeError):
+    """Chaos-injected shard failure (see ``repro.serve.supervisor``).
+
+    Raised from inside a flush *after* the accumulator has drained --
+    the worst moment: without the supervisor's admission journal, every
+    envelope of the in-flight batch would be lost.  Carries where and
+    when the crash happened so the supervisor can recover.
+    """
+
+    def __init__(self, shard_id: int, tenant: str, vt: float) -> None:
+        super().__init__(f"shard {shard_id} crashed mid-flush "
+                         f"(tenant {tenant!r}, vt={vt})")
+        self.shard_id = shard_id
+        self.tenant = tenant
+        self.vt = vt
 
 
 @dataclass(frozen=True)
@@ -69,6 +92,19 @@ class TenantSpec:
     n_queues, n_ctas:
         Engine build knobs, forwarded to
         :class:`~repro.core.engine.MatchingEngine`.
+    session:
+        Persistent-UMQ mode: envelopes left unmatched by a flush carry
+        over into the tenant's next flush as packed column blocks
+        instead of being discarded (see ``repro.serve.state.SessionState``).
+        Off by default -- stateless flushes are the paper's batch-mode
+        matching.
+    session_max_carryover:
+        Per-tenant cap on carried-over envelopes (UMQ + PRQ combined);
+        beyond it the *oldest* carried envelopes are shed.
+    session_max_age_flushes:
+        Age bound: a carried envelope that stays unmatched for this many
+        subsequent flushes is shed (age-based shedding keeps a dead
+        tuple from pinning session memory forever).
     """
 
     name: str
@@ -77,6 +113,9 @@ class TenantSpec:
     autotune: bool = True
     n_queues: int = 4
     n_ctas: int = 1
+    session: bool = False
+    session_max_carryover: int = 4096
+    session_max_age_flushes: int = 8
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -84,6 +123,10 @@ class TenantSpec:
         if self.relaxations is not None and self.autotune:
             # a pinned tenant is by definition not autotuned
             object.__setattr__(self, "autotune", False)
+        if self.session_max_carryover < 1:
+            raise ValueError("session_max_carryover must be >= 1")
+        if self.session_max_age_flushes < 1:
+            raise ValueError("session_max_age_flushes must be >= 1")
 
     def initial_relaxations(self) -> RelaxationSet:
         """Where the tenant's engine starts on the lattice."""
@@ -125,7 +168,13 @@ class Ticket:
 
     @property
     def shed(self) -> bool:
-        return self.status in (RETRYABLE, OVERLOADED)
+        """The request was not admitted (any non-accepted outcome)."""
+        return self.status in (RETRYABLE, OVERLOADED, MIGRATING)
+
+    @property
+    def retry_hinted(self) -> bool:
+        """The shed came with a deterministic virtual-time retry hint."""
+        return self.status in (RETRYABLE, MIGRATING)
 
 
 @dataclass

@@ -167,6 +167,47 @@ class StreamProfiler:
         ))
         self.total_flushes += 1
 
+    # -- snapshot format ----------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Window contents for the serve snapshot format."""
+        return {"window_flushes": self.window_flushes,
+                "total_flushes": self.total_flushes,
+                "window": [{"n_messages": s.n_messages,
+                            "n_requests": s.n_requests,
+                            "src_wildcards": s.src_wildcards,
+                            "tag_wildcards": s.tag_wildcards,
+                            "peers": s.peers,
+                            "comms": s.comms,
+                            "duplicates": s.duplicates,
+                            "dominant": s.dominant,
+                            "tags": s.tags,
+                            "tag_counts": s.tag_counts,
+                            "umq_depth": s.umq_depth,
+                            "prq_depth": s.prq_depth}
+                           for s in self._window]}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state`."""
+        self.window_flushes = int(state["window_flushes"])
+        self.total_flushes = int(state["total_flushes"])
+        self._window = deque(
+            (_FlushStats(
+                n_messages=int(s["n_messages"]),
+                n_requests=int(s["n_requests"]),
+                src_wildcards=int(s["src_wildcards"]),
+                tag_wildcards=int(s["tag_wildcards"]),
+                peers=np.asarray(s["peers"], dtype=np.int64),
+                comms=np.asarray(s["comms"], dtype=np.int64),
+                duplicates=int(s["duplicates"]),
+                dominant=int(s["dominant"]),
+                tags=np.asarray(s["tags"], dtype=np.int64),
+                tag_counts=np.asarray(s["tag_counts"]),
+                umq_depth=int(s["umq_depth"]),
+                prq_depth=int(s["prq_depth"]))
+             for s in state["window"]),
+            maxlen=self.window_flushes)
+
     def profile(self) -> WorkloadProfile:
         """The aggregated profile of the current window."""
         w = list(self._window)

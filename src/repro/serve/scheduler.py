@@ -99,3 +99,33 @@ class EventLoop:
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    # -- snapshot format ----------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Full loop state for the serve snapshot format.
+
+        Captures everything a bit-identical replay needs: the virtual
+        clock, the ``(vt, seq)`` cursor, every pending timer, and the
+        PCG64 generator state (``bit_generator.state`` -- the 128-bit
+        internal counters, not the seed, so a mid-run restore continues
+        the *same* random stream rather than restarting it).
+        """
+        return {"now": self.clock.now,
+                "seed": self.seed,
+                "next_seq": self._next_seq,
+                "rng_state": self.rng.bit_generator.state,
+                "events": [(ev.vt, ev.seq, ev.kind, ev.payload)
+                           for ev in sorted(self._heap)]}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state`."""
+        self.clock = VirtualClock(float(state["now"]))
+        self.seed = int(state["seed"])
+        self._next_seq = int(state["next_seq"])
+        self.rng = np.random.default_rng(self.seed)
+        self.rng.bit_generator.state = state["rng_state"]
+        self._heap = [TimerEvent(vt=float(vt), seq=int(seq),
+                                 kind=str(kind), payload=payload)
+                      for vt, seq, kind, payload in state["events"]]
+        heapq.heapify(self._heap)

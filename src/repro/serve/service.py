@@ -213,6 +213,8 @@ class MatchingService:
             "retryable": sum(s.admission.shed_retryable for s in self.shards),
             "overloaded": sum(s.admission.shed_overloaded
                               for s in self.shards),
+            "migrating": sum(s.admission.shed_migrating
+                             for s in self.shards),
         }
 
     @property
@@ -242,6 +244,7 @@ class MatchingService:
             "accepted": sum(s.admission.admitted for s in self.shards),
             "shed_retryable": shed["retryable"],
             "shed_overloaded": shed["overloaded"],
+            "shed_migrating": shed["migrating"],
             "flushes": len(self.results),
             "matched": int(sum(r.outcome.matched_count
                                for r in self.results)),
@@ -254,6 +257,9 @@ class MatchingService:
                     "engine": self.tenant(name).relaxations.label(),
                     "flushes": self.tenant(name).flush_seq,
                     "matched": self.tenant(name).matched_total,
+                    "carryover_depth": (
+                        self.tenant(name).session.depth
+                        if self.tenant(name).session is not None else 0),
                     "retunes": [
                         (e.from_label, e.to_label, e.direction)
                         for e in self.tenant(name).autotuner.events],

@@ -26,15 +26,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.engine import MatchingEngine
 from ..core.relaxations import RelaxationSet
 from ..simt.gpu import GPUSpec, PASCAL_GTX1080
 from .admission import AdmissionController, AdmissionPolicy
 from .autotuner import Autotuner
 from .batching import BatchAccumulator, BatchPolicy
-from .messages import ACCEPTED, FlushResult, ServeRequest, TenantSpec, Ticket
+from .messages import (ACCEPTED, MIGRATING, FlushResult, ServeRequest,
+                       ShardCrash, TenantSpec, Ticket)
 from .profiler import StreamProfiler
 from .stages import StageClock
+from .state import SessionState
 
 __all__ = ["TenantState", "Shard"]
 
@@ -57,6 +61,8 @@ class TenantState:
     #: engine demotions already mirrored into the retune log
     demotions_seen: int = 0
     results: list[FlushResult] = field(default_factory=list)
+    #: persistent-UMQ carry-over (``None`` for stateless tenants)
+    session: SessionState | None = None
 
     @property
     def relaxations(self) -> RelaxationSet:
@@ -108,6 +114,15 @@ class Shard:
         self._obs = obs
         self._stages = stages
         self.tenants: dict[str, TenantState] = {}
+        #: tenants mid-migration off this shard, mapped to their
+        #: deterministic cutover virtual time; submissions for them are
+        #: answered ``migrating`` with the cutover as the retry hint.
+        self.migrating: dict[str, float] = {}
+        #: chaos hook: raise :class:`ShardCrash` when ``flushes_done``
+        #: reaches this count (armed by the supervisor's kill plan).
+        self.fail_at_flush: int | None = None
+        #: non-empty flushes this shard has started (crash-hook clock).
+        self.flushes_done = 0
 
     # -- tenant lifecycle ---------------------------------------------------------
 
@@ -123,6 +138,7 @@ class Shard:
             profiler=StreamProfiler(self.profile_window),
             autotuner=Autotuner(spec, gpu=self.gpu,
                                 promote_after=self.promote_after),
+            session=SessionState.for_spec(spec) if spec.session else None,
         )
         self.tenants[spec.name] = ts
         return ts
@@ -141,6 +157,18 @@ class Shard:
         """Pending envelopes across every tenant accumulator."""
         return sum(len(ts.accumulator) for ts in self.tenants.values())
 
+    def next_deadline_vt(self) -> float | None:
+        """Earliest pending batch deadline across the shard's tenants.
+
+        This is the soonest moment the inbox can drain, which is exactly
+        the vt-derived retry hint admission attaches to ``retryable``
+        sheds.
+        """
+        deadlines = [ts.accumulator.deadline_vt
+                     for ts in self.tenants.values()
+                     if ts.accumulator.deadline_vt is not None]
+        return min(deadlines) if deadlines else None
+
     # -- submission ---------------------------------------------------------------
 
     def submit(self, request: ServeRequest,
@@ -151,11 +179,25 @@ class Shard:
         the tenant's accumulator over its size watermark.
         """
         ts = self.tenants[request.tenant]
+        obs = self._obs
+        cutover = self.migrating.get(request.tenant)
+        if cutover is not None:
+            # mid-migration: refuse with the deterministic cutover time
+            # as the retry hint -- nothing is dropped for capacity.
+            self.admission.shed_migrating += 1
+            if obs is not None:
+                obs.count(f"serve.shed.{MIGRATING}")
+                obs.instant("serve.shed", tenant=request.tenant,
+                            status=MIGRATING, reason="tenant migrating")
+            return (Ticket(status=MIGRATING, tenant=request.tenant,
+                           seq=request.seq, retry_after_vt=cutover,
+                           reason="tenant migrating; retry at cutover"),
+                    None)
         stages = self._stages
         t0 = StageClock.start() if stages is not None else 0.0
         status, retry_after, reason = self.admission.decide(
-            request.n_envelopes, self.inbox_depth)
-        obs = self._obs
+            request.n_envelopes, self.inbox_depth,
+            now_vt=now_vt, next_flush_vt=self.next_deadline_vt())
         if status != ACCEPTED:
             if stages is not None:
                 stages.stop("admission", t0)
@@ -197,6 +239,20 @@ class Shard:
             stages.stop("batching", t0)
         if not covered:
             return None
+        self.flushes_done += 1
+        if (self.fail_at_flush is not None
+                and self.flushes_done >= self.fail_at_flush):
+            # chaos kill at the worst moment: the accumulator has
+            # drained, so the in-flight batch exists only on this stack
+            # frame -- recovery must come from checkpoint + journal.
+            self.fail_at_flush = None
+            raise ShardCrash(self.shard_id, tenant, now_vt)
+        born_msgs = born_reqs = None
+        carried_m = carried_r = 0
+        if ts.session is not None and ts.session.depth:
+            (messages, requests, born_msgs, born_reqs,
+             carried_m, carried_r) = ts.session.merge(
+                 messages, requests, ts.flush_seq)
         obs = self._obs
         trace_start = (obs.tracer.now
                        if obs is not None and obs.tracer is not None else 0.0)
@@ -220,13 +276,39 @@ class Shard:
             ts.pending_retune_cycles = 0.0
         completion_vt = now_vt + outcome.seconds
         latencies = tuple(completion_vt - r.arrival_vt for r in covered)
+        meta = {"n_messages": len(messages), "n_requests": len(requests)}
+        if ts.session is not None:
+            # persistent-UMQ: the pass's unmatched columns carry over
+            # into the next flush as packed ``take`` views -- no
+            # re-marshalling -- subject to the age and cap sheds.
+            msg_idx = outcome.unmatched_message_indices()
+            req_idx = outcome.unmatched_request_indices()
+            umq, prq = ts.engine.export_unmatched(
+                messages, requests, outcome, msg_idx, req_idx)
+            bm = (born_msgs[msg_idx] if born_msgs is not None
+                  else np.full(msg_idx.size, ts.flush_seq, dtype=np.int64))
+            br = (born_reqs[req_idx] if born_reqs is not None
+                  else np.full(req_idx.size, ts.flush_seq, dtype=np.int64))
+            shed_age, shed_cap = ts.session.retain(umq, prq, bm, br,
+                                                   ts.flush_seq)
+            meta.update(carried_messages=carried_m,
+                        carried_requests=carried_r,
+                        carryover_umq=len(ts.session.umq),
+                        carryover_prq=len(ts.session.prq),
+                        carryover_shed_age=shed_age,
+                        carryover_shed_cap=shed_cap)
+            if obs is not None:
+                obs.gauge(f"serve.{tenant}.carryover", ts.session.depth)
+                if shed_age or shed_cap:
+                    obs.count("serve.carryover_shed",
+                              float(shed_age + shed_cap))
         result = FlushResult(
             tenant=tenant, shard_id=self.shard_id, flush_seq=ts.flush_seq,
             flush_vt=now_vt, outcome=outcome,
             covered_seqs=tuple(r.seq for r in covered),
             latencies_vt=latencies,
             engine_label=ts.relaxations.label(),
-            meta={"n_messages": len(messages), "n_requests": len(requests)})
+            meta=meta)
         ts.flush_seq += 1
         ts.matched_total += outcome.matched_count
         ts.results.append(result)

@@ -1,0 +1,546 @@
+"""Shard supervision: checkpoints, crash recovery, live migration.
+
+The serve layer's fault model so far ended at structured shedding: a
+shard never fell over, so nothing admitted could be lost.  This module
+adds the failure half of the story, in the same deterministic virtual
+time as everything else:
+
+* **Checkpoints.**  The supervisor snapshots the whole service
+  (:func:`~repro.serve.state.snapshot_service`) every
+  ``checkpoint_every`` flushes and keeps an **admission journal** -- a
+  write-ahead record of every request accepted since the checkpoint,
+  with its original seq and arrival time.
+
+* **Crash recovery.**  A :class:`~repro.serve.messages.ShardCrash`
+  (chaos-injected mid-flush, *after* the accumulator drained -- the
+  worst case) is caught here.  Recovery is shard-granular: only the
+  crashed shard rolls back to the checkpoint
+  (:func:`~repro.serve.state.restore_shard`); the clock, event loop,
+  other shards, and the flush ledger keep their live state.  The
+  restored accumulators are then **reconciled** against the surviving
+  ledger (requests a post-checkpoint flush already answered are
+  discarded -- exactly-once), the journal is replayed to re-admit
+  everything accepted since the checkpoint, and deadline timers are
+  re-armed past any stale epochs.  Net effect: **zero admitted requests
+  lost**, every admitted seq covered by exactly one flush (pinned by
+  ``tests/serve/test_supervisor.py`` and the chaos suite).
+
+* **Live migration.**  ``drain -> snapshot -> catchup -> cutover``: the
+  source shard first gates the tenant (submissions get a deterministic
+  ``migrating`` ticket whose retry hint *is* the cutover time -- never
+  an ``overloaded`` drop), flushes its pending batch, and serializes
+  the tenant through the snapshot codec; at the cutover virtual time
+  the tenant is installed on the destination shard, any requests that
+  reappeared at the source meanwhile (crash recovery can refill the
+  accumulator) are moved across as catch-up, and placement flips.  A
+  :class:`RebalancePolicy` drives migrations automatically off the
+  per-tenant :class:`~repro.serve.profiler.StreamProfiler` windows --
+  the hot-spot detector.
+
+Wall-clock timing appears exactly once, in
+:attr:`RecoveryReport.wall_seconds` -- a *measurement* of how long
+recovery took, never an input to any decision.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.envelope import EnvelopeBatch
+from .loadgen import ServeWorkload
+from .messages import ServeRequest, ShardCrash, Ticket
+from .service import MatchingService
+from .state import (dumps, export_tenant, install_tenant, loads,
+                    restore_shard, snapshot_service)
+
+__all__ = ["JournalEntry", "RecoveryReport", "MigrationPlan",
+           "RebalancePolicy", "ShardSupervisor", "run_supervised"]
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One admitted request, as written ahead to the journal."""
+
+    tenant: str
+    seq: int
+    arrival_vt: float
+    messages: EnvelopeBatch
+    requests: EnvelopeBatch
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one crash recovery did."""
+
+    shard_id: int
+    tenant: str                    # tenant whose flush the crash hit
+    crash_vt: float
+    checkpoint_vt: float           # snapshot the shard rolled back to
+    tenants: tuple[str, ...]       # everything restored on the shard
+    replayed_requests: int         # journal entries re-admitted
+    reconciled_envelopes: int      # checkpoint envelopes already answered
+    wall_seconds: float            # measurement-only recovery cost
+
+
+@dataclass
+class MigrationPlan:
+    """One live tenant migration, begin to cutover."""
+
+    tenant: str
+    from_shard: int
+    to_shard: int
+    started_vt: float
+    cutover_vt: float
+    state_bytes: bytes = b""
+    catchup_requests: int = 0
+    completed_vt: float | None = None
+
+
+@dataclass(frozen=True)
+class RebalancePolicy:
+    """When the supervisor migrates a tenant off a hot shard.
+
+    A shard is *hot* when its tenants carry more than ``hot_fraction``
+    of the windowed message volume (summed per-tenant profiler
+    windows).  The hottest tenant of the hot shard moves to the
+    least-loaded shard -- unless it is the shard's only tenant, which
+    would just relocate the hotspot.
+    """
+
+    hot_fraction: float = 0.6
+    min_flushes: int = 8           # observations before judging
+    cooldown_flushes: int = 16     # flushes between migrations
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hot_fraction < 1.0:
+            raise ValueError("hot_fraction must be in (0, 1)")
+
+
+class ShardSupervisor:
+    """Checkpointing, crash recovery, and migration for one service.
+
+    Wrap a :class:`~repro.serve.service.MatchingService` and drive it
+    through :meth:`submit` / :meth:`advance_to` / :meth:`drain` instead
+    of the service's own entry points; the supervisor journals
+    admissions, takes periodic checkpoints, catches
+    :class:`~repro.serve.messages.ShardCrash`, and fires migration
+    cutovers at their scheduled virtual times.
+
+    Parameters
+    ----------
+    svc:
+        The service to supervise.  An initial checkpoint is taken
+        immediately (recovery is always possible).
+    checkpoint_every:
+        Snapshot cadence, in completed flushes.
+    rebalance:
+        Optional hot-spot policy; when set, :meth:`advance_to` checks
+        for imbalance after firing timers and begins migrations.
+    cutover_delay_vt:
+        Virtual seconds between a migration's begin and its cutover
+        (default: twice the batch delay -- one full drain window).
+    obs:
+        Optional observability handle (checkpoint/recovery/migration
+        counters and instants).
+    """
+
+    def __init__(self, svc: MatchingService, checkpoint_every: int = 4,
+                 rebalance: RebalancePolicy | None = None,
+                 cutover_delay_vt: float | None = None, obs=None) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.svc = svc
+        self.checkpoint_every = checkpoint_every
+        self.rebalance = rebalance
+        self.cutover_delay_vt = (
+            cutover_delay_vt if cutover_delay_vt is not None
+            else 2.0 * svc.shards[0].batching.max_delay_vt)
+        self._obs = obs
+        self.journal: list[JournalEntry] = []
+        self.recoveries: list[RecoveryReport] = []
+        self.migrations: list[MigrationPlan] = []
+        self._pending_migrations: list[MigrationPlan] = []
+        self.checkpoints = 0
+        self.checkpoint_bytes: bytes = b""
+        self.checkpoint_vt = svc.now
+        self._flushes_at_checkpoint = 0
+        self._last_migration_flush = -(10 ** 9)
+        self.checkpoint()
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Snapshot the service now; returns the snapshot size in bytes.
+
+        The journal is truncated: everything it recorded is inside the
+        new snapshot."""
+        self.checkpoint_bytes = snapshot_service(self.svc)
+        self.checkpoint_vt = self.svc.now
+        self._flushes_at_checkpoint = len(self.svc.results)
+        self.journal.clear()
+        self.checkpoints += 1
+        if self._obs is not None:
+            self._obs.count("serve.checkpoints")
+            self._obs.gauge("serve.checkpoint_bytes",
+                            len(self.checkpoint_bytes))
+        return len(self.checkpoint_bytes)
+
+    def maybe_checkpoint(self) -> bool:
+        """Checkpoint if the cadence is due (deferred mid-migration --
+        a snapshot must not capture a half-moved tenant)."""
+        if self._pending_migrations:
+            return False
+        if (len(self.svc.results) - self._flushes_at_checkpoint
+                < self.checkpoint_every):
+            return False
+        self.checkpoint()
+        return True
+
+    # -- chaos arming -------------------------------------------------------------
+
+    def arm_kill(self, shard_id: int, after_flushes: int = 1) -> None:
+        """Arm a chaos kill: the shard raises
+        :class:`~repro.serve.messages.ShardCrash` on its
+        ``after_flushes``-th non-empty flush from now."""
+        if after_flushes < 1:
+            raise ValueError("after_flushes must be >= 1")
+        shard = self.svc.shards[shard_id]
+        shard.fail_at_flush = shard.flushes_done + after_flushes
+
+    # -- driving ------------------------------------------------------------------
+
+    def submit(self, tenant: str, messages, requests,
+               at_vt: float | None = None) -> Ticket:
+        """Supervised submission: journal accepted work, recover crashes."""
+        svc = self.svc
+        try:
+            ticket = svc.submit(tenant, messages, requests, at_vt=at_vt)
+        except ShardCrash as crash:
+            self._recover(crash)
+            # The in-flight request never got a durable ticket; if it
+            # was admitted pre-crash its envelopes died with the drained
+            # batch (it is not in the journal), so re-driving it now is
+            # the exactly-once outcome either way.
+            ticket = svc.submit(tenant, messages, requests)
+        if ticket.accepted:
+            self.journal.append(JournalEntry(
+                tenant=tenant, seq=ticket.seq, arrival_vt=svc.now,
+                messages=messages, requests=requests))
+        self._fire_cutovers(svc.now)
+        self.maybe_checkpoint()
+        return ticket
+
+    def advance_to(self, vt: float) -> list:
+        """Supervised timer firing: recover crashes, fire due cutovers in
+        virtual-time order, then rebalance and maybe checkpoint."""
+        svc = self.svc
+        fired: list = []
+        while True:
+            self._fire_cutovers(svc.now)
+            due = [p for p in self._pending_migrations
+                   if p.cutover_vt <= vt]
+            target = max(svc.now,
+                         min((p.cutover_vt for p in due), default=vt))
+            try:
+                fired.extend(svc.advance_to(target))
+            except ShardCrash as crash:
+                self._recover(crash)
+                continue
+            if not self._fire_cutovers(target):
+                break
+        if self.rebalance is not None:
+            self.maybe_rebalance()
+        self.maybe_checkpoint()
+        return fired
+
+    def drain(self) -> list:
+        """Supervised final drain (crash-safe)."""
+        try:
+            return self.svc.drain()
+        except ShardCrash as crash:
+            self._recover(crash)
+            return self.svc.drain()
+
+    # -- crash recovery -----------------------------------------------------------
+
+    def _recover(self, crash: ShardCrash) -> RecoveryReport:
+        t_wall = time.perf_counter()
+        svc = self.svc
+        state = loads(self.checkpoint_bytes)
+        tenants = restore_shard(svc, crash.shard_id, state)
+        shard = svc.shards[crash.shard_id]
+        # Reconcile: the flush ledger survived the crash, so anything a
+        # post-checkpoint flush already answered must not re-match.
+        covered = {seq for r in svc.results for seq in r.covered_seqs}
+        reconciled = 0
+        for ts in shard.tenants.values():
+            reconciled += ts.accumulator.discard_covered(covered)
+        # Journal catch-up: re-admit everything accepted since the
+        # checkpoint (original seq and arrival time; admission already
+        # passed once, so the bounded inbox is not re-consulted).
+        replayed = 0
+        for entry in self.journal:
+            if svc._placement.get(entry.tenant) != crash.shard_id:
+                continue
+            if entry.seq in covered:
+                continue
+            shard.tenants[entry.tenant].accumulator.admit(ServeRequest(
+                tenant=entry.tenant, seq=entry.seq,
+                arrival_vt=entry.arrival_vt,
+                messages=entry.messages, requests=entry.requests))
+            replayed += 1
+        # Re-arm deadline timers past any stale epochs still in the loop.
+        now = svc.loop.now
+        for name, ts in shard.tenants.items():
+            acc = ts.accumulator
+            self._bump_epoch(name, acc)
+            if len(acc):
+                svc.loop.schedule(max(acc.deadline_vt, now), "flush",
+                                  (name, acc.epoch))
+        report = RecoveryReport(
+            shard_id=crash.shard_id, tenant=crash.tenant,
+            crash_vt=crash.vt, checkpoint_vt=self.checkpoint_vt,
+            tenants=tuple(tenants), replayed_requests=replayed,
+            reconciled_envelopes=reconciled,
+            wall_seconds=time.perf_counter() - t_wall)
+        self.recoveries.append(report)
+        if self._obs is not None:
+            self._obs.count("serve.recoveries")
+            self._obs.instant("serve.recovery", shard=crash.shard_id,
+                              tenant=crash.tenant,
+                              replayed=replayed,
+                              reconciled=reconciled)
+        return report
+
+    def _bump_epoch(self, tenant: str, acc) -> None:
+        """Advance an accumulator's epoch past every loop timer armed for
+        ``tenant`` so stale deadline timers are skipped exactly."""
+        stale = [ev.payload[1] for ev in self.svc.loop._heap
+                 if ev.kind == "flush" and ev.payload[0] == tenant]
+        if stale:
+            acc.epoch = max(acc.epoch, max(stale) + 1)
+
+    # -- live migration -----------------------------------------------------------
+
+    def begin_migration(self, tenant: str, to_shard: int,
+                        cutover_delay_vt: float | None = None,
+                        ) -> MigrationPlan:
+        """Start migrating ``tenant`` to ``to_shard``: gate, drain,
+        snapshot.  The cutover fires at its scheduled virtual time from
+        :meth:`advance_to` / :meth:`submit`."""
+        svc = self.svc
+        from_shard = svc._placement[tenant]
+        if to_shard == from_shard:
+            raise ValueError(f"tenant {tenant!r} is already on shard "
+                             f"{to_shard}")
+        if not 0 <= to_shard < len(svc.shards):
+            raise ValueError(f"no shard {to_shard}")
+        shard = svc.shards[from_shard]
+        if tenant in shard.migrating:
+            raise ValueError(f"tenant {tenant!r} is already migrating")
+        now = svc.now
+        delay = (cutover_delay_vt if cutover_delay_vt is not None
+                 else self.cutover_delay_vt)
+        cutover_vt = now + delay
+        # 1. gate: from here submissions answer `migrating` with the
+        #    cutover time as the retry hint.
+        shard.migrating[tenant] = cutover_vt
+        # 2. drain: flush the pending batch so nothing is in flight.
+        try:
+            result = shard.flush_tenant(tenant, now)
+        except ShardCrash as crash:
+            self._recover(crash)
+            result = svc.shards[from_shard].flush_tenant(tenant, now)
+        if result is not None:
+            svc.results.append(result)
+        # 3. snapshot: serialize the drained tenant through the codec --
+        #    the bytes ARE the cross-shard transfer.
+        blob = dumps(export_tenant(svc.shards[from_shard].tenants[tenant]))
+        plan = MigrationPlan(tenant=tenant, from_shard=from_shard,
+                             to_shard=to_shard, started_vt=now,
+                             cutover_vt=cutover_vt, state_bytes=blob)
+        self._pending_migrations.append(plan)
+        self._last_migration_flush = len(svc.results)
+        if self._obs is not None:
+            self._obs.instant("serve.migration.begin", tenant=tenant,
+                              from_shard=from_shard, to_shard=to_shard,
+                              cutover_vt=cutover_vt)
+        return plan
+
+    def _fire_cutovers(self, now_vt: float) -> int:
+        """Complete every pending migration whose cutover is due."""
+        fired = 0
+        for plan in sorted(self._pending_migrations,
+                           key=lambda p: p.cutover_vt):
+            if plan.cutover_vt > now_vt:
+                continue
+            self._cutover(plan)
+            fired += 1
+        return fired
+
+    def _cutover(self, plan: MigrationPlan) -> None:
+        svc = self.svc
+        src = svc.shards[plan.from_shard]
+        dst = svc.shards[plan.to_shard]
+        ts = install_tenant(dst, loads(plan.state_bytes))
+        # 4. catch-up: anything that reappeared in the source
+        #    accumulator since the drain snapshot (crash recovery can
+        #    refill it from the journal) moves across now.
+        src_ts = src.tenants[plan.tenant]
+        moved = 0
+        for request in list(src_ts.accumulator.export_state()["pending"]):
+            ts.accumulator.admit(request)
+            moved += 1
+        plan.catchup_requests = moved
+        del src.tenants[plan.tenant]
+        del src.migrating[plan.tenant]
+        svc._placement[plan.tenant] = plan.to_shard
+        # deadline timers armed on the source are stale; re-arm on the
+        # destination past them.
+        self._bump_epoch(plan.tenant, ts.accumulator)
+        now = svc.loop.now
+        if len(ts.accumulator):
+            svc.loop.schedule(max(ts.accumulator.deadline_vt, now),
+                              "flush", (plan.tenant, ts.accumulator.epoch))
+        plan.completed_vt = now
+        self._pending_migrations.remove(plan)
+        self.migrations.append(plan)
+        if self._obs is not None:
+            self._obs.count("serve.migrations")
+            self._obs.instant("serve.migration.cutover",
+                              tenant=plan.tenant,
+                              to_shard=plan.to_shard, catchup=moved)
+
+    # -- hot-spot rebalancing -----------------------------------------------------
+
+    def shard_loads(self) -> list[int]:
+        """Windowed message volume per shard (profiler-derived)."""
+        loads_ = [0] * len(self.svc.shards)
+        for shard in self.svc.shards:
+            for ts in shard.tenants.values():
+                loads_[shard.shard_id] += ts.profiler.profile().n_messages
+        return loads_
+
+    def maybe_rebalance(self) -> MigrationPlan | None:
+        """Begin one migration if the rebalance policy sees a hot spot."""
+        pol = self.rebalance
+        svc = self.svc
+        if pol is None or self._pending_migrations:
+            return None
+        if len(svc.shards) < 2:
+            return None
+        if len(svc.results) < pol.min_flushes:
+            return None
+        if (len(svc.results) - self._last_migration_flush
+                < pol.cooldown_flushes):
+            return None
+        loads_ = self.shard_loads()
+        total = sum(loads_)
+        if total == 0:
+            return None
+        hot = int(np.argmax(loads_))
+        if loads_[hot] <= pol.hot_fraction * total:
+            return None
+        hot_shard = svc.shards[hot]
+        if len(hot_shard.tenants) < 2:
+            return None   # moving the only tenant just moves the hotspot
+        cold = int(np.argmin(loads_))
+        if cold == hot:
+            return None
+        mover = max(hot_shard.tenants,
+                    key=lambda n: (hot_shard.tenants[n]
+                                   .profiler.profile().n_messages, n))
+        return self.begin_migration(mover, cold)
+
+
+# ---------------------------------------------------------------------------
+# Supervised open-loop harness
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SupervisedRun:
+    """Outcome of :func:`run_supervised`."""
+
+    supervisor: ShardSupervisor
+    wall_seconds: float
+    transport_dropped: int = 0
+    retries: int = 0
+    gave_up: int = 0
+    tickets: list[Ticket] = field(default_factory=list)
+
+
+def run_supervised(workload: ServeWorkload, *,
+                   supervisor: ShardSupervisor | None = None,
+                   svc: MatchingService | None = None,
+                   n_shards: int = 2, seed: int = 0,
+                   checkpoint_every: int = 4,
+                   rebalance: RebalancePolicy | None = None,
+                   kill_shard: int | None = None,
+                   kill_after_flushes: int = 2,
+                   drop_fraction: float = 0.0, drop_seed: int = 1,
+                   max_retries: int = 16, obs=None) -> SupervisedRun:
+    """Drive a workload through a supervisor with chaos knobs.
+
+    ``drop_fraction`` simulates lossy transport: each arrival is dropped
+    before submission with that probability, from a **separate** seeded
+    generator (``drop_seed``) so transport chaos never perturbs the
+    service's own random stream.  ``retryable``/``migrating`` tickets
+    are honoured client-side: the request re-enters the arrival queue at
+    its hinted virtual time, up to ``max_retries`` times.
+    ``kill_shard`` arms one chaos kill after ``kill_after_flushes``
+    non-empty flushes.
+    """
+    if not 0.0 <= drop_fraction < 1.0:
+        raise ValueError("drop_fraction must be in [0, 1)")
+    if svc is None and supervisor is not None:
+        svc = supervisor.svc
+    if svc is None:
+        svc = MatchingService(n_shards=n_shards, seed=seed, obs=obs)
+    if supervisor is None:
+        for spec in workload.tenants:
+            svc.register(spec)
+        supervisor = ShardSupervisor(svc, checkpoint_every=checkpoint_every,
+                                     rebalance=rebalance, obs=obs)
+    if kill_shard is not None:
+        supervisor.arm_kill(kill_shard, after_flushes=kill_after_flushes)
+    drop_rng = np.random.default_rng(drop_seed)
+    # (vt, order, attempt, arrival) -- a client-side retry re-enters at
+    # its hinted time with a fresh order key (deterministic tie-break).
+    queue: list[tuple[float, int, int, object]] = []
+    order = 0
+    for arrival in workload.arrivals:
+        queue.append((arrival.vt, order, 0, arrival))
+        order += 1
+    heapq.heapify(queue)
+    run = SupervisedRun(supervisor=supervisor, wall_seconds=0.0)
+    t0 = time.perf_counter()
+    while queue:
+        vt, _, attempt, arrival = heapq.heappop(queue)
+        if drop_fraction and attempt == 0 \
+                and drop_rng.random() < drop_fraction:
+            run.transport_dropped += 1
+            continue
+        ticket = supervisor.submit(arrival.tenant, arrival.messages,
+                                   arrival.requests, at_vt=vt)
+        run.tickets.append(ticket)
+        if ticket.retry_hinted:
+            if attempt + 1 > max_retries:
+                run.gave_up += 1
+                continue
+            run.retries += 1
+            retry_vt = (ticket.retry_after_vt
+                        if ticket.retry_after_vt is not None
+                        else svc.now + svc.shards[0].batching.max_delay_vt)
+            retry_vt = max(retry_vt, svc.now)
+            heapq.heappush(queue, (retry_vt, order, attempt + 1, arrival))
+            order += 1
+    if workload.arrivals:
+        supervisor.advance_to(svc.now
+                              + 2.0 * svc.shards[0].batching.max_delay_vt)
+    supervisor.drain()
+    run.wall_seconds = time.perf_counter() - t0
+    return run

@@ -1,0 +1,164 @@
+"""Serve-layer chaos: kill/recover/migrate under lossy transport.
+
+Runs outside the tier-1 gate (marked ``chaos``; deselected by default
+via ``addopts``).  CI runs it with three fixed seeds; locally:
+
+    PYTHONPATH=src python -m pytest tests/chaos -m chaos -q
+
+Seeds come from ``CHAOS_SEEDS`` (comma-separated), matching the MPI
+chaos suite's matrix.
+
+The invariants are the acceptance criteria of the serve fault-tolerance
+subsystem: under 10% transport drop, a chaos-killed shard recovers from
+checkpoint + journal with **zero admitted requests lost and none matched
+twice**; a live migration under the same conditions sheds only
+deterministic ``migrating``-hinted retries (never ``overloaded``
+drops); and the whole supervised run -- kills, recoveries, migrations,
+retries -- replays bit-identically for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.serve import (MIGRATING, BatchPolicy, MatchingService,
+                         RebalancePolicy, ShardSupervisor, merge_workloads,
+                         run_supervised, workload_from_app)
+
+pytestmark = pytest.mark.chaos
+
+SEEDS = [int(s) for s in os.environ.get("CHAOS_SEEDS", "11,23,47").split(",")]
+
+DROP_FRACTION = 0.1
+
+
+def chaos_workload(seed: int):
+    parts = [workload_from_app("df_minife", rate_rps=4000.0, n_ranks=8,
+                               steps=3, chunk_envelopes=64, seed=seed,
+                               session=True),
+             workload_from_app("df_amg", rate_rps=4000.0, n_ranks=8,
+                               steps=3, chunk_envelopes=64, seed=seed + 1,
+                               ordering_required=False, session=True)]
+    return merge_workloads("chaos", parts)
+
+
+def chaos_service(workload, seed: int):
+    svc = MatchingService(n_shards=2, seed=seed,
+                          batching=BatchPolicy(max_envelopes=64,
+                                               max_delay_vt=0.001))
+    for spec in workload.tenants:
+        svc.register(spec)
+    return svc
+
+
+def busiest_shard(svc, workload) -> int:
+    counts: dict[str, int] = {}
+    for arrival in workload.arrivals:
+        counts[arrival.tenant] = counts.get(arrival.tenant, 0) + 1
+    return svc._placement[max(counts, key=lambda n: (counts[n], n))]
+
+
+def assert_exactly_once(svc) -> None:
+    accepted = {t.seq for t in svc.tickets if t.accepted}
+    covered = [s for r in svc.results for s in r.covered_seqs]
+    assert len(covered) == len(set(covered)), "a request matched twice"
+    assert set(covered) == accepted, "admitted requests lost"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_kill_recover_under_transport_drop(seed):
+    """A chaos-killed shard under 10% drop recovers with zero loss."""
+    workload = chaos_workload(seed)
+    svc = chaos_service(workload, seed)
+    sup = ShardSupervisor(svc, checkpoint_every=2)
+    run = run_supervised(workload, supervisor=sup,
+                         kill_shard=busiest_shard(svc, workload),
+                         kill_after_flushes=2,
+                         drop_fraction=DROP_FRACTION, drop_seed=seed + 100)
+    assert sup.recoveries, "the armed kill never fired"
+    assert run.transport_dropped >= 0    # drops are seed-dependent
+    assert_exactly_once(svc)
+    for report in sup.recoveries:
+        assert report.wall_seconds > 0.0
+        assert report.crash_vt >= report.checkpoint_vt
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_migrate_under_transport_drop(seed):
+    """A live migration under drop sheds only ``migrating``-hinted
+    retries; carried session state survives the move."""
+    workload = chaos_workload(seed)
+    svc = chaos_service(workload, seed)
+    sup = ShardSupervisor(svc, checkpoint_every=4)
+    drop_rng = np.random.default_rng(seed + 200)
+    mover = max(workload.tenants,
+                key=lambda s: sum(a.tenant == s.name
+                                  for a in workload.arrivals)).name
+    src = svc._placement[mover]
+    dst = (src + 1) % 2
+    trigger = len(workload.arrivals) // 3
+    plan = None
+    deferred = []
+    for i, arrival in enumerate(workload.arrivals):
+        if i == trigger:
+            plan = sup.begin_migration(mover, dst)
+        if drop_rng.random() < DROP_FRACTION:
+            continue                                  # lossy transport
+        ticket = sup.submit(arrival.tenant, arrival.messages,
+                            arrival.requests, at_vt=arrival.vt)
+        if ticket.status == MIGRATING:
+            assert arrival.tenant == mover
+            assert ticket.retry_after_vt == plan.cutover_vt
+            deferred.append(arrival)
+        else:
+            assert ticket.status != "overloaded"
+    assert plan is not None
+    sup.advance_to(plan.cutover_vt + 0.01)
+    assert svc._placement[mover] == dst
+    for arrival in deferred:                          # hinted retries land
+        assert sup.submit(arrival.tenant, arrival.messages,
+                          arrival.requests).accepted
+    sup.drain()
+    assert_exactly_once(svc)
+    assert svc.shed_counts["overloaded"] == 0
+    assert sup.migrations == [plan]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_run_replays_bit_identically(seed):
+    """Kill + rebalance + drop, run twice with the same seed: every
+    ticket, flush, and recovery must be identical -- chaos is inside
+    the deterministic replay envelope."""
+    def fingerprint():
+        workload = chaos_workload(seed)
+        svc = chaos_service(workload, seed)
+        sup = ShardSupervisor(
+            svc, checkpoint_every=2,
+            rebalance=RebalancePolicy(hot_fraction=0.5, min_flushes=2,
+                                      cooldown_flushes=2))
+        run = run_supervised(workload, supervisor=sup,
+                             kill_shard=busiest_shard(svc, workload),
+                             kill_after_flushes=2,
+                             drop_fraction=DROP_FRACTION,
+                             drop_seed=seed + 300)
+        assert_exactly_once(svc)
+        return {
+            "tickets": [(t.status, t.seq, t.retry_after_vt)
+                        for t in svc.tickets],
+            "results": [(r.tenant, r.flush_seq, r.flush_vt, r.covered_seqs,
+                         r.outcome.request_to_message.tolist())
+                        for r in svc.results],
+            "recoveries": [(r.shard_id, r.tenant, r.crash_vt,
+                            r.replayed_requests, r.reconciled_envelopes)
+                           for r in sup.recoveries],
+            "migrations": [(p.tenant, p.from_shard, p.to_shard,
+                            p.cutover_vt) for p in sup.migrations],
+            "dropped": run.transport_dropped,
+            "retries": run.retries,
+        }
+    first, second = fingerprint(), fingerprint()
+    assert first == second
+    assert first["recoveries"], "the armed kill never fired"

@@ -93,7 +93,8 @@ class TestShedding:
         assert t0.accepted
         assert t1.status == "retryable" and t1.retry_after_vt is not None
         assert t2.status == "overloaded"
-        assert svc.shed_counts == {"retryable": 1, "overloaded": 1}
+        assert svc.shed_counts == {"retryable": 1, "overloaded": 1,
+                                   "migrating": 0}
 
     def test_shed_requests_are_not_matched(self):
         svc = self._overloaded_service()

@@ -1,0 +1,260 @@
+"""ShardSupervisor: checkpoints, chaos-kill crash recovery with
+exactly-once accounting, live migration, and hot-spot rebalancing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (MIGRATING, BatchPolicy, MatchingService,
+                         RebalancePolicy, ShardSupervisor, TenantSpec,
+                         merge_workloads, run_supervised, workload_from_app)
+
+
+def _workload(seed: int = 3, session: bool = True):
+    parts = [workload_from_app("df_minife", rate_rps=4000.0, n_ranks=8,
+                               steps=3, chunk_envelopes=64, seed=seed,
+                               session=session),
+             workload_from_app("df_amg", rate_rps=4000.0, n_ranks=8,
+                               steps=3, chunk_envelopes=64, seed=seed + 1,
+                               ordering_required=False, session=session)]
+    return merge_workloads("supervised", parts)
+
+
+def _service(workload, seed: int = 5, n_shards: int = 2):
+    # small size watermark: every arrival chunk triggers a synchronous
+    # flush, so kill/checkpoint cadences have flushes to count.
+    svc = MatchingService(n_shards=n_shards, seed=seed,
+                          batching=BatchPolicy(max_envelopes=64,
+                                               max_delay_vt=0.001))
+    for spec in workload.tenants:
+        svc.register(spec)
+    return svc
+
+
+def _busiest_shard(svc, workload) -> int:
+    """Shard hosting the tenant with the most arrivals -- the one
+    guaranteed to flush often enough for an armed kill to fire."""
+    counts: dict[str, int] = {}
+    for arrival in workload.arrivals:
+        counts[arrival.tenant] = counts.get(arrival.tenant, 0) + 1
+    busiest = max(counts, key=lambda name: (counts[name], name))
+    return svc._placement[busiest]
+
+
+def _exactly_once(svc) -> None:
+    accepted = {t.seq for t in svc.tickets if t.accepted}
+    covered = [s for r in svc.results for s in r.covered_seqs]
+    assert len(covered) == len(set(covered)), "a request matched twice"
+    assert set(covered) == accepted, "admitted requests lost"
+
+
+class TestCheckpoints:
+    def test_initial_checkpoint_and_cadence(self):
+        workload = _workload()
+        svc = _service(workload)
+        sup = ShardSupervisor(svc, checkpoint_every=2)
+        assert sup.checkpoints == 1              # taken at construction
+        assert sup.checkpoint_bytes
+        for arrival in workload.arrivals:
+            sup.submit(arrival.tenant, arrival.messages, arrival.requests,
+                       at_vt=arrival.vt)
+        sup.drain()
+        assert sup.checkpoints > 1
+        # journal only holds admissions after the *latest* checkpoint
+        assert len(sup.journal) <= len(svc.tickets)
+
+    def test_bad_cadence_rejected(self):
+        svc = _service(_workload())
+        with pytest.raises(ValueError):
+            ShardSupervisor(svc, checkpoint_every=0)
+
+
+class TestCrashRecovery:
+    def test_kill_recover_loses_nothing(self):
+        """The acceptance bar: a shard killed mid-flush (after its
+        accumulator drained -- the worst case) recovers from checkpoint
+        + journal with zero admitted requests lost and none matched
+        twice."""
+        workload = _workload()
+        svc = _service(workload)
+        sup = ShardSupervisor(svc, checkpoint_every=2)
+        victim = _busiest_shard(svc, workload)
+        sup.arm_kill(victim, after_flushes=2)
+        run = run_supervised(workload, supervisor=sup)
+        assert len(sup.recoveries) == 1
+        report = sup.recoveries[0]
+        assert report.shard_id == victim
+        assert report.tenants                     # something was restored
+        assert report.crash_vt >= report.checkpoint_vt
+        assert report.wall_seconds > 0.0
+        _exactly_once(svc)
+        assert run.wall_seconds > 0.0
+
+    def test_recovery_replays_only_the_victims_journal(self):
+        """Requests journaled for tenants on *other* shards must not be
+        re-admitted into the recovered shard."""
+        workload = _workload()
+        svc = _service(workload)
+        sup = ShardSupervisor(svc, checkpoint_every=100)  # journal grows
+        placements = {svc._placement[s.name] for s in workload.tenants}
+        victim = _busiest_shard(svc, workload)
+        sup.arm_kill(victim, after_flushes=1)
+        run_supervised(workload, supervisor=sup)
+        assert len(sup.recoveries) == 1
+        _exactly_once(svc)
+        if len(placements) > 1:
+            survivors = [s for s in svc.shards if s.shard_id != victim]
+            assert any(s.tenants for s in survivors)
+
+    def test_arm_kill_validates(self):
+        sup = ShardSupervisor(_service(_workload()))
+        with pytest.raises(ValueError):
+            sup.arm_kill(0, after_flushes=0)
+
+
+class TestMigration:
+    def test_migration_under_load_never_drops(self):
+        """During the gate window every submission for the moving tenant
+        gets a deterministic ``migrating`` ticket whose hint *is* the
+        cutover time -- never an ``overloaded`` drop -- and after the
+        cutover the tenant serves from the destination shard."""
+        workload = _workload()
+        svc = _service(workload)
+        sup = ShardSupervisor(svc, checkpoint_every=4)
+        mover = workload.tenants[0].name
+        src = svc._placement[mover]
+        dst = (src + 1) % len(svc.shards)
+        trigger = len(workload.arrivals) // 3
+        plan = None
+        deferred = []
+        for i, arrival in enumerate(workload.arrivals):
+            if i == trigger:
+                plan = sup.begin_migration(mover, dst)
+            ticket = sup.submit(arrival.tenant, arrival.messages,
+                                arrival.requests, at_vt=arrival.vt)
+            if ticket.status == MIGRATING:
+                assert arrival.tenant == mover
+                assert ticket.retry_after_vt == plan.cutover_vt
+                deferred.append(arrival)
+            else:
+                assert ticket.status != "overloaded"
+        assert plan is not None
+        sup.advance_to(plan.cutover_vt + 1.0)     # fire the cutover
+        assert plan.completed_vt is not None
+        assert svc._placement[mover] == dst
+        assert mover in svc.shards[dst].tenants
+        assert mover not in svc.shards[src].tenants
+        for arrival in deferred:                  # retries now land
+            assert sup.submit(arrival.tenant, arrival.messages,
+                              arrival.requests).accepted
+        sup.drain()
+        _exactly_once(svc)
+        assert svc.shed_counts["overloaded"] == 0
+        assert svc.shed_counts["migrating"] == len(deferred)
+        assert sup.migrations == [plan]
+
+    def test_migration_preserves_session_carryover(self):
+        """A session tenant's carried UMQ/PRQ moves with it: envelopes
+        unmatched before the migration still match after the cutover."""
+        from repro.core.envelope import EnvelopeBatch
+        from repro.serve import BatchPolicy
+
+        svc = MatchingService(
+            n_shards=2, batching=BatchPolicy(max_envelopes=4,
+                                             max_delay_vt=1.0))
+        svc.register(TenantSpec(name="t", autotune=False, session=True))
+        sup = ShardSupervisor(svc)
+        src = svc._placement["t"]
+        msgs = EnvelopeBatch(src=[0, 1, 2, 3], tag=[7, 7, 7, 7])
+        sup.submit("t", msgs, EnvelopeBatch.empty())   # flush: 4 unmatched
+        assert svc.shards[src].tenants["t"].session.depth == 4
+        plan = sup.begin_migration("t", (src + 1) % 2)
+        sup.advance_to(plan.cutover_vt + 1.0)
+        dst_ts = svc.shards[plan.to_shard].tenants["t"]
+        assert dst_ts.session.depth == 4               # moved with it
+        sup.submit("t", EnvelopeBatch.empty(), msgs)   # matching requests
+        sup.drain()
+        assert svc.results[-1].outcome.matched_count == 4
+
+    def test_begin_migration_validates(self):
+        svc = _service(_workload())
+        sup = ShardSupervisor(svc)
+        mover = next(iter(svc._placement))
+        here = svc._placement[mover]
+        with pytest.raises(ValueError):
+            sup.begin_migration(mover, here)
+        with pytest.raises(ValueError):
+            sup.begin_migration(mover, 99)
+
+
+class TestRebalance:
+    def test_hot_shard_sheds_its_hottest_tenant(self):
+        """Two tenants forced onto one shard make it carry 100% of the
+        windowed volume; the rebalancer must move one to the idle
+        shard."""
+        workload = _workload()
+        svc = _service(workload)
+        # co-locate every tenant on shard 0 to manufacture a hot spot
+        for spec in workload.tenants:
+            src = svc._placement[spec.name]
+            if src != 0:
+                ts = svc.shards[src].tenants.pop(spec.name)
+                svc.shards[0].tenants[spec.name] = ts
+                svc._placement[spec.name] = 0
+        sup = ShardSupervisor(
+            svc, checkpoint_every=4,
+            rebalance=RebalancePolicy(hot_fraction=0.5, min_flushes=2,
+                                      cooldown_flushes=2))
+        delay = svc.shards[0].batching.max_delay_vt
+        for arrival in workload.arrivals:
+            sup.submit(arrival.tenant, arrival.messages, arrival.requests,
+                       at_vt=arrival.vt)
+        # ticks: the first triggers the rebalance (begin_migration), a
+        # later one fires the scheduled cutover
+        for _ in range(4):
+            sup.advance_to(svc.now + 2.0 * delay)
+        sup.drain()
+        assert sup.migrations, "hot spot was never rebalanced"
+        assert len(set(svc._placement.values())) > 1
+        _exactly_once(svc)
+
+    def test_policy_validates(self):
+        with pytest.raises(ValueError):
+            RebalancePolicy(hot_fraction=1.5)
+
+    def test_single_tenant_shard_is_left_alone(self):
+        workload = workload_from_app("df_minife", rate_rps=4000.0,
+                                     n_ranks=8, steps=2,
+                                     chunk_envelopes=64, seed=3)
+        svc = _service(workload)
+        sup = ShardSupervisor(
+            svc, rebalance=RebalancePolicy(hot_fraction=0.5, min_flushes=1,
+                                           cooldown_flushes=1))
+        run_supervised(workload, supervisor=sup)
+        assert sup.migrations == []   # moving the hotspot helps nobody
+
+
+class TestRunSupervised:
+    def test_transport_drop_uses_a_separate_rng(self):
+        """Dropping arrivals must not perturb the service's own RNG:
+        the surviving arrivals' outcomes replay identically."""
+        workload = _workload()
+
+        def one(drop):
+            svc = _service(workload)
+            sup = ShardSupervisor(svc, checkpoint_every=4)
+            run = run_supervised(workload, supervisor=sup,
+                                 drop_fraction=drop, drop_seed=13)
+            _exactly_once(svc)
+            return run
+        lossless = one(0.0)
+        lossy_a, lossy_b = one(0.1), one(0.1)
+        assert lossless.transport_dropped == 0
+        assert lossy_a.transport_dropped > 0
+        fp = lambda r: [(t.status, t.seq, t.retry_after_vt)  # noqa: E731
+                        for t in r.supervisor.svc.tickets]
+        assert fp(lossy_a) == fp(lossy_b)
+
+    def test_rejects_bad_drop_fraction(self):
+        with pytest.raises(ValueError):
+            run_supervised(_workload(), drop_fraction=1.0)
