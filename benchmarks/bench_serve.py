@@ -272,17 +272,29 @@ def test_report_serve_perf():
 
 
 def gate_check(base_label: str = "baseline",
-               min_ratio: float = 0.6) -> None:
-    """Regression-gate the committed report's newest entry against a base.
+               min_ratio: float = 0.6,
+               entry_label: str | None = None) -> None:
+    """Regression-gate a committed report entry against a base.
 
     The serve analogue of :func:`repro.bench.regression.regression_failures`:
-    every workload in the latest ``BENCH_serve.json`` entry must sustain
-    at least ``min_ratio`` of the base entry's matches/s.  Exits nonzero
-    on any failure (the CI serve job runs this)."""
+    every workload in the gated ``BENCH_serve.json`` entry must sustain
+    at least ``min_ratio`` of the base entry's matches/s.  By default the
+    newest entry is gated; ``entry_label`` pins a specific one (the CI
+    serve job pins the in-process entry so cluster-sweep entries appended
+    later cannot make the gate vacuous -- their workload names do not
+    intersect the base).  Exits nonzero on any failure."""
     report = load_report(serve_report_path())
     if not report["entries"]:
         raise SystemExit("BENCH_serve.json has no entries to gate")
-    newest = report["entries"][-1]
+    if entry_label is None:
+        newest = report["entries"][-1]
+    else:
+        matches = [e for e in report["entries"]
+                   if e["label"] == entry_label]
+        if not matches:
+            raise SystemExit(f"BENCH_serve.json has no entry labeled "
+                             f"{entry_label!r} to gate")
+        newest = matches[-1]
     failures = serve_regression_failures(report, base_label,
                                          newest["label"],
                                          min_ratio=min_ratio)
@@ -312,6 +324,9 @@ def main(argv: list[str] | None = None) -> None:
                     help="no sweep: check the committed report's newest "
                          "entry against BASE_LABEL (default 'baseline') "
                          "and exit nonzero on regression")
+    ap.add_argument("--entry", default=None, metavar="LABEL",
+                    help="with --gate: gate the newest entry labeled "
+                         "LABEL instead of the report's newest entry")
     ap.add_argument("--label", default="dev",
                     help="entry label in BENCH_serve.json")
     ap.add_argument("--no-json", action="store_true",
@@ -342,8 +357,10 @@ def main(argv: list[str] | None = None) -> None:
     kill_at = 2 if args.kill_at is None else args.kill_at
 
     if args.gate is not None:
-        gate_check(base_label=args.gate)
+        gate_check(base_label=args.gate, entry_label=args.entry)
         return
+    if args.entry is not None:
+        ap.error("--entry requires --gate")
     if args.smoke:
         if args.recover:
             rec = recovery_smoke(seed=args.seed, kill_at=kill_at)

@@ -151,21 +151,29 @@ def _cmd_bench(args) -> int:
             print(f"{rec.matcher:12s} n={rec.n:<6d} {rec.seconds:.3f}s "
                   f"{rec.matches_per_second / 1e6:.2f} Mmatches/s")
         return 0
-    from .serve import (DEFAULT_BENCH_APPS, merge_workloads, run_workload,
-                        workload_from_app)
+    from .serve import (DEFAULT_BENCH_APPS, merge_workloads,
+                        run_cluster_workload, run_workload, workload_from_app)
     parts = [workload_from_app(app, n_ranks=8, steps=2, seed=args.seed,
                                ordering_required=ordering_required)
              for app, ordering_required in DEFAULT_BENCH_APPS]
+    procs = getattr(args, "procs", None)
     for workload in parts + [merge_workloads("mixed", parts)]:
-        service, wall = run_workload(workload, n_shards=2, seed=args.seed,
-                                     promote_after=2)
+        if procs:
+            service, wall = run_cluster_workload(
+                workload, n_workers=procs, seed=args.seed, promote_after=2,
+                start_method="fork")
+        else:
+            service, wall = run_workload(workload, n_shards=2, seed=args.seed,
+                                         promote_after=2)
         report = service.report()
         rate = report["matched"] / wall if wall > 0 else 0.0
-        print(f"{workload.name:16s} matched={report['matched']:<6d} "
+        label = f"{workload.name}" + (f" x{procs}proc" if procs else "")
+        print(f"{label:16s} matched={report['matched']:<6d} "
               f"shed={report['shed_retryable'] + report['shed_overloaded']:<4d} "
               f"retunes={report['retunes']} {rate / 1e3:.1f} Kmatches/s")
-    print("(printed only; benchmarks/bench_host_perf.py and "
-          "benchmarks/bench_serve.py write the labeled reports)")
+    print("(printed only; benchmarks/bench_host_perf.py, "
+          "benchmarks/bench_serve.py, and benchmarks/bench_cluster.py "
+          "write the labeled reports)")
     return 0
 
 
@@ -212,6 +220,9 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("bench", help="quick printed benchmark sweep")
     p.add_argument("target", choices=["host", "serve"])
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--procs", type=int, default=None,
+                   help="serve only: run each workload through a "
+                   "multi-process cluster with N worker processes")
 
     args = parser.parse_args(argv)
     handler = {"apps": _cmd_apps, "analyze": _cmd_analyze,

@@ -203,6 +203,29 @@ class ServePerfRecord:
     #: end-of-run carried-over envelopes across session tenants
     #: (UMQ + PRQ); ``None`` for entries predating sessions.
     carryover_depth: int | None = None
+    #: worker-process count for cluster runs (``benchmarks/
+    #: bench_cluster.py``); ``None`` for in-process entries.
+    procs: int | None = None
+    #: host cores available to the run (``os.cpu_count()``), recorded so
+    #: per-core rates stay interpretable on oversubscribed sweeps.
+    cores: int | None = None
+    #: sustained matches/s divided by min(procs, cores) -- the per-core
+    #: throughput the cluster scaling gate tracks.
+    matches_per_core: float | None = None
+    #: span-derived aggregate rate: matched / max per-worker busy
+    #: seconds.  On a host with cores >= procs (workers genuinely
+    #: parallel) this is the achievable wall rate; recording it next to
+    #: the measured wall rate keeps single-core CI sweeps honest instead
+    #: of pretending wall-clock speedup on oversubscribed hosts.
+    matches_per_second_span: float | None = None
+    #: per-worker windowed message volume at the end of the run (the
+    #: shard load signal), worker order.
+    shard_volumes: list | None = None
+    #: max/mean of ``shard_volumes`` (1.0 = perfectly balanced).
+    imbalance: float | None = None
+    #: offered load in requests/s of virtual time (the open-loop
+    #: workload's arrival rate), for p99-vs-offered-load curves.
+    offered_rps: float | None = None
 
 
 #: Every field a serve record must carry (the ``--smoke`` schema check).
@@ -242,6 +265,24 @@ def validate_serve_entry(entry: dict) -> list[str]:
         carryover = rec.get("carryover_depth")
         if carryover is not None and carryover < 0:
             problems.append(f"record {i} has negative carryover_depth")
+        procs = rec.get("procs")
+        if procs is not None and procs < 1:
+            problems.append(f"record {i} has non-positive procs")
+        for rate_field in ("matches_per_core", "matches_per_second_span",
+                           "offered_rps"):
+            rate = rec.get(rate_field)
+            if rate is not None and rate < 0:
+                problems.append(f"record {i} has negative {rate_field}")
+        volumes = rec.get("shard_volumes")
+        if volumes is not None:
+            if procs is not None and len(volumes) != procs:
+                problems.append(f"record {i} shard_volumes/procs mismatch")
+            if any(v < 0 for v in volumes):
+                problems.append(f"record {i} has negative shard volume")
+        imbalance = rec.get("imbalance")
+        if imbalance is not None and imbalance < 1.0:
+            problems.append(f"record {i} has imbalance below 1.0 "
+                            f"(max/mean cannot undershoot the mean)")
     if not entry.get("records"):
         problems.append("entry has no records")
     return problems

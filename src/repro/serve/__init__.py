@@ -30,7 +30,13 @@ system:
   checkpoint/restore, and a shard supervisor providing crash recovery
   (checkpoint + journal replay, zero admitted requests lost) and live
   tenant migration (drain -> snapshot -> catchup -> cutover) with
-  hot-spot rebalancing.
+  hot-spot rebalancing;
+* **multi-process clusters** (:mod:`.wire`, :mod:`.cluster`) -- each
+  shard in its own worker process behind pickle-free CRC-guarded wire
+  frames, with a router owning placement, the global sequence space,
+  and response collection; a same-seed cluster run is bit-identical to
+  the in-process service, and worker death recovers by checkpoint +
+  verbatim journal re-execution across the process boundary.
 
 See ``docs/SERVING.md`` for the architecture walk-through and
 ``docs/FAULT_MODEL.md`` for the failure semantics.
@@ -39,6 +45,8 @@ See ``docs/SERVING.md`` for the architecture walk-through and
 from .admission import AdmissionController, AdmissionPolicy
 from .autotuner import LATTICE, Autotuner, RetuneEvent, lattice_rank
 from .batching import BatchAccumulator, BatchPolicy, concat_batches
+from .cluster import (ClusterError, ClusterMigration, ClusterRecovery,
+                      ClusterService, run_cluster_workload)
 from .loadgen import (DEFAULT_BENCH_APPS, ServeArrival, ServeWorkload,
                       busiest_rank, demo, merge_workloads, run_workload,
                       tenant_stream_from_trace, workload_from_app)
@@ -47,13 +55,16 @@ from .messages import (ACCEPTED, MIGRATING, OVERLOADED, RETRYABLE,
                        Ticket)
 from .profiler import StreamProfiler, WorkloadProfile
 from .scheduler import EventLoop, TimerEvent, VirtualClock
-from .service import MatchingService
+from .service import MatchingService, stable_shard
 from .shard import Shard, TenantState
 from .stages import SERVE_STAGES, StageClock
 from .state import (SessionState, SnapshotError, restore_service,
                     snapshot_service)
 from .supervisor import (MigrationPlan, RebalancePolicy, RecoveryReport,
-                         ShardSupervisor, SupervisedRun, run_supervised)
+                         ShardSupervisor, SupervisedRun,
+                         bump_epoch_past_stale, run_supervised)
+from .wire import (FRAME_KINDS, WIRE_MAGIC, WIRE_VERSION, WireError,
+                   decode_frame, encode_frame)
 
 __all__ = [
     "ACCEPTED", "RETRYABLE", "OVERLOADED", "MIGRATING",
@@ -71,4 +82,9 @@ __all__ = [
     "SessionState", "SnapshotError", "snapshot_service", "restore_service",
     "ShardSupervisor", "RecoveryReport", "MigrationPlan",
     "RebalancePolicy", "SupervisedRun", "run_supervised",
+    "bump_epoch_past_stale", "stable_shard",
+    "WIRE_MAGIC", "WIRE_VERSION", "FRAME_KINDS", "WireError",
+    "encode_frame", "decode_frame",
+    "ClusterError", "ClusterRecovery", "ClusterMigration",
+    "ClusterService", "run_cluster_workload",
 ]

@@ -88,6 +88,20 @@ class AdmissionController:
         """All shed requests, every class."""
         return self.shed_retryable + self.shed_overloaded + self.shed_migrating
 
+    def counts(self) -> dict[str, int]:
+        """Admission accounting under one set of key names.
+
+        The single source of the per-class counter keys: the service's
+        aggregate ``shed_counts``, the cluster router's per-worker stats
+        frames, and the serve report all read this dict, so a renamed
+        counter cannot silently diverge between the in-process and
+        multi-process planes.
+        """
+        return {"admitted": self.admitted,
+                "retryable": self.shed_retryable,
+                "overloaded": self.shed_overloaded,
+                "migrating": self.shed_migrating}
+
     def retry_hint(self, now_vt: float | None = None,
                    next_flush_vt: float | None = None) -> float:
         """Deterministic relative retry hint (virtual seconds from now).

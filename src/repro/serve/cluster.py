@@ -1,0 +1,1011 @@
+"""Multi-process serving: worker shards behind a process boundary.
+
+:class:`ClusterService` runs each shard in its **own worker process**
+and keeps the router in the calling process.  The router owns placement
+(the same CRC32 hash the in-process service uses), the global request
+sequence space, and response collection; each worker hosts a
+single-shard :class:`~repro.serve.service.MatchingService` and is driven
+exclusively by wire frames (:mod:`repro.serve.wire`) over bounded
+multiprocessing queues -- one command queue and one response queue per
+worker, single writer each, so frame order is FIFO per direction.
+
+**Determinism contract.**  A same-seed cluster run is bit-identical to
+the in-process service on the same stream: tickets (status, seq, retry
+hints), flush results (match pairs, covered seqs, virtual timestamps,
+engine labels), shed counts, and latency percentiles all agree (pinned
+by ``tests/serve/test_cluster_identity.py``).  This is not luck but
+construction:
+
+* tenants are shard-isolated, and placement mod ``n`` partitions them
+  identically whether ``n`` counts shards or worker processes;
+* every serve decision reads only the tenant's shard state and the
+  virtual clock -- the event loop's RNG is never consulted -- so a
+  worker's clock may *lag* the router's without changing any outcome:
+  timers still fire at their scheduled virtual times, in the same
+  ``(vt, seq)`` order per shard;
+* the router stamps each submission with its global seq and arrival vt,
+  and per-worker FIFO channels preserve each shard's submission order.
+
+**Failure model.**  A worker is a deterministic state machine over its
+input frame stream.  The router journals every state-mutating frame it
+sends and periodically asks the worker for a checkpoint (the snapshot
+plane's CRC-guarded blob); FIFO ordering means a checkpoint covers
+exactly the frames sent before the request, so the journal truncates at
+the blob.  When a worker dies (SIGKILL mid-flush is the chaos suite's
+favourite), the router respawns it from the last checkpoint and
+**re-executes the journal verbatim** -- the worker deterministically
+regenerates every post-checkpoint ticket and flush result, and the
+router deduplicates by seq and ``(tenant, flush_seq)``.  Zero admitted
+envelopes lost, none matched twice, no reconciliation pass needed: the
+replay *is* the reconciliation.
+
+**Live migration** crosses the process boundary with the PR 7 legs:
+gate (the source answers ``migrating`` tickets carrying the cutover
+time), drain, export through the snapshot codec; at the cutover virtual
+time the router installs the blob on the destination worker and releases
+the source.  Because a crashed source replays its export deterministically,
+migration needs no catch-up leg here -- the journal replay regenerates
+the drained state exactly.
+
+Wall-clock time appears only in measurements (the ``transport`` stage,
+worker busy seconds, recovery cost) -- never on a decision path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import signal
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.envelope import EnvelopeBatch
+from ..obs.metrics import percentile
+from .admission import AdmissionPolicy
+from .batching import BatchPolicy
+from .loadgen import ServeWorkload
+from .messages import FlushResult, ShardCrash, TenantSpec, Ticket
+from .service import MatchingService, stable_shard
+from .stages import SERVE_STAGES, StageClock
+from .state import (dumps, export_tenant, install_tenant, loads,
+                    restore_service, snapshot_service)
+from .supervisor import bump_epoch_past_stale
+from .wire import (WireError, decode_frame, encode_frame, flush_from_wire,
+                   flush_wire, spec_from_wire, spec_wire, ticket_from_wire,
+                   ticket_wire)
+
+__all__ = ["ClusterError", "ClusterRecovery", "ClusterMigration",
+           "ClusterService", "run_cluster_workload"]
+
+
+class ClusterError(RuntimeError):
+    """A cluster-plane protocol failure (stalled worker, barrier
+    timeout, misuse of the router API)."""
+
+
+@dataclass(frozen=True)
+class ClusterRecovery:
+    """One worker-process recovery (respawn + journal re-execution)."""
+
+    worker_id: int
+    respawn: int                 # 1 for the worker's first recovery
+    replayed_frames: int         # journal frames re-executed
+    had_checkpoint: bool         # False = cold restart from specs
+    wall_seconds: float          # measurement-only recovery cost
+
+
+@dataclass
+class ClusterMigration:
+    """One cross-process tenant migration, begin to cutover."""
+
+    tenant: str
+    from_worker: int
+    to_worker: int
+    started_vt: float
+    cutover_vt: float
+    state_bytes: bytes = b""
+    completed_vt: float | None = None
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+def _worker_main(init_blob: bytes, cmd_q, resp_q) -> None:
+    """One worker process: a single-shard service driven by wire frames.
+
+    Top-level by design -- the spawn start method imports this module in
+    the child and calls the function by qualified name; nothing here may
+    capture router state except through ``init_blob`` (a snapshot-codec
+    blob) and the two queues.
+    """
+    cfg = loads(init_blob)
+    worker_id = int(cfg["worker_id"])
+    stages = StageClock()
+    if cfg["checkpoint"] is not None:
+        svc = restore_service(bytes(cfg["checkpoint"]), stages=stages)
+    else:
+        pol = cfg["policies"]
+        adm = pol["admission"]
+        bat = pol["batching"]
+        svc = MatchingService(
+            n_shards=1,
+            admission=AdmissionPolicy(
+                capacity=int(adm["capacity"]),
+                soft_fraction=float(adm["soft_fraction"]),
+                retry_after_vt=(None if adm["retry_after_vt"] is None
+                                else float(adm["retry_after_vt"]))),
+            batching=BatchPolicy(max_envelopes=int(bat["max_envelopes"]),
+                                 max_delay_vt=float(bat["max_delay_vt"])),
+            seed=int(cfg["seed"]),
+            promote_after=int(pol["promote_after"]),
+            profile_window=int(pol["profile_window"]),
+            verify=bool(pol["verify"]),
+            stages=stages)
+        for spec_payload in cfg["specs"]:
+            svc.register(spec_from_wire(spec_payload))
+    shard = svc.shards[0]
+    n_sent = len(svc.results)   # checkpointed results were already routed
+    # Busy accounting uses *CPU* time, not wall time: on a host with
+    # fewer cores than workers, wall time inside a handler includes the
+    # periods this process was descheduled while siblings ran, which
+    # would make per-worker "busy" grow with contention instead of
+    # shrinking with partitioning.  CPU seconds are what the span-rate
+    # metric (matched / max worker busy) needs to stay honest.
+    busy = 0.0
+
+    def post(kind: str, payload) -> None:
+        resp_q.put(encode_frame(kind, payload))
+
+    def post_new_results() -> None:
+        nonlocal n_sent
+        while n_sent < len(svc.results):
+            post("flush", flush_wire(svc.results[n_sent]))
+            n_sent += 1
+
+    while True:
+        data = cmd_q.get()
+        kind, payload = decode_frame(data)
+        t0 = time.process_time()
+        try:
+            if kind == "submit":
+                ticket = svc.submit(
+                    str(payload["tenant"]),
+                    EnvelopeBatch.from_state_dict(payload["messages"]),
+                    EnvelopeBatch.from_state_dict(payload["requests"]),
+                    at_vt=float(payload["at_vt"]),
+                    seq=int(payload["seq"]))
+                post_new_results()
+                post("ticket", ticket_wire(ticket))
+            elif kind == "advance":
+                svc.advance_to(float(payload["vt"]))
+                post_new_results()
+            elif kind == "drain":
+                svc.drain()
+                post_new_results()
+            elif kind == "checkpoint":
+                post("checkpointed", {"blob": snapshot_service(svc),
+                                      "vt": svc.now})
+            elif kind == "stats":
+                post("stats_reply", {
+                    "token": int(payload["token"]),
+                    "worker_id": worker_id,
+                    "counts": shard.admission.counts(),
+                    "windowed_volume": shard.windowed_volume(),
+                    "busy_seconds": busy,
+                    "stage_seconds": stages.snapshot(),
+                    "report": svc.report()})
+            elif kind == "arm_exit":
+                shard.fail_at_flush = (shard.flushes_done
+                                       + int(payload["after_flushes"]))
+            elif kind == "export_tenant":
+                tenant = str(payload["tenant"])
+                shard.migrating[tenant] = float(payload["cutover_vt"])
+                result = shard.flush_tenant(tenant, svc.now)
+                if result is not None:
+                    svc.results.append(result)
+                post_new_results()
+                post("tenant_state", {
+                    "tenant": tenant,
+                    "blob": dumps(export_tenant(shard.tenants[tenant]))})
+            elif kind == "install_tenant":
+                ts = install_tenant(shard, loads(bytes(payload["blob"])))
+                name = ts.spec.name
+                svc._placement[name] = 0
+                bump_epoch_past_stale(svc.loop, name, ts.accumulator)
+                if len(ts.accumulator):
+                    svc.loop.schedule(
+                        max(ts.accumulator.deadline_vt, svc.now),
+                        "flush", (name, ts.accumulator.epoch))
+            elif kind == "release_tenant":
+                tenant = str(payload["tenant"])
+                shard.migrating.pop(tenant, None)
+                shard.tenants.pop(tenant, None)
+                svc._placement.pop(tenant, None)
+            elif kind == "stop":
+                post("bye", {"worker_id": worker_id})
+                return
+            else:
+                raise WireError(f"worker cannot handle frame {kind!r}")
+        except ShardCrash:
+            # Armed chaos kill: die for real, mid-flush, between queue
+            # operations (the accumulator has drained; the in-flight
+            # batch exists only on this stack).  Recovery must come from
+            # the router's checkpoint + journal.
+            os.kill(os.getpid(), signal.SIGKILL)
+        busy += time.process_time() - t0
+
+
+# ---------------------------------------------------------------------------
+# Router
+# ---------------------------------------------------------------------------
+
+class _WorkerHandle:
+    """Router-side bookkeeping for one worker process."""
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.proc = None
+        self.cmd_q = None
+        self.resp_q = None
+        #: state-mutating frames sent since the last durable checkpoint
+        #: (the verbatim re-execution script for recovery).
+        self.journal: list[bytes] = []
+        self.checkpoint: bytes | None = None
+        #: journal position when a checkpoint request went out (``None``
+        #: when no request is in flight); truncation point at the blob.
+        self.ckpt_mark: int | None = None
+        self.flushes_since_ckpt = 0
+        self.respawns = 0
+        self.stats: dict | None = None
+        self.stats_token = -1
+        self.specs: list[TenantSpec] = []
+        self.stopped = False
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+
+class ClusterService:
+    """A sharded matching service spanning worker processes.
+
+    Mirrors the :class:`~repro.serve.service.MatchingService` surface --
+    ``register`` / ``submit`` / ``advance_to`` / ``drain`` / ``report``
+    -- with one asynchronous difference: ``submit`` returns the routed
+    request's **seq** immediately (the pipeline is what buys the
+    multi-core speedup); the ticket arrives on the response queue and is
+    available from :attr:`tickets` after the next :meth:`sync`.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker-process count (= shard count; one shard per process).
+    admission, batching, seed, promote_after, profile_window, verify:
+        Forwarded to every worker's single-shard service -- the same
+        knobs, so a cluster and an in-process service configured alike
+        are bit-identical.
+    start_method:
+        ``"spawn"`` (default; the spawn-safety contract) or ``"fork"``
+        (cheaper startup; the test suites use it for speed).
+    checkpoint_every:
+        Checkpoint cadence per worker, in newly routed flush results.
+    queue_depth:
+        Bound on each direction of every worker's duplex queue pair.
+    op_timeout:
+        Wall-clock bound on any single router operation against a
+        worker (put retries, barriers, migration exports) before
+        :class:`ClusterError` -- a hung worker fails fast, it does not
+        wedge the router.
+    stages:
+        Optional :class:`~repro.serve.stages.StageClock`; the router
+        charges frame encode/decode and enqueue work to ``transport``
+        (never time spent waiting on workers).
+    """
+
+    def __init__(self, n_workers: int = 2, *,
+                 admission: AdmissionPolicy | None = None,
+                 batching: BatchPolicy | None = None,
+                 seed: int = 0, promote_after: int = 3,
+                 profile_window: int = 8, verify: bool = False,
+                 start_method: str = "spawn", checkpoint_every: int = 8,
+                 queue_depth: int = 256, op_timeout: float = 60.0,
+                 max_respawns: int = 16,
+                 stages: StageClock | None = None) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.n_workers = n_workers
+        self.admission = admission if admission is not None \
+            else AdmissionPolicy()
+        self.batching = batching if batching is not None else BatchPolicy()
+        self.seed = seed
+        self.promote_after = promote_after
+        self.profile_window = profile_window
+        self.verify = verify
+        self.checkpoint_every = checkpoint_every
+        self.queue_depth = queue_depth
+        self.op_timeout = op_timeout
+        self.max_respawns = max_respawns
+        self.stages = stages
+        self._ctx = mp.get_context(start_method)
+        self._workers = [_WorkerHandle(i) for i in range(n_workers)]
+        self._placement: dict[str, int] = {}   # registration order
+        self._specs: dict[str, TenantSpec] = {}
+        self._next_seq = 0
+        self._now = 0.0
+        self.tickets: dict[int, Ticket] = {}
+        self.results: list[FlushResult] = []
+        self._seen_flush: set[tuple[str, int]] = set()
+        self._tenant_blobs: dict[str, bytes] = {}
+        self._stats_token = 0
+        self._started = False
+        self._stopped = False
+        self.recoveries: list[ClusterRecovery] = []
+        self.migrations: list[ClusterMigration] = []
+        self._pending_migrations: list[ClusterMigration] = []
+        self._in_maybe_ckpt = False
+        self._in_recover = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def register(self, spec: TenantSpec) -> None:
+        """Register a tenant; placement is the stable CRC32 hash, with
+        worker processes standing where shards stand in-process."""
+        if self._started:
+            raise ClusterError("register tenants before start()")
+        if spec.name in self._placement:
+            raise ValueError(f"tenant {spec.name!r} already registered")
+        worker_id = stable_shard(spec.name, self.n_workers)
+        self._placement[spec.name] = worker_id
+        self._specs[spec.name] = spec
+        self._workers[worker_id].specs.append(spec)
+
+    def start(self) -> "ClusterService":
+        """Spawn every worker process (idempotent misuse is an error)."""
+        if self._started:
+            raise ClusterError("cluster already started")
+        for w in self._workers:
+            self._spawn(w)
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Clean shutdown: stop frames, join, terminate stragglers."""
+        if not self._started or self._stopped:
+            self._stopped = True
+            return
+        stop_frame = encode_frame("stop", None)
+        for w in self._workers:
+            if w.alive():
+                try:
+                    self._post(w, stop_frame)
+                except ClusterError:
+                    pass
+        self._pump()
+        for w in self._workers:
+            if w.proc is not None:
+                w.proc.join(timeout=5.0)
+                if w.proc.is_alive():
+                    w.proc.terminate()
+                    w.proc.join(timeout=1.0)
+            self._close_queues(w)
+        self._stopped = True
+
+    def __enter__(self) -> "ClusterService":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- virtual time -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The router's virtual clock (max over everything routed)."""
+        return self._now
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, tenant: str, messages: EnvelopeBatch,
+               requests: EnvelopeBatch,
+               at_vt: float | None = None) -> int:
+        """Route one request to its tenant's worker; returns its seq.
+
+        Pipelined: the ticket arrives asynchronously (``tickets[seq]``
+        after the next :meth:`sync`).  Virtual time never runs backward
+        across submissions -- the same monotonicity the in-process event
+        loop enforces.
+        """
+        self._require_live()
+        if tenant not in self._placement:
+            raise KeyError(f"unknown tenant {tenant!r}")
+        at = self._now if at_vt is None else float(at_vt)
+        if at < self._now:
+            raise ClusterError(f"virtual time cannot run backward "
+                               f"({at} < {self._now})")
+        self._now = at
+        self._fire_cutovers()
+        w = self._workers[self._placement[tenant]]
+        seq = self._next_seq
+        self._next_seq += 1
+        stages = self.stages
+        t0 = StageClock.start() if stages is not None else 0.0
+        frame = encode_frame("submit", {
+            "tenant": tenant, "seq": seq, "at_vt": at,
+            "messages": messages.state_dict(),
+            "requests": requests.state_dict()})
+        if stages is not None:
+            stages.stop("transport", t0)
+        self._send(w, frame)
+        self._pump()
+        return seq
+
+    def advance_to(self, vt: float) -> None:
+        """Broadcast a virtual-time advance (fires due batch deadlines
+        on every worker, each in its own ``(vt, seq)`` order)."""
+        self._require_live()
+        vt = float(vt)
+        if vt < self._now:
+            raise ClusterError(f"virtual time cannot run backward "
+                               f"({vt} < {self._now})")
+        self._now = vt
+        self._fire_cutovers()
+        frame = self._encode_transport("advance", {"vt": vt})
+        for w in self._workers:
+            self._send(w, frame)
+        self._pump()
+
+    def drain(self) -> None:
+        """Broadcast a drain: every worker flushes every accumulator."""
+        self._require_live()
+        self._fire_cutovers()
+        frame = self._encode_transport("drain", None)
+        for w in self._workers:
+            self._send(w, frame)
+        self._pump()
+
+    def sync(self) -> None:
+        """FIFO barrier + stats collection.
+
+        Sends a tokened stats request to every worker and pumps until
+        each replies; a worker's reply proves it processed every frame
+        sent before the request, so on return every routed submission
+        has its ticket and every produced flush result is collected.
+        Dead workers found at the barrier are recovered and re-asked.
+        """
+        self._require_live()
+        self._stats_token += 1
+        token = self._stats_token
+        frame = self._encode_transport("stats", {"token": token})
+        for w in self._workers:
+            self._post_until_sent(w, frame)
+        deadline = time.monotonic() + self.op_timeout
+        while True:
+            self._pump()
+            waiting = [w for w in self._workers if w.stats_token < token]
+            if not waiting:
+                return
+            recovered = False
+            for w in waiting:
+                if not w.alive():
+                    self._recover(w)
+                    self._post_until_sent(w, frame)
+                    recovered = True
+            if recovered:
+                deadline = time.monotonic() + self.op_timeout
+            if time.monotonic() > deadline:
+                stalled = [w.worker_id for w in waiting]
+                raise ClusterError(f"workers {stalled} missed the stats "
+                                   f"barrier after {self.op_timeout}s")
+            time.sleep(0.001)
+
+    # -- chaos --------------------------------------------------------------------
+
+    def arm_worker_exit(self, worker_id: int,
+                        after_flushes: int = 1) -> None:
+        """Arm a chaos kill: the worker SIGKILLs itself mid-flush on its
+        ``after_flushes``-th non-empty flush from now.  Deliberately
+        **not** journaled -- a recovered worker must not re-die."""
+        if after_flushes < 1:
+            raise ValueError("after_flushes must be >= 1")
+        self._require_live()
+        w = self._workers[worker_id]
+        self._post_until_sent(w, encode_frame(
+            "arm_exit", {"after_flushes": after_flushes}))
+
+    # -- live migration -----------------------------------------------------------
+
+    def begin_migration(self, tenant: str, to_worker: int,
+                        cutover_delay_vt: float | None = None,
+                        ) -> ClusterMigration:
+        """Start migrating ``tenant`` to ``to_worker``: gate + drain +
+        export on the source now; install/release fire at the cutover
+        virtual time from :meth:`submit` / :meth:`advance_to`."""
+        self._require_live()
+        from_worker = self._placement[tenant]
+        if to_worker == from_worker:
+            raise ValueError(f"tenant {tenant!r} is already on worker "
+                             f"{to_worker}")
+        if not 0 <= to_worker < self.n_workers:
+            raise ValueError(f"no worker {to_worker}")
+        if any(p.tenant == tenant for p in self._pending_migrations):
+            raise ValueError(f"tenant {tenant!r} is already migrating")
+        delay = (cutover_delay_vt if cutover_delay_vt is not None
+                 else 2.0 * self.batching.max_delay_vt)
+        cutover_vt = self._now + delay
+        src = self._workers[from_worker]
+        self._tenant_blobs.pop(tenant, None)
+        self._send(src, self._encode_transport(
+            "export_tenant", {"tenant": tenant, "cutover_vt": cutover_vt}))
+        blob = self._await_tenant_blob(tenant, src)
+        plan = ClusterMigration(tenant=tenant, from_worker=from_worker,
+                                to_worker=to_worker, started_vt=self._now,
+                                cutover_vt=cutover_vt, state_bytes=blob)
+        self._pending_migrations.append(plan)
+        return plan
+
+    def _await_tenant_blob(self, tenant: str, src: _WorkerHandle) -> bytes:
+        deadline = time.monotonic() + self.op_timeout
+        while tenant not in self._tenant_blobs:
+            self._pump()
+            if tenant in self._tenant_blobs:
+                break
+            if not src.alive():
+                # the journal holds the export frame; replay re-exports
+                self._recover(src)
+                deadline = time.monotonic() + self.op_timeout
+            if time.monotonic() > deadline:
+                raise ClusterError(f"worker {src.worker_id} never exported "
+                                   f"tenant {tenant!r}")
+            time.sleep(0.001)
+        return self._tenant_blobs.pop(tenant)
+
+    def _fire_cutovers(self) -> None:
+        for plan in sorted(self._pending_migrations,
+                           key=lambda p: p.cutover_vt):
+            if plan.cutover_vt > self._now:
+                continue
+            dst = self._workers[plan.to_worker]
+            src = self._workers[plan.from_worker]
+            self._send(dst, self._encode_transport(
+                "install_tenant", {"blob": plan.state_bytes}))
+            self._send(src, self._encode_transport(
+                "release_tenant", {"tenant": plan.tenant}))
+            self._placement[plan.tenant] = plan.to_worker
+            plan.completed_vt = self._now
+            self._pending_migrations.remove(plan)
+            self.migrations.append(plan)
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _require_live(self) -> None:
+        if not self._started:
+            raise ClusterError("cluster not started")
+        if self._stopped:
+            raise ClusterError("cluster already stopped")
+
+    def _encode_transport(self, kind: str, payload) -> bytes:
+        stages = self.stages
+        t0 = StageClock.start() if stages is not None else 0.0
+        frame = encode_frame(kind, payload)
+        if stages is not None:
+            stages.stop("transport", t0)
+        return frame
+
+    def _init_blob(self, w: _WorkerHandle) -> bytes:
+        pol = self.admission
+        bat = self.batching
+        return dumps({
+            "worker_id": w.worker_id,
+            "seed": self.seed,
+            "checkpoint": w.checkpoint,
+            "specs": [spec_wire(s) for s in w.specs],
+            "policies": {
+                "admission": {"capacity": pol.capacity,
+                              "soft_fraction": pol.soft_fraction,
+                              "retry_after_vt": pol.retry_after_vt},
+                "batching": {"max_envelopes": bat.max_envelopes,
+                             "max_delay_vt": bat.max_delay_vt},
+                "promote_after": self.promote_after,
+                "profile_window": self.profile_window,
+                "verify": self.verify,
+            }})
+
+    def _spawn(self, w: _WorkerHandle) -> None:
+        w.cmd_q = self._ctx.Queue(self.queue_depth)
+        w.resp_q = self._ctx.Queue(self.queue_depth)
+        w.proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self._init_blob(w), w.cmd_q, w.resp_q),
+            daemon=True, name=f"repro-serve-worker-{w.worker_id}")
+        w.proc.start()
+
+    @staticmethod
+    def _close_queues(w: _WorkerHandle) -> None:
+        for q in (w.cmd_q, w.resp_q):
+            if q is not None:
+                q.cancel_join_thread()
+                q.close()
+        w.cmd_q = None
+        w.resp_q = None
+
+    def _send(self, w: _WorkerHandle, data: bytes) -> None:
+        """Journal a state-mutating frame, then deliver it.  If the
+        worker died, recovery's journal replay already delivered it."""
+        w.journal.append(data)
+        self._post(w, data)
+
+    def _post(self, w: _WorkerHandle, data: bytes) -> bool:
+        """Deliver one raw frame, pumping responses while the command
+        queue is full.  Returns ``False`` when the worker was found dead
+        and recovered instead (journaled frames need no re-send; callers
+        of non-journaled frames re-send on ``False``)."""
+        stages = self.stages
+        deadline = time.monotonic() + self.op_timeout
+        while True:
+            try:
+                t0 = StageClock.start() if stages is not None else 0.0
+                w.cmd_q.put(data, timeout=0.05)
+                if stages is not None:
+                    stages.stop("transport", t0)
+                return True
+            except queue_mod.Full:
+                self._pump()
+                if not w.alive():
+                    self._recover(w)
+                    return False
+                if time.monotonic() > deadline:
+                    raise ClusterError(
+                        f"worker {w.worker_id} stalled (command queue "
+                        f"full for {self.op_timeout}s)")
+
+    def _post_until_sent(self, w: _WorkerHandle, data: bytes) -> None:
+        """Deliver a non-journaled frame even across a recovery."""
+        while not self._post(w, data):
+            pass
+
+    def _post_strict(self, w: _WorkerHandle, data: bytes) -> None:
+        """Journal-replay delivery: a worker dying *during* its own
+        recovery replay is a hard protocol failure, not a retry."""
+        deadline = time.monotonic() + self.op_timeout
+        while True:
+            try:
+                w.cmd_q.put(data, timeout=0.05)
+                return
+            except queue_mod.Full:
+                self._pump()
+                if not w.alive():
+                    raise ClusterError(f"worker {w.worker_id} died during "
+                                       f"journal replay")
+                if time.monotonic() > deadline:
+                    raise ClusterError(f"worker {w.worker_id} stalled "
+                                       f"during journal replay")
+
+    def _pump(self) -> None:
+        """Drain every worker's response queue without blocking."""
+        stages = self.stages
+        for w in self._workers:
+            if w.resp_q is None:
+                continue
+            while True:
+                try:
+                    data = w.resp_q.get_nowait()
+                except queue_mod.Empty:
+                    break
+                except Exception:
+                    # A SIGKILLed worker can leave a torn write in the
+                    # pipe; drop it -- the journal replay regenerates
+                    # whatever the torn frame carried.
+                    break
+                t0 = StageClock.start() if stages is not None else 0.0
+                try:
+                    kind, payload = decode_frame(data)
+                except WireError:
+                    break   # torn frame from a killed worker
+                finally:
+                    if stages is not None:
+                        stages.stop("transport", t0)
+                self._handle(w, kind, payload)
+        self._maybe_checkpoint()
+
+    def _handle(self, w: _WorkerHandle, kind: str, payload) -> None:
+        if kind == "ticket":
+            ticket = ticket_from_wire(payload)
+            self.tickets.setdefault(ticket.seq, ticket)
+        elif kind == "flush":
+            result = flush_from_wire(payload)
+            key = (result.tenant, result.flush_seq)
+            if key in self._seen_flush:
+                return   # journal replay re-delivered a known flush
+            self._seen_flush.add(key)
+            result.shard_id = w.worker_id
+            self.results.append(result)
+            w.flushes_since_ckpt += 1
+        elif kind == "checkpointed":
+            if w.ckpt_mark is None:
+                # A reply whose truncation mark was invalidated (the
+                # worker was recovered while the request was in flight).
+                # Storing it without truncating would make the next
+                # recovery double-execute the journal -- drop it.
+                return
+            w.checkpoint = bytes(payload["blob"])
+            del w.journal[:w.ckpt_mark]
+            w.ckpt_mark = None
+            w.flushes_since_ckpt = 0
+        elif kind == "stats_reply":
+            w.stats = payload
+            w.stats_token = int(payload["token"])
+        elif kind == "tenant_state":
+            self._tenant_blobs[str(payload["tenant"])] = \
+                bytes(payload["blob"])
+        elif kind == "bye":
+            w.stopped = True
+        else:
+            raise ClusterError(f"router cannot handle frame {kind!r}")
+
+    def _maybe_checkpoint(self) -> None:
+        """Request checkpoints from workers past the flush cadence.
+
+        Runs at the tail of every :meth:`_pump` (where flush frames are
+        counted); the reentrancy guard keeps the posts inside from
+        recursing back into here through their own pumps.  Suppressed
+        during a recovery replay: a request marked mid-replay would
+        truncate journal frames its blob does not cover.
+        """
+        if self._in_maybe_ckpt or self._in_recover:
+            return
+        self._in_maybe_ckpt = True
+        try:
+            for w in self._workers:
+                if (w.flushes_since_ckpt >= self.checkpoint_every
+                        and w.ckpt_mark is None):
+                    self._request_checkpoint(w)
+        finally:
+            self._in_maybe_ckpt = False
+
+    def _request_checkpoint(self, w: _WorkerHandle) -> None:
+        """Mark the truncation point and post the checkpoint request;
+        the mark and the request travel together across recoveries."""
+        frame = self._encode_transport("checkpoint", None)
+        while True:
+            w.ckpt_mark = len(w.journal)
+            if self._post(w, frame):
+                return
+            # recovered mid-post: _recover cleared the mark; re-mark
+            # against the (unchanged) journal and re-send
+
+    def checkpoint_now(self, worker_id: int | None = None) -> None:
+        """Synchronously checkpoint one worker (or all): request, then
+        pump until the blob lands and the journal truncates.  The chaos
+        suite uses this to pin ``had_checkpoint`` recoveries
+        deterministically instead of racing the flush cadence."""
+        self._require_live()
+        targets = (self._workers if worker_id is None
+                   else [self._workers[worker_id]])
+        for w in targets:
+            if w.ckpt_mark is None:
+                self._request_checkpoint(w)
+        deadline = time.monotonic() + self.op_timeout
+        while True:
+            self._pump()
+            waiting = [w for w in targets if w.ckpt_mark is not None]
+            if not waiting:
+                return
+            recovered = False
+            for w in waiting:
+                if not w.alive():
+                    self._recover(w)
+                    self._request_checkpoint(w)
+                    recovered = True
+            if recovered:
+                deadline = time.monotonic() + self.op_timeout
+            if time.monotonic() > deadline:
+                stalled = [w.worker_id for w in waiting]
+                raise ClusterError(f"workers {stalled} never answered a "
+                                   f"checkpoint request")
+            time.sleep(0.001)
+
+    def _recover(self, w: _WorkerHandle) -> ClusterRecovery:
+        """Respawn a dead worker and re-execute its journal verbatim.
+
+        The worker restores the last checkpoint (or cold-starts from its
+        tenant specs) and deterministically re-runs every journaled
+        frame; duplicate tickets and flush results are absorbed by the
+        router's seq / ``(tenant, flush_seq)`` dedupe.  Exactly-once
+        with no reconciliation pass -- the replay is the reconciliation.
+        """
+        t0 = time.perf_counter()
+        w.respawns += 1
+        if w.respawns > self.max_respawns:
+            raise ClusterError(f"worker {w.worker_id} exceeded "
+                               f"{self.max_respawns} respawns")
+        if w.proc is not None:
+            if w.proc.is_alive():
+                w.proc.terminate()
+            w.proc.join(timeout=5.0)
+        self._close_queues(w)
+        w.ckpt_mark = None
+        w.flushes_since_ckpt = 0
+        self._spawn(w)
+        self._in_recover = True
+        try:
+            for data in list(w.journal):
+                self._post_strict(w, data)
+        finally:
+            self._in_recover = False
+        record = ClusterRecovery(
+            worker_id=w.worker_id, respawn=w.respawns,
+            replayed_frames=len(w.journal),
+            had_checkpoint=w.checkpoint is not None,
+            wall_seconds=time.perf_counter() - t0)
+        self.recoveries.append(record)
+        return record
+
+    # -- accounting ---------------------------------------------------------------
+
+    @property
+    def tenant_names(self) -> list[str]:
+        """Registered tenants, registration order."""
+        return list(self._placement)
+
+    def ticket_list(self) -> list[Ticket]:
+        """Collected tickets in seq order (complete after :meth:`sync`)."""
+        return [self.tickets[seq] for seq in sorted(self.tickets)]
+
+    @property
+    def latencies_vt(self) -> np.ndarray:
+        """Per-request virtual latencies across every flush."""
+        lats: list[float] = []
+        for r in self.results:
+            lats.extend(r.latencies_vt)
+        return np.asarray(lats, dtype=float)
+
+    @property
+    def shed_counts(self) -> dict[str, int]:
+        """Aggregate shed accounting across workers (post-:meth:`sync`)."""
+        totals = {"retryable": 0, "overloaded": 0, "migrating": 0}
+        for w in self._workers:
+            if w.stats is None:
+                continue
+            for key in totals:
+                totals[key] += int(w.stats["counts"][key])
+        return totals
+
+    def worker_stats(self) -> list[dict]:
+        """Each worker's last stats frame (requires a :meth:`sync`)."""
+        missing = [w.worker_id for w in self._workers if w.stats is None]
+        if missing:
+            raise ClusterError(f"no stats collected from workers "
+                               f"{missing}; call sync() first")
+        return [w.stats for w in self._workers]
+
+    def shard_volumes(self) -> list[int]:
+        """Windowed message volume per worker (the imbalance signal)."""
+        return [int(s["windowed_volume"]) for s in self.worker_stats()]
+
+    def imbalance(self) -> float:
+        """Max/mean windowed volume across workers (1.0 = perfectly
+        balanced; the Caliper/Benchpark-style load-imbalance statistic)."""
+        vols = self.shard_volumes()
+        mean = sum(vols) / len(vols)
+        return max(vols) / mean if mean > 0 else 1.0
+
+    def busy_seconds(self) -> list[float]:
+        """Per-worker CPU seconds spent processing frames.
+
+        CPU time, not wall time: on hosts with fewer cores than workers
+        a handler's wall time includes descheduled periods, which would
+        inflate "busy" with contention.  The max of this list is the
+        worker span -- the critical path an adequately-cored host would
+        ride down to.
+        """
+        return [float(s["busy_seconds"]) for s in self.worker_stats()]
+
+    def merged_stage_seconds(self) -> dict[str, float]:
+        """Router transport time + summed worker stage clocks.
+
+        CPU-seconds across processes: totals can exceed wall time when
+        workers overlap -- exactly the point of the cluster.
+        """
+        totals = {s: 0.0 for s in SERVE_STAGES}
+        if self.stages is not None:
+            for stage, seconds in self.stages.snapshot().items():
+                totals[stage] += seconds
+        for w in self._workers:
+            if w.stats is None:
+                continue
+            for stage, seconds in w.stats["stage_seconds"].items():
+                totals[stage] += float(seconds)
+        return totals
+
+    def report(self) -> dict:
+        """The in-process service's report, assembled across processes.
+
+        Same keys, same estimator (the bucketed percentile), same
+        values for a same-seed run -- the identity suite diffs this dict
+        against ``MatchingService.report()`` directly.  Requires a
+        completed :meth:`sync`.
+        """
+        stats = self.worker_stats()
+        lat = self.latencies_vt
+        p50_us = percentile(lat * 1e6, 50)
+        p99_us = percentile(lat * 1e6, 99)
+        shed = self.shed_counts
+        tenants: dict[str, dict] = {}
+        for name, worker_id in self._placement.items():
+            wstats = stats[worker_id]
+            tinfo = dict(wstats["report"]["tenants"][name])
+            tinfo["shard"] = worker_id
+            tenants[name] = tinfo
+        return {
+            "virtual_seconds": self._now,
+            "submitted": self._next_seq,
+            "accepted": sum(int(s["counts"]["admitted"]) for s in stats),
+            "shed_retryable": shed["retryable"],
+            "shed_overloaded": shed["overloaded"],
+            "shed_migrating": shed["migrating"],
+            "flushes": len(self.results),
+            "matched": int(sum(r.outcome.matched_count
+                               for r in self.results)),
+            "retunes": sum(int(s["report"]["retunes"]) for s in stats),
+            "latency_p50_vt": p50_us / 1e6 if p50_us is not None else None,
+            "latency_p99_vt": p99_us / 1e6 if p99_us is not None else None,
+            "tenants": tenants,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Open-loop harness
+# ---------------------------------------------------------------------------
+
+def run_cluster_workload(workload: ServeWorkload, *, n_workers: int = 2,
+                         admission: AdmissionPolicy | None = None,
+                         batching: BatchPolicy | None = None,
+                         seed: int = 0, promote_after: int = 3,
+                         profile_window: int = 8,
+                         start_method: str = "spawn",
+                         checkpoint_every: int = 8,
+                         queue_depth: int = 256,
+                         stages: StageClock | None = None,
+                         arm_exit: tuple[int, int] | None = None,
+                         ) -> tuple[ClusterService, float]:
+    """Drive a cluster through a workload; returns (cluster, wall seconds).
+
+    The multi-process mirror of :func:`~repro.serve.loadgen.run_workload`:
+    same submission loop, same final timer run-out and drain, plus the
+    stats barrier that completes ticket/result collection.  Wall time
+    covers submission through barrier (worker startup and teardown are
+    excluded, like service construction is in-process).  ``arm_exit``
+    optionally arms a chaos kill as ``(worker_id, after_flushes)``.
+    """
+    cluster = ClusterService(
+        n_workers=n_workers, admission=admission, batching=batching,
+        seed=seed, promote_after=promote_after,
+        profile_window=profile_window, start_method=start_method,
+        checkpoint_every=checkpoint_every, queue_depth=queue_depth,
+        stages=stages)
+    for spec in workload.tenants:
+        cluster.register(spec)
+    cluster.start()
+    if arm_exit is not None:
+        cluster.arm_worker_exit(*arm_exit)
+    t0 = time.perf_counter()
+    for arrival in workload.arrivals:
+        cluster.submit(arrival.tenant, arrival.messages, arrival.requests,
+                       at_vt=arrival.vt)
+    if workload.arrivals:
+        cluster.advance_to(cluster.now
+                           + 2.0 * cluster.batching.max_delay_vt)
+    cluster.drain()
+    cluster.sync()
+    wall = time.perf_counter() - t0
+    cluster.stop()
+    return cluster, wall

@@ -41,12 +41,22 @@ from .scheduler import EventLoop
 from .shard import Shard, TenantState
 from .stages import StageClock
 
-__all__ = ["MatchingService"]
+__all__ = ["MatchingService", "stable_shard"]
 
 
-def _stable_shard(name: str, n_shards: int) -> int:
-    """Deterministic tenant -> shard placement (CRC32, not ``hash()``)."""
+def stable_shard(name: str, n_shards: int) -> int:
+    """Deterministic tenant -> shard placement (CRC32, not ``hash()``).
+
+    Process-independent by construction, which is what lets the cluster
+    router (:mod:`repro.serve.cluster`) partition tenants across worker
+    processes with exactly the placement the in-process service would
+    have used -- the first ingredient of cross-process bit-identity.
+    """
     return zlib.crc32(name.encode("utf-8")) % n_shards
+
+
+#: Backwards-compatible alias (pre-cluster name).
+_stable_shard = stable_shard
 
 
 class MatchingService:
@@ -120,7 +130,7 @@ class MatchingService:
         """Register a tenant; placement is a stable hash of its name."""
         if spec.name in self._placement:
             raise ValueError(f"tenant {spec.name!r} already registered")
-        shard_id = _stable_shard(spec.name, len(self.shards))
+        shard_id = stable_shard(spec.name, len(self.shards))
         self.shards[shard_id].add_tenant(spec)
         self._placement[spec.name] = shard_id
         if self._obs is not None:
@@ -163,10 +173,21 @@ class MatchingService:
 
     def submit(self, tenant: str, messages: EnvelopeBatch,
                requests: EnvelopeBatch,
-               at_vt: float | None = None) -> Ticket:
-        """Submit one request at the current (or given) virtual time."""
+               at_vt: float | None = None,
+               seq: int | None = None) -> Ticket:
+        """Submit one request at the current (or given) virtual time.
+
+        ``seq`` overrides the service's own sequence counter for this
+        submission (the counter continues from it).  The cluster plane
+        uses this: the router owns the global sequence space, and each
+        worker's single-shard service stamps the router-assigned seq so
+        tickets and covered-seq ledgers line up bit-identically with an
+        in-process run of the same stream.
+        """
         if at_vt is not None:
             self.advance_to(at_vt)
+        if seq is not None:
+            self._next_seq = seq
         shard = self.shards[self._placement[tenant]]
         request = ServeRequest(tenant=tenant, seq=self._next_seq,
                                arrival_vt=self.loop.now,
@@ -209,13 +230,12 @@ class MatchingService:
     @property
     def shed_counts(self) -> dict[str, int]:
         """Aggregate shed accounting across shards."""
-        return {
-            "retryable": sum(s.admission.shed_retryable for s in self.shards),
-            "overloaded": sum(s.admission.shed_overloaded
-                              for s in self.shards),
-            "migrating": sum(s.admission.shed_migrating
-                             for s in self.shards),
-        }
+        totals = {"retryable": 0, "overloaded": 0, "migrating": 0}
+        for shard in self.shards:
+            counts = shard.admission.counts()
+            for key in totals:
+                totals[key] += counts[key]
+        return totals
 
     @property
     def latencies_vt(self) -> np.ndarray:

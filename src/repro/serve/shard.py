@@ -157,6 +157,17 @@ class Shard:
         """Pending envelopes across every tenant accumulator."""
         return sum(len(ts.accumulator) for ts in self.tenants.values())
 
+    def windowed_volume(self) -> int:
+        """Windowed message volume across the shard's tenants.
+
+        Summed per-tenant profiler windows -- the load signal behind both
+        the supervisor's hot-spot rebalancer and the cluster bench's
+        per-shard imbalance statistic (max/mean of this value across
+        workers), so "hot" means the same thing in every plane.
+        """
+        return sum(ts.profiler.profile().n_messages
+                   for ts in self.tenants.values())
+
     def next_deadline_vt(self) -> float | None:
         """Earliest pending batch deadline across the shard's tenants.
 

@@ -6,10 +6,21 @@ The serve bench's headline number -- sustained host matches/s -- says
 stages so overhead is measured, not inferred:
 
 * ``loadgen``   -- building the workload's column stream from a trace;
+* ``transport`` -- wire-frame encode/decode and queue hand-off between
+  the cluster router and its worker processes (zero for in-process
+  runs, where no process boundary exists);
 * ``admission`` -- admission decisions and ticket construction;
 * ``batching``  -- accumulator admits and flush concatenation;
 * ``match``     -- the tenant engines' matching passes;
 * ``result``    -- flush-result assembly, profiling, and autotuning.
+
+In multi-process mode the worker-side stages are merged into the
+router's clock at stats collection, so the per-stage totals are summed
+CPU-seconds across processes -- they can legitimately exceed the run's
+wall time when workers overlap.  ``transport`` charges only the encode,
+enqueue, and decode work the router actually performs, never the time
+spent *waiting* on workers, so the "match %" column in the serve bench
+stays a share of work done rather than of wall idle.
 
 Timing is **measurement-only**: the clock reads ``time.perf_counter``
 but nothing in the serve layer ever branches on it, so attaching a clock
@@ -25,7 +36,8 @@ import time
 __all__ = ["SERVE_STAGES", "StageClock"]
 
 #: The serve pipeline's stages, pipeline order.
-SERVE_STAGES = ("loadgen", "admission", "batching", "match", "result")
+SERVE_STAGES = ("loadgen", "transport", "admission", "batching", "match",
+                "result")
 
 
 class StageClock:

@@ -58,7 +58,24 @@ from .state import (dumps, export_tenant, install_tenant, loads,
                     restore_shard, snapshot_service)
 
 __all__ = ["JournalEntry", "RecoveryReport", "MigrationPlan",
-           "RebalancePolicy", "ShardSupervisor", "run_supervised"]
+           "RebalancePolicy", "ShardSupervisor", "bump_epoch_past_stale",
+           "run_supervised"]
+
+
+def bump_epoch_past_stale(loop, tenant: str, acc) -> None:
+    """Advance an accumulator's epoch past every ``flush`` timer armed
+    for ``tenant`` in ``loop``, so stale deadline timers are skipped
+    exactly (the epoch check in ``MatchingService.advance_to``).
+
+    Shared by the in-process supervisor and the cluster worker: both
+    re-install tenants into a loop that may still hold timers armed for
+    the tenant's previous life (pre-crash epochs, pre-migration source
+    shard), and both must neutralize them the same way.
+    """
+    stale = [ev.payload[1] for ev in loop._heap
+             if ev.kind == "flush" and ev.payload[0] == tenant]
+    if stale:
+        acc.epoch = max(acc.epoch, max(stale) + 1)
 
 
 @dataclass(frozen=True)
@@ -319,10 +336,7 @@ class ShardSupervisor:
     def _bump_epoch(self, tenant: str, acc) -> None:
         """Advance an accumulator's epoch past every loop timer armed for
         ``tenant`` so stale deadline timers are skipped exactly."""
-        stale = [ev.payload[1] for ev in self.svc.loop._heap
-                 if ev.kind == "flush" and ev.payload[0] == tenant]
-        if stale:
-            acc.epoch = max(acc.epoch, max(stale) + 1)
+        bump_epoch_past_stale(self.svc.loop, tenant, acc)
 
     # -- live migration -----------------------------------------------------------
 
@@ -419,11 +433,7 @@ class ShardSupervisor:
 
     def shard_loads(self) -> list[int]:
         """Windowed message volume per shard (profiler-derived)."""
-        loads_ = [0] * len(self.svc.shards)
-        for shard in self.svc.shards:
-            for ts in shard.tenants.values():
-                loads_[shard.shard_id] += ts.profiler.profile().n_messages
-        return loads_
+        return [shard.windowed_volume() for shard in self.svc.shards]
 
     def maybe_rebalance(self) -> MigrationPlan | None:
         """Begin one migration if the rebalance policy sees a hot spot."""

@@ -1,0 +1,223 @@
+"""Cross-process determinism: a same-seed cluster run is bit-identical
+to the in-process :class:`MatchingService`.
+
+The contract under test is the cluster's core relaxation payoff: serve
+decisions never read wall clocks or process identity, and placement is
+the same stable CRC32 hash whether ``n`` counts in-process shards or
+worker processes -- so ``ClusterService(n_workers=N)`` must reproduce
+``MatchingService(n_shards=N)`` exactly: same tickets, same flush
+results (virtual timestamps, covered seqs, per-request latencies,
+engine labels), same report dict.  Identity must survive admission
+shedding (shed decisions are part of the deterministic record, not an
+exception to it) and session tenants (carried state crosses flushes).
+
+Tests default to the ``fork`` start method for speed; one smoke pins
+the ``spawn`` contract (workers must rebuild everything from the wire
+init blob, never inherit router memory).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (AdmissionPolicy, BatchPolicy, ClusterError,
+                         ClusterService, MatchingService, merge_workloads,
+                         run_cluster_workload, run_workload, stable_shard,
+                         workload_from_app)
+
+
+def mixed_workload(seed: int = 7, *, steps: int = 3, n_ranks: int = 24,
+                   session: bool = False):
+    parts = [workload_from_app("df_minife", rate_rps=2000.0,
+                               n_ranks=n_ranks, steps=steps, seed=seed,
+                               tenant_name="mini", session=session),
+             workload_from_app("df_amg", rate_rps=1500.0, n_ranks=n_ranks,
+                               steps=steps, seed=seed + 1,
+                               ordering_required=False, tenant_name="amg",
+                               session=session)]
+    return merge_workloads("mix", parts)
+
+
+def keyed_flushes(results):
+    """Flush results keyed for order-independent comparison.
+
+    The router interleaves response queues nondeterministically in wall
+    time, so ``results`` list order may differ between runs; the keyed
+    *content* -- everything virtual-time-derived -- may not.
+    """
+    out = {}
+    for r in results:
+        key = (r.tenant, r.flush_seq)
+        assert key not in out, f"duplicate flush {key}"
+        out[key] = (r.shard_id, r.flush_vt, r.covered_seqs,
+                    r.latencies_vt, r.engine_label,
+                    r.outcome.matched_count)
+    return out
+
+
+def assert_identical(cluster, service):
+    assert keyed_flushes(cluster.results) == keyed_flushes(service.results)
+    assert cluster.ticket_list() == service.tickets
+    assert cluster.report() == service.report()
+
+
+class TestClusterIdentity:
+    def test_two_workers_match_two_shards(self):
+        wl = mixed_workload(seed=7)
+        svc, _ = run_workload(wl, n_shards=2, seed=7)
+        cluster, _ = run_cluster_workload(wl, n_workers=2, seed=7,
+                                          start_method="fork")
+        assert cluster.report()["matched"] > 0
+        assert_identical(cluster, svc)
+
+    def test_single_worker_matches_single_shard(self):
+        wl = mixed_workload(seed=11, steps=2)
+        svc, _ = run_workload(wl, n_shards=1, seed=11)
+        cluster, _ = run_cluster_workload(wl, n_workers=1, seed=11,
+                                          start_method="fork")
+        assert_identical(cluster, svc)
+
+    def test_identity_under_admission_shedding(self):
+        """Shed tickets are deterministic serve decisions: the cluster
+        must shed the *same* requests with the same retry hints."""
+        wl = mixed_workload(seed=13)
+        admission = AdmissionPolicy(capacity=192, soft_fraction=0.5)
+        batching = BatchPolicy(max_envelopes=256, max_delay_vt=0.05)
+        svc, _ = run_workload(wl, n_shards=2, seed=13,
+                              admission=admission, batching=batching)
+        shed = svc.shed_counts
+        assert shed["retryable"] + shed["overloaded"] > 0, \
+            "scenario must actually shed"
+        cluster, _ = run_cluster_workload(
+            wl, n_workers=2, seed=13, admission=admission,
+            batching=batching, start_method="fork")
+        assert cluster.shed_counts == shed
+        assert_identical(cluster, svc)
+
+    def test_identity_with_session_tenants(self):
+        """Persistent-UMQ carry-over crosses flush boundaries; the
+        worker's carried state must evolve exactly like the shard's."""
+        wl = mixed_workload(seed=17, session=True)
+        svc, _ = run_workload(wl, n_shards=2, seed=17)
+        cluster, _ = run_cluster_workload(wl, n_workers=2, seed=17,
+                                          start_method="fork")
+        assert_identical(cluster, svc)
+
+    def test_spawn_smoke(self):
+        """The spawn-safety contract: a spawned worker holds no forked
+        router memory; everything arrives via the wire init blob."""
+        wl = mixed_workload(seed=19, steps=2, n_ranks=8)
+        svc, _ = run_workload(wl, n_shards=2, seed=19)
+        cluster, _ = run_cluster_workload(wl, n_workers=2, seed=19,
+                                          start_method="spawn")
+        assert_identical(cluster, svc)
+
+
+class TestRouterMechanics:
+    def test_placement_is_the_stable_hash(self):
+        wl = mixed_workload(seed=7, steps=2, n_ranks=8)
+        cluster, _ = run_cluster_workload(wl, n_workers=2, seed=7,
+                                          start_method="fork")
+        report = cluster.report()
+        for spec in wl.tenants:
+            assert report["tenants"][spec.name]["shard"] == \
+                stable_shard(spec.name, 2)
+
+    def test_tickets_cover_every_submission_after_sync(self):
+        wl = mixed_workload(seed=23, steps=2, n_ranks=8)
+        cluster, _ = run_cluster_workload(wl, n_workers=2, seed=23,
+                                          start_method="fork")
+        tickets = cluster.ticket_list()
+        assert len(tickets) == len(wl.arrivals)
+        assert [t.seq for t in tickets] == list(range(len(wl.arrivals)))
+
+    def test_virtual_time_cannot_run_backward(self):
+        wl = mixed_workload(seed=7, steps=2, n_ranks=8)
+        cluster = ClusterService(n_workers=2, seed=7, start_method="fork")
+        for spec in wl.tenants:
+            cluster.register(spec)
+        with cluster:
+            a = wl.arrivals[0]
+            cluster.submit(a.tenant, a.messages, a.requests, at_vt=1.0)
+            with pytest.raises(ClusterError, match="backward"):
+                cluster.submit(a.tenant, a.messages, a.requests,
+                               at_vt=0.5)
+            with pytest.raises(ClusterError, match="backward"):
+                cluster.advance_to(0.25)
+
+    def test_register_after_start_rejected(self):
+        wl = mixed_workload(seed=7, steps=2, n_ranks=8)
+        cluster = ClusterService(n_workers=2, seed=7, start_method="fork")
+        cluster.register(wl.tenants[0])
+        with cluster:
+            with pytest.raises(ClusterError, match="before start"):
+                cluster.register(wl.tenants[1])
+
+    def test_worker_stats_require_sync(self):
+        cluster = ClusterService(n_workers=1, seed=0, start_method="fork")
+        cluster.register(mixed_workload(steps=2, n_ranks=8).tenants[0])
+        with cluster:
+            with pytest.raises(ClusterError, match="sync"):
+                cluster.worker_stats()
+            cluster.sync()
+            assert len(cluster.worker_stats()) == 1
+
+    def test_checkpoint_identity_is_preserved(self):
+        """An explicit mid-run checkpoint (journal truncation included)
+        must not perturb the deterministic record."""
+        wl = mixed_workload(seed=29, steps=2)
+        svc, _ = run_workload(wl, n_shards=2, seed=29)
+        cluster = ClusterService(n_workers=2, seed=29, start_method="fork")
+        for spec in wl.tenants:
+            cluster.register(spec)
+        with cluster:
+            half = len(wl.arrivals) // 2
+            for a in wl.arrivals[:half]:
+                cluster.submit(a.tenant, a.messages, a.requests,
+                               at_vt=a.vt)
+            cluster.checkpoint_now()
+            for a in wl.arrivals[half:]:
+                cluster.submit(a.tenant, a.messages, a.requests,
+                               at_vt=a.vt)
+            cluster.advance_to(cluster.now
+                               + 2.0 * cluster.batching.max_delay_vt)
+            cluster.drain()
+            cluster.sync()
+            assert_identical(cluster, svc)
+
+
+class TestClusterMigration:
+    def test_live_migration_preserves_results(self):
+        """Migrating a tenant between worker processes mid-stream loses
+        nothing: every admitted request still flushes exactly once, and
+        the report lands the tenant on the destination worker."""
+        wl = mixed_workload(seed=31)
+        cluster = ClusterService(n_workers=2, seed=31, start_method="fork")
+        for spec in wl.tenants:
+            cluster.register(spec)
+        moved = wl.tenants[0].name
+        src = stable_shard(moved, 2)
+        dst = 1 - src
+        with cluster:
+            half = len(wl.arrivals) // 2
+            for a in wl.arrivals[:half]:
+                cluster.submit(a.tenant, a.messages, a.requests,
+                               at_vt=a.vt)
+            mig = cluster.begin_migration(moved, dst)
+            assert mig.from_worker == src and mig.to_worker == dst
+            assert len(mig.state_bytes) > 0
+            for a in wl.arrivals[half:]:
+                cluster.submit(a.tenant, a.messages, a.requests,
+                               at_vt=a.vt)
+            cluster.advance_to(cluster.now
+                               + 2.0 * cluster.batching.max_delay_vt)
+            cluster.drain()
+            cluster.sync()
+            assert mig.completed_vt is not None
+            report = cluster.report()
+            assert report["tenants"][moved]["shard"] == dst
+            covered = sorted(s for r in cluster.results
+                             for s in r.covered_seqs)
+            accepted = sorted(t.seq for t in cluster.ticket_list()
+                              if t.accepted)
+            assert covered == accepted

@@ -1,0 +1,75 @@
+"""Per-stage wall-clock accounting, including the ``transport`` stage.
+
+The ``transport`` stage exists because the cluster router does real
+work -- frame encode/decode and queue hand-off -- that no pre-cluster
+stage could attribute: before it, router/IPC time silently leaked into
+whatever stage ran next, so the serve bench's "match %" column was
+wrong in multi-process mode.  The contract pinned here:
+
+* ``transport`` is a first-class member of ``SERVE_STAGES``;
+* an in-process run charges **zero** transport time (no process
+  boundary exists);
+* a cluster run charges **positive** transport time on the router, and
+  the merged per-stage view still includes the worker-side stages;
+* attaching a clock never perturbs outcomes (measurement-only).
+"""
+
+from __future__ import annotations
+
+from repro.serve import (SERVE_STAGES, StageClock, run_cluster_workload,
+                         run_workload, workload_from_app)
+
+
+def small_workload(seed: int = 5):
+    return workload_from_app("df_amg", rate_rps=2000.0, n_ranks=8,
+                             steps=2, seed=seed, ordering_required=False)
+
+
+class TestStageClock:
+    def test_transport_is_a_pipeline_stage(self):
+        assert "transport" in SERVE_STAGES
+        # Between workload construction and the first serve decision.
+        assert SERVE_STAGES.index("transport") < \
+            SERVE_STAGES.index("admission")
+
+    def test_clock_accounting(self):
+        clock = StageClock()
+        assert clock.snapshot() == {s: 0.0 for s in SERVE_STAGES}
+        t0 = clock.start()
+        clock.stop("transport", t0)
+        clock.add("transport", 0.25)
+        snap = clock.snapshot()
+        assert snap["transport"] >= 0.25
+        assert clock.counts["transport"] == 2
+        assert all(snap[s] == 0.0 for s in SERVE_STAGES
+                   if s != "transport")
+
+    def test_in_process_run_charges_zero_transport(self):
+        clock = StageClock()
+        svc, _ = run_workload(small_workload(), n_shards=1, seed=5,
+                              stages=clock)
+        snap = clock.snapshot()
+        assert snap["transport"] == 0.0
+        assert snap["match"] > 0.0
+
+    def test_cluster_run_charges_transport(self):
+        clock = StageClock()
+        cluster, _ = run_cluster_workload(small_workload(), n_workers=1,
+                                          seed=5, start_method="fork",
+                                          stages=clock)
+        # The router did real encode/enqueue work...
+        assert clock.snapshot()["transport"] > 0.0
+        # ...and the merged view spans both processes: router transport
+        # plus the worker-side pipeline stages.
+        merged = cluster.merged_stage_seconds()
+        assert set(merged) == set(SERVE_STAGES)
+        assert merged["transport"] >= clock.snapshot()["transport"]
+        assert merged["match"] > 0.0
+
+    def test_clock_is_measurement_only(self):
+        """Attaching a clock must not perturb the deterministic record."""
+        wl = small_workload(seed=9)
+        bare, _ = run_workload(wl, n_shards=1, seed=9)
+        clocked, _ = run_workload(wl, n_shards=1, seed=9,
+                                  stages=StageClock())
+        assert clocked.report() == bare.report()
