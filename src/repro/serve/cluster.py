@@ -349,8 +349,11 @@ class ClusterService:
         self.recoveries: list[ClusterRecovery] = []
         self.migrations: list[ClusterMigration] = []
         self._pending_migrations: list[ClusterMigration] = []
+        self._awaiting_blob: set[str] = set()
         self._in_maybe_ckpt = False
         self._in_recover = False
+        self._in_send = False
+        self._stopping = False
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -376,10 +379,17 @@ class ClusterService:
         return self
 
     def stop(self) -> None:
-        """Clean shutdown: stop frames, join, terminate stragglers."""
+        """Clean shutdown: stop frames, join, terminate stragglers.
+
+        ``_stopping`` suppresses checkpoint requests (nothing may follow
+        a stop frame) and recovery (a worker found dead now would be
+        respawned, replayed, never stopped, and then eat the join
+        timeout -- terminate it instead).
+        """
         if not self._started or self._stopped:
             self._stopped = True
             return
+        self._stopping = True
         stop_frame = encode_frame("stop", None)
         for w in self._workers:
             if w.alive():
@@ -510,15 +520,18 @@ class ClusterService:
     # -- chaos --------------------------------------------------------------------
 
     def arm_worker_exit(self, worker_id: int,
-                        after_flushes: int = 1) -> None:
+                        after_flushes: int = 1) -> bool:
         """Arm a chaos kill: the worker SIGKILLs itself mid-flush on its
         ``after_flushes``-th non-empty flush from now.  Deliberately
-        **not** journaled -- a recovered worker must not re-die."""
+        **not** journaled -- a recovered worker must not re-die -- so if
+        the worker dies before the frame is enqueued, the arm is simply
+        dropped (returns ``False``) rather than re-sent at the respawn.
+        """
         if after_flushes < 1:
             raise ValueError("after_flushes must be >= 1")
         self._require_live()
         w = self._workers[worker_id]
-        self._post_until_sent(w, encode_frame(
+        return self._post(w, encode_frame(
             "arm_exit", {"after_flushes": after_flushes}))
 
     # -- live migration -----------------------------------------------------------
@@ -543,6 +556,7 @@ class ClusterService:
         cutover_vt = self._now + delay
         src = self._workers[from_worker]
         self._tenant_blobs.pop(tenant, None)
+        self._awaiting_blob.add(tenant)
         self._send(src, self._encode_transport(
             "export_tenant", {"tenant": tenant, "cutover_vt": cutover_vt}))
         blob = self._await_tenant_blob(tenant, src)
@@ -554,18 +568,21 @@ class ClusterService:
 
     def _await_tenant_blob(self, tenant: str, src: _WorkerHandle) -> bytes:
         deadline = time.monotonic() + self.op_timeout
-        while tenant not in self._tenant_blobs:
-            self._pump()
-            if tenant in self._tenant_blobs:
-                break
-            if not src.alive():
-                # the journal holds the export frame; replay re-exports
-                self._recover(src)
-                deadline = time.monotonic() + self.op_timeout
-            if time.monotonic() > deadline:
-                raise ClusterError(f"worker {src.worker_id} never exported "
-                                   f"tenant {tenant!r}")
-            time.sleep(0.001)
+        try:
+            while tenant not in self._tenant_blobs:
+                self._pump()
+                if tenant in self._tenant_blobs:
+                    break
+                if not src.alive():
+                    # the journal holds the export frame; replay re-exports
+                    self._recover(src)
+                    deadline = time.monotonic() + self.op_timeout
+                if time.monotonic() > deadline:
+                    raise ClusterError(f"worker {src.worker_id} never "
+                                       f"exported tenant {tenant!r}")
+                time.sleep(0.001)
+        finally:
+            self._awaiting_blob.discard(tenant)
         return self._tenant_blobs.pop(tenant)
 
     def _fire_cutovers(self) -> None:
@@ -639,9 +656,21 @@ class ClusterService:
 
     def _send(self, w: _WorkerHandle, data: bytes) -> None:
         """Journal a state-mutating frame, then deliver it.  If the
-        worker died, recovery's journal replay already delivered it."""
+        worker died, recovery's journal replay already delivered it.
+
+        ``_in_send`` suppresses checkpoint requests while the frame is
+        journaled but not yet enqueued: a mark taken now would cover the
+        frame's journal slot, yet the checkpoint request could overtake
+        it into the command queue -- the blob would exclude the frame's
+        effects while the truncation drops it from the journal, losing
+        it from any later replay.
+        """
         w.journal.append(data)
-        self._post(w, data)
+        self._in_send = True
+        try:
+            self._post(w, data)
+        finally:
+            self._in_send = False
 
     def _post(self, w: _WorkerHandle, data: bytes) -> bool:
         """Deliver one raw frame, pumping responses while the command
@@ -660,6 +689,8 @@ class ClusterService:
             except queue_mod.Full:
                 self._pump()
                 if not w.alive():
+                    if self._stopping:
+                        return False   # stop() terminates it at the join
                     self._recover(w)
                     return False
                 if time.monotonic() > deadline:
@@ -744,8 +775,12 @@ class ClusterService:
             w.stats = payload
             w.stats_token = int(payload["token"])
         elif kind == "tenant_state":
-            self._tenant_blobs[str(payload["tenant"])] = \
-                bytes(payload["blob"])
+            tenant = str(payload["tenant"])
+            if tenant in self._awaiting_blob:
+                self._tenant_blobs[tenant] = bytes(payload["blob"])
+            # else: a recovery replayed a journaled export_tenant frame
+            # for a migration that already cut over -- the blob has no
+            # consumer, so storing it would only accumulate stale state
         elif kind == "bye":
             w.stopped = True
         else:
@@ -757,10 +792,12 @@ class ClusterService:
         Runs at the tail of every :meth:`_pump` (where flush frames are
         counted); the reentrancy guard keeps the posts inside from
         recursing back into here through their own pumps.  Suppressed
-        during a recovery replay: a request marked mid-replay would
-        truncate journal frames its blob does not cover.
+        during a recovery replay or a mid-delivery :meth:`_send` (a
+        request marked then would truncate journal frames its blob does
+        not cover) and during shutdown (nothing follows a stop frame).
         """
-        if self._in_maybe_ckpt or self._in_recover:
+        if (self._in_maybe_ckpt or self._in_recover or self._in_send
+                or self._stopping):
             return
         self._in_maybe_ckpt = True
         try:
@@ -970,10 +1007,11 @@ def run_cluster_workload(workload: ServeWorkload, *, n_workers: int = 2,
                          admission: AdmissionPolicy | None = None,
                          batching: BatchPolicy | None = None,
                          seed: int = 0, promote_after: int = 3,
-                         profile_window: int = 8,
+                         profile_window: int = 8, verify: bool = False,
                          start_method: str = "spawn",
                          checkpoint_every: int = 8,
-                         queue_depth: int = 256,
+                         queue_depth: int = 256, op_timeout: float = 60.0,
+                         max_respawns: int = 16,
                          stages: StageClock | None = None,
                          arm_exit: tuple[int, int] | None = None,
                          ) -> tuple[ClusterService, float]:
@@ -985,27 +1023,32 @@ def run_cluster_workload(workload: ServeWorkload, *, n_workers: int = 2,
     covers submission through barrier (worker startup and teardown are
     excluded, like service construction is in-process).  ``arm_exit``
     optionally arms a chaos kill as ``(worker_id, after_flushes)``.
+    The worker processes are stopped even when the drive loop raises
+    (e.g. :class:`ClusterError` from a stalled worker).
     """
     cluster = ClusterService(
         n_workers=n_workers, admission=admission, batching=batching,
         seed=seed, promote_after=promote_after,
-        profile_window=profile_window, start_method=start_method,
-        checkpoint_every=checkpoint_every, queue_depth=queue_depth,
-        stages=stages)
+        profile_window=profile_window, verify=verify,
+        start_method=start_method, checkpoint_every=checkpoint_every,
+        queue_depth=queue_depth, op_timeout=op_timeout,
+        max_respawns=max_respawns, stages=stages)
     for spec in workload.tenants:
         cluster.register(spec)
     cluster.start()
-    if arm_exit is not None:
-        cluster.arm_worker_exit(*arm_exit)
-    t0 = time.perf_counter()
-    for arrival in workload.arrivals:
-        cluster.submit(arrival.tenant, arrival.messages, arrival.requests,
-                       at_vt=arrival.vt)
-    if workload.arrivals:
-        cluster.advance_to(cluster.now
-                           + 2.0 * cluster.batching.max_delay_vt)
-    cluster.drain()
-    cluster.sync()
-    wall = time.perf_counter() - t0
-    cluster.stop()
+    try:
+        if arm_exit is not None:
+            cluster.arm_worker_exit(*arm_exit)
+        t0 = time.perf_counter()
+        for arrival in workload.arrivals:
+            cluster.submit(arrival.tenant, arrival.messages,
+                           arrival.requests, at_vt=arrival.vt)
+        if workload.arrivals:
+            cluster.advance_to(cluster.now
+                               + 2.0 * cluster.batching.max_delay_vt)
+        cluster.drain()
+        cluster.sync()
+        wall = time.perf_counter() - t0
+    finally:
+        cluster.stop()
     return cluster, wall

@@ -18,12 +18,15 @@ init blob, never inherit router memory).
 
 from __future__ import annotations
 
+import multiprocessing
+
 import pytest
 
 from repro.serve import (AdmissionPolicy, BatchPolicy, ClusterError,
                          ClusterService, MatchingService, merge_workloads,
                          run_cluster_workload, run_workload, stable_shard,
                          workload_from_app)
+from repro.serve.loadgen import ServeWorkload
 
 
 def mixed_workload(seed: int = 7, *, steps: int = 3, n_ranks: int = 24,
@@ -184,6 +187,112 @@ class TestRouterMechanics:
             cluster.drain()
             cluster.sync()
             assert_identical(cluster, svc)
+
+
+class TestRouterHardening:
+    """Regressions for router races around checkpointing, shutdown, and
+    harness cleanup."""
+
+    def test_no_checkpoint_mark_while_sending(self):
+        """A checkpoint request marked while a journaled frame is still
+        mid-delivery would truncate that frame from the journal without
+        its effects being in the blob -- ``_maybe_checkpoint`` must be a
+        no-op during ``_send``."""
+        cluster = ClusterService(n_workers=1, seed=0, start_method="fork",
+                                 checkpoint_every=1)
+        cluster.register(mixed_workload(steps=2, n_ranks=8).tenants[0])
+        with cluster:
+            w = cluster._workers[0]
+            w.flushes_since_ckpt = cluster.checkpoint_every  # past cadence
+            cluster._in_send = True
+            try:
+                cluster._maybe_checkpoint()
+                assert w.ckpt_mark is None, \
+                    "checkpoint marked while a send was in flight"
+            finally:
+                cluster._in_send = False
+            cluster._maybe_checkpoint()
+            assert w.ckpt_mark is not None  # cadence fires once send ends
+
+    def test_checkpoint_cadence_identity_under_tiny_queue(self):
+        """checkpoint_every=1 with a depth-1 command queue maximises
+        checkpoint requests racing full-queue sends; the record must
+        stay bit-identical to the in-process service."""
+        wl = mixed_workload(seed=37, steps=2)
+        svc, _ = run_workload(wl, n_shards=2, seed=37)
+        cluster, _ = run_cluster_workload(wl, n_workers=2, seed=37,
+                                          start_method="fork",
+                                          checkpoint_every=1,
+                                          queue_depth=1)
+        assert_identical(cluster, svc)
+
+    def test_stop_does_not_recover_dead_workers(self):
+        """A worker found dead during shutdown is terminated at the
+        join, never respawned for a journal replay it would only be
+        killed after."""
+        cluster = ClusterService(n_workers=2, seed=0, start_method="fork")
+        wl = mixed_workload(steps=2, n_ranks=8)
+        for spec in wl.tenants:
+            cluster.register(spec)
+        cluster.start()
+        victim = cluster._workers[0]
+        victim.proc.terminate()
+        victim.proc.join(timeout=5.0)
+        cluster.stop()
+        assert cluster.recoveries == []
+        assert all(not w.alive() for w in cluster._workers)
+
+    def test_replayed_export_does_not_accumulate_blobs(self):
+        """A source recovery after a completed migration replays the
+        journaled export_tenant frame; the re-posted tenant_state has no
+        consumer and must be dropped, not accumulated."""
+        wl = mixed_workload(seed=41, steps=2)
+        cluster = ClusterService(n_workers=2, seed=41, start_method="fork")
+        for spec in wl.tenants:
+            cluster.register(spec)
+        moved = wl.tenants[0].name
+        src = stable_shard(moved, 2)
+        with cluster:
+            half = len(wl.arrivals) // 2
+            for a in wl.arrivals[:half]:
+                cluster.submit(a.tenant, a.messages, a.requests,
+                               at_vt=a.vt)
+            cluster.begin_migration(moved, 1 - src)
+            for a in wl.arrivals[half:]:
+                cluster.submit(a.tenant, a.messages, a.requests,
+                               at_vt=a.vt)
+            cluster.advance_to(cluster.now
+                               + 2.0 * cluster.batching.max_delay_vt)
+            assert cluster.migrations, "migration must have cut over"
+            source = cluster._workers[src]
+            source.proc.terminate()
+            source.proc.join(timeout=5.0)
+            cluster.drain()     # finds the dead source; journal replays
+            cluster.sync()
+            assert any(r.worker_id == src for r in cluster.recoveries)
+            assert cluster._tenant_blobs == {}
+
+    def test_arm_exit_reports_delivery(self):
+        cluster = ClusterService(n_workers=1, seed=0, start_method="fork")
+        cluster.register(mixed_workload(steps=2, n_ranks=8).tenants[0])
+        with cluster:
+            assert cluster.arm_worker_exit(0, after_flushes=100) is True
+
+    def test_workload_harness_stops_workers_on_error(self):
+        """An exception mid-drive (here: an arrival for an unregistered
+        tenant) must still stop the worker processes, and the harness
+        must forward the service knobs it advertises."""
+        wl = mixed_workload(seed=7, steps=2, n_ranks=8)
+        bad = ServeWorkload(name="bad", tenants=wl.tenants[:1],
+                            arrivals=wl.arrivals)
+        assert any(a.tenant != wl.tenants[0].name for a in bad.arrivals)
+        with pytest.raises(KeyError):
+            run_cluster_workload(bad, n_workers=1, seed=7,
+                                 start_method="fork", verify=True,
+                                 op_timeout=10.0, max_respawns=3)
+        leaked = [p for p in multiprocessing.active_children()
+                  if p.name.startswith("repro-serve-worker")]
+        assert leaked == []
 
 
 class TestClusterMigration:
