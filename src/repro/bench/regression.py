@@ -226,6 +226,23 @@ class ServePerfRecord:
     #: offered load in requests/s of virtual time (the open-loop
     #: workload's arrival rate), for p99-vs-offered-load curves.
     offered_rps: float | None = None
+    #: spanning-tenant rank count for fabric runs
+    #: (``benchmarks/bench_fabric.py``); ``None`` for non-fabric entries.
+    span: int | None = None
+    #: inter-shard messages carried per combined pair batch (the
+    #: message-combining figure of merit; >= 1.0 when anything crossed
+    #: the wire).
+    combine_ratio: float | None = None
+    #: combined (src shard, dst shard) batches sent over the run.
+    pair_batches: int | None = None
+    #: inter-shard messages carried by those batches.
+    fabric_messages: int | None = None
+    #: per ordered shard pair batch counts, keyed ``"src->dst"``.
+    per_pair_batches: dict | None = None
+    #: simulated wire seconds charged across all supersteps.
+    wire_virtual_seconds: float | None = None
+    #: fabric flush boundaries driven over the run.
+    supersteps: int | None = None
 
 
 #: Every field a serve record must carry (the ``--smoke`` schema check).
@@ -283,6 +300,27 @@ def validate_serve_entry(entry: dict) -> list[str]:
         if imbalance is not None and imbalance < 1.0:
             problems.append(f"record {i} has imbalance below 1.0 "
                             f"(max/mean cannot undershoot the mean)")
+        combine = rec.get("combine_ratio")
+        if combine is not None and combine < 1.0:
+            problems.append(f"record {i} has combine_ratio below 1.0 "
+                            f"(a pair batch carries at least one message)")
+        for count_field in ("span", "pair_batches", "fabric_messages",
+                            "supersteps"):
+            count = rec.get(count_field)
+            if count is not None and count < 0:
+                problems.append(f"record {i} has negative {count_field}")
+        wire = rec.get("wire_virtual_seconds")
+        if wire is not None and wire < 0:
+            problems.append(f"record {i} has negative wire_virtual_seconds")
+        per_pair = rec.get("per_pair_batches")
+        if per_pair is not None:
+            if any(v < 0 for v in per_pair.values()):
+                problems.append(f"record {i} has negative per-pair count")
+            pair_total = rec.get("pair_batches")
+            if (pair_total is not None
+                    and sum(per_pair.values()) != pair_total):
+                problems.append(f"record {i} per_pair_batches does not "
+                                f"sum to pair_batches")
     if not entry.get("records"):
         problems.append("entry has no records")
     return problems

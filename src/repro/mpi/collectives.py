@@ -15,15 +15,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
-from ..core.envelope import MAX_TAG
-from .communicator import Communicator
+from .communicator import COLLECTIVE_TAG_BASE, Communicator
 
 __all__ = ["barrier", "bcast", "gather", "scatter", "allgather",
            "alltoall", "reduce", "allreduce", "scan",
            "COLLECTIVE_TAG_BASE"]
-
-#: Tags at and above this value are reserved for collectives.
-COLLECTIVE_TAG_BASE = MAX_TAG - 15
 
 _TAG_BARRIER = COLLECTIVE_TAG_BASE + 0
 _TAG_BCAST = COLLECTIVE_TAG_BASE + 1
@@ -44,20 +40,18 @@ def barrier(comm: Communicator) -> None:
     p = comm.size
     if p <= 1:
         return
-    round_ = 0
     dist = 1
     while dist < p:
         reqs = []
         for r in range(p):
             src = (r - dist) % p
-            reqs.append(comm.irecv(r, src, _TAG_BARRIER))
+            reqs.append(comm.coll_irecv(r, src, _TAG_BARRIER))
         for r in range(p):
             dst = (r + dist) % p
-            comm.isend(r, dst, None, _TAG_BARRIER)
+            comm.coll_isend(r, dst, None, _TAG_BARRIER)
         for req in reqs:
             req.wait()
         dist <<= 1
-        round_ += 1
 
 
 def bcast(comm: Communicator, root: int, payload: Any) -> list[Any]:
@@ -78,8 +72,8 @@ def bcast(comm: Communicator, root: int, payload: Any) -> list[Any]:
             target_rel = rel + dist
             if target_rel < p:
                 dst = (target_rel + root) % p
-                reqs.append((dst, comm.irecv(dst, s, _TAG_BCAST)))
-                comm.isend(s, dst, results[s], _TAG_BCAST)
+                reqs.append((dst, comm.coll_irecv(dst, s, _TAG_BCAST)))
+                comm.coll_isend(s, dst, results[s], _TAG_BCAST)
         for dst, req in reqs:
             results[dst] = req.wait()
             have.add(dst)
@@ -97,8 +91,8 @@ def gather(comm: Communicator, root: int,
     for r in range(p):
         if r == root:
             continue
-        reqs[r] = comm.irecv(root, r, _TAG_GATHER)
-        comm.isend(r, root, contributions[r], _TAG_GATHER)
+        reqs[r] = comm.coll_irecv(root, r, _TAG_GATHER)
+        comm.coll_isend(r, root, contributions[r], _TAG_GATHER)
     out = [None] * p
     out[root] = contributions[root]
     for r, req in reqs.items():
@@ -121,11 +115,11 @@ def alltoall(comm: Communicator,
     for j in range(p):
         for i in range(p):
             if i != j:
-                reqs[j][i] = comm.irecv(j, i, _TAG_ALLTOALL)
+                reqs[j][i] = comm.coll_irecv(j, i, _TAG_ALLTOALL)
     for i in range(p):
         for j in range(p):
             if i != j:
-                comm.isend(i, j, send_matrix[i][j], _TAG_ALLTOALL)
+                comm.coll_isend(i, j, send_matrix[i][j], _TAG_ALLTOALL)
     out = [[None] * p for _ in range(p)]
     for j in range(p):
         for i in range(p):
@@ -144,7 +138,6 @@ def reduce(comm: Communicator, root: int, contributions: Sequence[Any],
     if len(contributions) != p:
         raise ValueError("need one contribution per rank")
     values = {r: contributions[r] for r in range(p)}
-    alive = [(r - root) % p for r in range(p)]  # relative ranks
     dist = 1
     while dist < p:
         reqs = []
@@ -153,8 +146,8 @@ def reduce(comm: Communicator, root: int, contributions: Sequence[Any],
             if partner < p:
                 dst = (rel + root) % p
                 src = (partner + root) % p
-                reqs.append((dst, src, comm.irecv(dst, src, _TAG_REDUCE)))
-                comm.isend(src, dst, values[src], _TAG_REDUCE)
+                reqs.append((dst, src, comm.coll_irecv(dst, src, _TAG_REDUCE)))
+                comm.coll_isend(src, dst, values[src], _TAG_REDUCE)
         for dst, src, req in reqs:
             values[dst] = op(values[dst], req.wait())
         dist <<= 1
@@ -171,10 +164,10 @@ def scatter(comm: Communicator, root: int,
     reqs = {}
     for r in range(p):
         if r != root:
-            reqs[r] = comm.irecv(r, root, _TAG_SCATTER)
+            reqs[r] = comm.coll_irecv(r, root, _TAG_SCATTER)
     for r in range(p):
         if r != root:
-            comm.isend(root, r, payloads[r], _TAG_SCATTER)
+            comm.coll_isend(root, r, payloads[r], _TAG_SCATTER)
     out = [None] * p
     out[root] = payloads[root]
     for r, req in reqs.items():
@@ -199,11 +192,11 @@ def allgather(comm: Communicator,
         reqs = []
         for r in range(p):
             left = (r - 1) % p
-            reqs.append(comm.irecv(r, left, _TAG_ALLGATHER))
+            reqs.append(comm.coll_irecv(r, left, _TAG_ALLGATHER))
         for r in range(p):
             right = (r + 1) % p
             piece_idx = (r - step) % p
-            comm.isend(r, right, (piece_idx, views[r][piece_idx]),
+            comm.coll_isend(r, right, (piece_idx, views[r][piece_idx]),
                        _TAG_ALLGATHER)
         for r, req in enumerate(reqs):
             idx, piece = req.wait()
@@ -232,7 +225,7 @@ def scan(comm: Communicator, contributions: Sequence[Any],
     out = [None] * p
     out[0] = contributions[0]
     for r in range(1, p):
-        req = comm.irecv(r, r - 1, _TAG_SCAN)
-        comm.isend(r - 1, r, out[r - 1], _TAG_SCAN)
+        req = comm.coll_irecv(r, r - 1, _TAG_SCAN)
+        comm.coll_isend(r - 1, r, out[r - 1], _TAG_SCAN)
         out[r] = op(req.wait(), contributions[r])
     return out

@@ -15,11 +15,34 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-from ..core.envelope import ANY_SOURCE, MAX_COMM
+from ..core.envelope import ANY_SOURCE, ANY_TAG, MAX_COMM, MAX_TAG
 from .process import Cluster, RankView
 from .request import Request
 
-__all__ = ["Communicator"]
+__all__ = ["Communicator", "COLLECTIVE_TAG_BASE", "check_app_tag"]
+
+#: Tags at and above this value are reserved for collectives
+#: (:mod:`repro.mpi.collectives` re-exports this).  Application
+#: point-to-point traffic must stay below it: a user send on a reserved
+#: tag would alias into collective matching on the same communicator.
+COLLECTIVE_TAG_BASE = MAX_TAG - 15
+
+
+def check_app_tag(tag: int, *, wildcard_ok: bool = False) -> None:
+    """Reject tags outside the application range.
+
+    ``wildcard_ok`` permits :data:`~repro.core.envelope.ANY_TAG` (receive
+    side only).  Reserved tags (>= :data:`COLLECTIVE_TAG_BASE`) are always
+    rejected here -- collectives use the unchecked ``coll_*`` entry points.
+    """
+    if wildcard_ok and tag == ANY_TAG:
+        return
+    if tag >= COLLECTIVE_TAG_BASE:
+        raise ValueError(
+            f"tag {tag} is in the reserved collective range "
+            f"[{COLLECTIVE_TAG_BASE}, {MAX_TAG}]; application "
+            f"point-to-point traffic must use tags below "
+            f"{COLLECTIVE_TAG_BASE}")
 
 
 class Communicator:
@@ -50,6 +73,9 @@ class Communicator:
             if not 0 <= m < cluster.n_ranks:
                 raise ValueError(f"rank {m} outside the cluster")
         self._local_of = {g: l for l, g in enumerate(self.members)}
+        # advance the cluster's allocator past this id so later split()
+        # allocations can never collide with hand-constructed ids
+        cluster.note_comm_id(comm_id)
 
     # -- topology ---------------------------------------------------------------
 
@@ -69,16 +95,21 @@ class Communicator:
     def split(self, color_of: dict[int, int]) -> dict[int, "Communicator"]:
         """MPI_Comm_split analogue: one sub-communicator per color.
 
-        ``color_of`` maps local ranks to colors; the sub-communicators get
-        fresh comm ids allocated after this communicator's.
+        ``color_of`` maps local ranks to colors; every sub-communicator
+        gets a fresh id from the cluster-owned monotonic allocator
+        (:meth:`~repro.mpi.process.Cluster.alloc_comm_id`), so two
+        sibling splits -- or nested splits -- can never hand out
+        colliding comm values.  (The old ``comm_id + 1 + i`` scheme let
+        distinct sub-communicators share a matching-tuple comm value and
+        silently alias unrelated traffic.)
         """
         colors = sorted(set(color_of.values()))
         out = {}
-        for i, color in enumerate(colors):
+        for color in colors:
             members = [self.members[l] for l in sorted(color_of)
                        if color_of[l] == color]
             out[color] = Communicator(self.cluster,
-                                      comm_id=self.comm_id + 1 + i,
+                                      comm_id=self.cluster.alloc_comm_id(),
                                       members=members)
         return out
 
@@ -86,9 +117,14 @@ class Communicator:
 
     def isend(self, src: int, dst: int, payload: Any = None,
               tag: int = 0) -> Request:
-        """Nonblocking send from local rank ``src`` to local rank ``dst``."""
-        return self._view(src).isend(self.global_rank(dst), payload, tag,
-                                     comm=self.comm_id)
+        """Nonblocking send from local rank ``src`` to local rank ``dst``.
+
+        Application API: tags in the reserved collective range
+        (>= :data:`COLLECTIVE_TAG_BASE`) are rejected -- they would alias
+        into collective matching on this communicator.
+        """
+        check_app_tag(tag)
+        return self.coll_isend(src, dst, payload, tag)
 
     def send(self, src: int, dst: int, payload: Any = None,
              tag: int = 0) -> None:
@@ -99,8 +135,25 @@ class Communicator:
         """Nonblocking receive at local rank ``dst`` from local ``src``.
 
         ``src`` may be ANY_SOURCE (subject to the cluster's relaxations);
-        a concrete source is translated to its cluster rank.
+        a concrete source is translated to its cluster rank.  Like
+        :meth:`isend`, reserved collective tags are rejected
+        (:data:`~repro.core.envelope.ANY_TAG` stays legal -- a wildcard
+        is not a reserved tag).
         """
+        check_app_tag(tag, wildcard_ok=True)
+        return self.coll_irecv(dst, src, tag)
+
+    # -- collective entry points (reserved tags allowed) --------------------------
+
+    def coll_isend(self, src: int, dst: int, payload: Any = None,
+                   tag: int = 0) -> Request:
+        """:meth:`isend` without the application tag-range check; the
+        entry point :mod:`repro.mpi.collectives` uses for reserved tags."""
+        return self._view(src).isend(self.global_rank(dst), payload, tag,
+                                     comm=self.comm_id)
+
+    def coll_irecv(self, dst: int, src: int, tag: int) -> Request:
+        """:meth:`irecv` without the application tag-range check."""
         global_src = src if src == ANY_SOURCE else self.global_rank(src)
         return self._view(dst).irecv(global_src, tag, comm=self.comm_id)
 

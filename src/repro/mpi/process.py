@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..core.engine import MatchingEngine
+from ..core.envelope import MAX_COMM
 from ..core.relaxations import RelaxationSet
 from ..simt.gpu import GPUSpec, PASCAL_GTX1080
 from .datatypes import Protocol, clone_payload
@@ -114,6 +115,38 @@ class Cluster:
                           for rank in range(n_ranks)]
         self.network.attach(self._deliver)
         self._views = [RankView(self, r) for r in range(n_ranks)]
+        #: next communicator id the cluster will hand out; advanced by
+        #: :meth:`note_comm_id` whenever a Communicator binds an explicit
+        #: id, so allocated ids can never collide with declared ones.
+        self._next_comm_id = 1
+
+    # -- communicator id space ---------------------------------------------------
+
+    def note_comm_id(self, comm_id: int) -> None:
+        """Record an explicitly bound communicator id.
+
+        The allocator continues past every id it has seen, so a later
+        :meth:`alloc_comm_id` can never alias a communicator the program
+        constructed by hand.
+        """
+        self._next_comm_id = max(self._next_comm_id, comm_id + 1)
+
+    def alloc_comm_id(self) -> int:
+        """Allocate a fresh communicator id from the cluster-owned
+        monotonic counter.
+
+        The comm value is part of the matching tuple, so two distinct
+        communicators sharing an id would silently alias unrelated
+        traffic -- the :meth:`Communicator.split` collision bug this
+        counter exists to prevent.  Raises once the 16-bit comm space
+        (:data:`~repro.core.envelope.MAX_COMM`) is exhausted.
+        """
+        cid = self._next_comm_id
+        if cid > MAX_COMM:
+            raise ValueError(f"communicator id space exhausted "
+                             f"(comm_id {cid} > MAX_COMM {MAX_COMM})")
+        self._next_comm_id = cid + 1
+        return cid
 
     # -- plumbing ------------------------------------------------------------------
 

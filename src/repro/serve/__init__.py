@@ -36,7 +36,14 @@ system:
   frames, with a router owning placement, the global sequence space,
   and response collection; a same-seed cluster run is bit-identical to
   the in-process service, and worker death recovers by checkpoint +
-  verbatim journal re-execution across the process boundary.
+  verbatim journal re-execution across the process boundary;
+* **cross-shard tenants + the combining fabric** (:mod:`.fabric`) --
+  ``TenantSpec(span=N)`` tenants spread sub-shards across the service,
+  with inter-shard traffic coalesced into one combined column block per
+  shard pair per superstep (Träff-style sparse-collective message
+  combining) and a :class:`~repro.serve.fabric.CollectiveBridge` that
+  runs every :mod:`repro.mpi.collectives` algorithm over the serve
+  plane, bit-identically in-process and across worker processes.
 
 See ``docs/SERVING.md`` for the architecture walk-through and
 ``docs/FAULT_MODEL.md`` for the failure semantics.
@@ -47,6 +54,8 @@ from .autotuner import LATTICE, Autotuner, RetuneEvent, lattice_rank
 from .batching import BatchAccumulator, BatchPolicy, concat_batches
 from .cluster import (ClusterError, ClusterMigration, ClusterRecovery,
                       ClusterService, run_cluster_workload)
+from .fabric import (BridgeRequest, CollectiveBridge, Fabric, FabricError,
+                     FabricFlush, FabricLink)
 from .loadgen import (DEFAULT_BENCH_APPS, ServeArrival, ServeWorkload,
                       busiest_rank, demo, merge_workloads, run_workload,
                       tenant_stream_from_trace, workload_from_app)
@@ -87,4 +96,6 @@ __all__ = [
     "encode_frame", "decode_frame",
     "ClusterError", "ClusterRecovery", "ClusterMigration",
     "ClusterService", "run_cluster_workload",
+    "FabricError", "FabricLink", "FabricFlush", "Fabric",
+    "BridgeRequest", "CollectiveBridge",
 ]

@@ -220,6 +220,28 @@ def _worker_main(init_blob: bytes, cmd_q, resp_q) -> None:
                     svc.loop.schedule(
                         max(ts.accumulator.deadline_vt, svc.now),
                         "flush", (name, ts.accumulator.epoch))
+            elif kind == "fabric_xfer":
+                # Rebuild the transfer with live batches and reuse the
+                # in-process delivery path; the combined block's packed64
+                # cache survives the state-dict round trip, so segment
+                # slices still share one packing.
+                block = payload["block"]
+                xfer = {
+                    "at_vt": float(payload["at_vt"]),
+                    "block": (None if block is None
+                              else EnvelopeBatch.from_state_dict(block)),
+                    "segments": [
+                        {"tenant": str(seg["tenant"]),
+                         "seq": int(seg["seq"]),
+                         "start": int(seg["start"]),
+                         "stop": int(seg["stop"]),
+                         "requests": (
+                             None if seg["requests"] is None
+                             else EnvelopeBatch.from_state_dict(
+                                 seg["requests"]))}
+                        for seg in payload["segments"]],
+                }
+                svc.fabric_deliver(0, xfer)
             elif kind == "release_tenant":
                 tenant = str(payload["tenant"])
                 shard.migrating.pop(tenant, None)
@@ -336,6 +358,7 @@ class ClusterService:
         self._ctx = mp.get_context(start_method)
         self._workers = [_WorkerHandle(i) for i in range(n_workers)]
         self._placement: dict[str, int] = {}   # registration order
+        self._spans: dict[str, list[str]] = {}
         self._specs: dict[str, TenantSpec] = {}
         self._next_seq = 0
         self._now = 0.0
@@ -359,15 +382,34 @@ class ClusterService:
 
     def register(self, spec: TenantSpec) -> None:
         """Register a tenant; placement is the stable CRC32 hash, with
-        worker processes standing where shards stand in-process."""
+        worker processes standing where shards stand in-process.
+
+        Spanning tenants (``spec.span > 1``) expand router-side into
+        span-1 sub-tenants exactly as the in-process service does;
+        workers only ever see ordinary specs.
+        """
         if self._started:
             raise ClusterError("register tenants before start()")
-        if spec.name in self._placement:
+        if spec.name in self._placement or spec.name in self._spans:
             raise ValueError(f"tenant {spec.name!r} already registered")
+        if spec.span > 1:
+            subs = spec.sub_specs()
+            for sub in subs:
+                self.register(sub)
+            self._spans[spec.name] = [s.name for s in subs]
+            return
         worker_id = stable_shard(spec.name, self.n_workers)
         self._placement[spec.name] = worker_id
         self._specs[spec.name] = spec
         self._workers[worker_id].specs.append(spec)
+
+    def sub_tenants(self, name: str) -> list[str]:
+        """The sub-tenant names a registered tenant expands to."""
+        if name in self._spans:
+            return list(self._spans[name])
+        if name in self._placement:
+            return [name]
+        raise KeyError(f"tenant {name!r} not registered")
 
     def start(self) -> "ClusterService":
         """Spawn every worker process (idempotent misuse is an error)."""
@@ -480,6 +522,42 @@ class ClusterService:
         frame = self._encode_transport("drain", None)
         for w in self._workers:
             self._send(w, frame)
+        self._pump()
+
+    # -- fabric plane -------------------------------------------------------------
+    #
+    # Same duck-typed surface as MatchingService: the fabric never knows
+    # which plane it is driving.  Transfers travel as journaled
+    # ``fabric_xfer`` frames, so a worker SIGKILLed mid-superstep replays
+    # them verbatim at recovery -- zero envelopes lost -- and the
+    # ``(tenant, flush_seq)`` dedupe absorbs any re-derived flushes.
+
+    def fabric_shard(self, tenant: str) -> int:
+        """Placement of one (sub-)tenant -- the fabric's routing key."""
+        return self._placement[tenant]
+
+    def fabric_alloc_seq(self) -> int:
+        """Allocate one seq from the router-owned global sequence space."""
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def fabric_deliver(self, dst_shard: int, xfer: dict) -> None:
+        """Route one fabric transfer to the destination worker."""
+        self._require_live()
+        block = xfer["block"]
+        payload = {
+            "at_vt": float(xfer["at_vt"]),
+            "block": None if block is None else block.state_dict(),
+            "segments": [
+                {"tenant": seg["tenant"], "seq": seg["seq"],
+                 "start": seg["start"], "stop": seg["stop"],
+                 "requests": (None if seg["requests"] is None
+                              else seg["requests"].state_dict())}
+                for seg in xfer["segments"]],
+        }
+        frame = self._encode_transport("fabric_xfer", payload)
+        self._send(self._workers[dst_shard], frame)
         self._pump()
 
     def sync(self) -> None:

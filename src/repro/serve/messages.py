@@ -25,7 +25,7 @@ latencies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..core.envelope import EnvelopeBatch
 from ..core.relaxations import RelaxationSet
@@ -105,6 +105,16 @@ class TenantSpec:
         Age bound: a carried envelope that stays unmatched for this many
         subsequent flushes is shed (age-based shedding keeps a dead
         tuple from pinning session memory forever).
+    span:
+        Number of shards the tenant spans.  ``1`` (default) is the
+        classic single-shard tenant.  ``span=N`` registers N sub-tenants
+        named ``name#0 .. name#N-1``, each placed independently by the
+        CRC32 placement rule, and the cross-shard fabric
+        (:mod:`repro.serve.fabric`) routes traffic between them.  The
+        ``#`` separator is reserved: a spanning tenant's base name may
+        not contain it.  Sessions are incompatible with spanning --
+        carryover rows would break the fabric's one-result-per-superstep
+        row alignment.
     """
 
     name: str
@@ -116,6 +126,7 @@ class TenantSpec:
     session: bool = False
     session_max_carryover: int = 4096
     session_max_age_flushes: int = 8
+    span: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -127,6 +138,29 @@ class TenantSpec:
             raise ValueError("session_max_carryover must be >= 1")
         if self.session_max_age_flushes < 1:
             raise ValueError("session_max_age_flushes must be >= 1")
+        if self.span < 1:
+            raise ValueError("span must be >= 1")
+        if self.span > 1:
+            if "#" in self.name:
+                raise ValueError(
+                    "spanning tenant names may not contain '#' "
+                    "(reserved as the sub-tenant separator)")
+            if self.session:
+                raise ValueError(
+                    "session mode is incompatible with span > 1: carryover "
+                    "rows would break fabric superstep row alignment")
+
+    def sub_specs(self) -> list["TenantSpec"]:
+        """The span-1 sub-tenant specs a spanning tenant expands into.
+
+        ``span=1`` tenants expand to themselves; ``span=N`` yields N
+        specs named ``name#0 .. name#N-1`` that are registered (and
+        placed) as ordinary tenants.
+        """
+        if self.span == 1:
+            return [self]
+        return [replace(self, name=f"{self.name}#{i}", span=1)
+                for i in range(self.span)]
 
     def initial_relaxations(self) -> RelaxationSet:
         """Where the tenant's engine starts on the lattice."""

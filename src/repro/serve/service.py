@@ -120,6 +120,7 @@ class MatchingService:
                              obs=obs, stages=stages)
                        for i in range(n_shards)]
         self._placement: dict[str, int] = {}
+        self._spans: dict[str, list[str]] = {}
         self._next_seq = 0
         self.results: list[FlushResult] = []
         self.tickets: list[Ticket] = []
@@ -127,15 +128,39 @@ class MatchingService:
     # -- tenant lifecycle ---------------------------------------------------------
 
     def register(self, spec: TenantSpec) -> None:
-        """Register a tenant; placement is a stable hash of its name."""
-        if spec.name in self._placement:
+        """Register a tenant; placement is a stable hash of its name.
+
+        A spanning tenant (``spec.span > 1``) expands into ``span``
+        ordinary sub-tenants named ``name#0 .. name#span-1``, each placed
+        independently; the base name routes through
+        :meth:`sub_tenants` and never appears in the placement map.
+        """
+        if spec.name in self._placement or spec.name in self._spans:
             raise ValueError(f"tenant {spec.name!r} already registered")
+        if spec.span > 1:
+            subs = spec.sub_specs()
+            for sub in subs:
+                self.register(sub)
+            self._spans[spec.name] = [s.name for s in subs]
+            return
         shard_id = stable_shard(spec.name, len(self.shards))
         self.shards[shard_id].add_tenant(spec)
         self._placement[spec.name] = shard_id
         if self._obs is not None:
             self._obs.instant("serve.register", tenant=spec.name,
                               shard=shard_id)
+
+    def sub_tenants(self, name: str) -> list[str]:
+        """The sub-tenant names a registered tenant expands to.
+
+        A spanning tenant returns its ``name#i`` list in sub-shard
+        order; a plain tenant returns ``[name]``.
+        """
+        if name in self._spans:
+            return list(self._spans[name])
+        if name in self._placement:
+            return [name]
+        raise KeyError(f"tenant {name!r} not registered")
 
     def tenant(self, name: str) -> TenantState:
         """The tenant's live state (engine, profiler, retune log)."""
@@ -206,6 +231,64 @@ class MatchingService:
             self.loop.schedule(acc.deadline_vt, "flush",
                                (tenant, acc.epoch))
         return ticket
+
+    # -- fabric plane -------------------------------------------------------------
+    #
+    # The duck-typed surface :class:`repro.serve.fabric.Fabric` drives.
+    # :class:`~repro.serve.cluster.ClusterService` exposes the same four
+    # methods, which is what keeps fabric runs bit-identical between the
+    # in-process and multi-process planes.
+
+    def fabric_shard(self, tenant: str) -> int:
+        """Placement of one (sub-)tenant -- the fabric's routing key."""
+        return self._placement[tenant]
+
+    def fabric_alloc_seq(self) -> int:
+        """Allocate one sequence number from the global submission space.
+
+        Fabric deliveries share the sequence space with client
+        submissions so ``report()['submitted']`` counts every request
+        either plane saw, in the same order.
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def deliver(self, tenant: str, messages: EnvelopeBatch,
+                requests: EnvelopeBatch, at_vt: float, seq: int) -> None:
+        """Admit one fabric delivery into a tenant's accumulator.
+
+        Bypasses admission control (the envelopes were already charged at
+        their source shard) but still arms the batch-deadline timer, so a
+        delivery that is never explicitly flushed still drains at the
+        accumulator's deadline.
+        """
+        self._next_seq = max(self._next_seq, seq + 1)
+        shard = self.shards[self._placement[tenant]]
+        request = ServeRequest(tenant=tenant, seq=seq, arrival_vt=at_vt,
+                               messages=messages, requests=requests)
+        acc = shard.tenants[tenant].accumulator
+        was_empty = len(acc) == 0
+        shard.deliver(request)
+        if was_empty and len(acc) > 0:
+            self.loop.schedule(acc.deadline_vt, "flush", (tenant, acc.epoch))
+
+    def fabric_deliver(self, dst_shard: int, xfer: dict) -> None:
+        """Deliver one fabric transfer (see :mod:`repro.serve.fabric`).
+
+        ``xfer['block']`` is the combined per-pair column block; each
+        segment slices its tenant's rows out of it (slices reuse the
+        cached packed64 column -- zero re-marshalling).
+        """
+        block = xfer["block"]
+        for seg in xfer["segments"]:
+            msgs = (block[seg["start"]:seg["stop"]] if block is not None
+                    else EnvelopeBatch.empty())
+            reqs = seg["requests"]
+            if reqs is None:
+                reqs = EnvelopeBatch.empty()
+            self.deliver(seg["tenant"], msgs, reqs,
+                         at_vt=xfer["at_vt"], seq=seg["seq"])
 
     def drain(self) -> list[FlushResult]:
         """Flush every pending accumulator at the current virtual time."""

@@ -238,6 +238,26 @@ class Shard:
         return (Ticket(status=ACCEPTED, tenant=request.tenant,
                        seq=request.seq), result)
 
+    def deliver(self, request: ServeRequest) -> None:
+        """Admit a fabric delivery, bypassing admission control.
+
+        Fabric traffic is already inside the system -- it was charged at
+        its source shard -- so shedding it here would lose envelopes the
+        sender believes are in flight.  Deliveries never trigger the
+        size-watermark flush either: the fabric flushes tenants at
+        superstep boundaries, and an early partial flush would split a
+        superstep's rows across two results.
+        """
+        ts = self.tenants[request.tenant]
+        stages = self._stages
+        t0 = StageClock.start() if stages is not None else 0.0
+        ts.accumulator.admit(request)
+        if stages is not None:
+            stages.stop("fabric", t0)
+        ts.requests_total += 1
+        if self._obs is not None:
+            self._obs.count("serve.fabric.delivered")
+
     # -- flushing -----------------------------------------------------------------
 
     def flush_tenant(self, tenant: str, now_vt: float) -> FlushResult | None:

@@ -10,6 +10,8 @@ stages so overhead is measured, not inferred:
   the cluster router and its worker processes (zero for in-process
   runs, where no process boundary exists);
 * ``admission`` -- admission decisions and ticket construction;
+* ``fabric``    -- cross-shard combining: outbox drains, per-pair block
+  packing, and fabric deliveries into destination accumulators;
 * ``batching``  -- accumulator admits and flush concatenation;
 * ``match``     -- the tenant engines' matching passes;
 * ``result``    -- flush-result assembly, profiling, and autotuning.
@@ -36,8 +38,8 @@ import time
 __all__ = ["SERVE_STAGES", "StageClock"]
 
 #: The serve pipeline's stages, pipeline order.
-SERVE_STAGES = ("loadgen", "transport", "admission", "batching", "match",
-                "result")
+SERVE_STAGES = ("loadgen", "transport", "admission", "fabric", "batching",
+                "match", "result")
 
 
 class StageClock:

@@ -415,7 +415,8 @@ def _spec_state(spec: TenantSpec) -> dict:
             "n_ctas": spec.n_ctas,
             "session": spec.session,
             "session_max_carryover": spec.session_max_carryover,
-            "session_max_age_flushes": spec.session_max_age_flushes}
+            "session_max_age_flushes": spec.session_max_age_flushes,
+            "span": spec.span}
 
 
 def _spec_from(state: dict) -> TenantSpec:
@@ -429,7 +430,8 @@ def _spec_from(state: dict) -> TenantSpec:
         n_ctas=int(state["n_ctas"]),
         session=bool(state["session"]),
         session_max_carryover=int(state["session_max_carryover"]),
-        session_max_age_flushes=int(state["session_max_age_flushes"]))
+        session_max_age_flushes=int(state["session_max_age_flushes"]),
+        span=int(state.get("span", 1)))
 
 
 def _request_state(r: ServeRequest) -> dict:

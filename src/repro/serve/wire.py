@@ -64,6 +64,9 @@ FRAME_KINDS = (
     "export_tenant", "install_tenant", "release_tenant", "stop",
     "ticket", "flush", "checkpointed", "stats_reply", "tenant_state",
     "bye",
+    # appended in PR 9 -- kind ids are tuple indices, so new kinds only
+    # ever go at the end
+    "fabric_xfer",
 )
 
 _KIND_ID = {kind: i for i, kind in enumerate(FRAME_KINDS)}

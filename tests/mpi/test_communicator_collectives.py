@@ -67,6 +67,95 @@ class TestCommunicator:
         assert req.wait() == b"q"
 
 
+class TestCommIdAllocation:
+    """Regression: sibling and nested splits must never collide.
+
+    The old ``comm_id + 1 + i`` scheme gave two sibling splits from the
+    same parent overlapping comm values, silently aliasing unrelated
+    traffic into one matching tuple.
+    """
+
+    def test_sibling_splits_never_collide(self):
+        comm = make_comm(4)
+        first = comm.split({0: 0, 1: 1, 2: 0, 3: 1})
+        second = comm.split({0: 0, 1: 0, 2: 1, 3: 1})
+        ids = [c.comm_id for c in first.values()] \
+            + [c.comm_id for c in second.values()] + [comm.comm_id]
+        assert len(set(ids)) == len(ids)
+
+    def test_nested_splits_never_collide(self):
+        comm = make_comm(8)
+        halves = comm.split({l: l // 4 for l in range(8)})
+        quarters = []
+        for half in halves.values():
+            quarters.extend(
+                half.split({l: l // 2 for l in range(half.size)}).values())
+        ids = [comm.comm_id] + [c.comm_id for c in halves.values()] \
+            + [c.comm_id for c in quarters]
+        assert len(set(ids)) == len(ids)
+
+    def test_sibling_split_traffic_is_isolated(self):
+        """The bug's observable symptom: traffic on one split's color
+        leaking into the sibling split's same-color communicator."""
+        comm = make_comm(4)
+        a = comm.split({0: 0, 1: 0, 2: 1, 3: 1})[0]   # ranks 0,1
+        b = comm.split({0: 0, 1: 0, 2: 1, 3: 1})[0]   # same members
+        req_b = b.irecv(1, 0, tag=3)
+        a.isend(0, 1, b"on-a", tag=3)
+        assert not req_b.test()
+        assert a.irecv(1, 0, tag=3).wait() == b"on-a"
+
+    def test_hand_constructed_ids_advance_allocator(self):
+        c = Cluster(2)
+        Communicator(c, comm_id=7)
+        comm = Communicator(c, comm_id=0)
+        assert comm.split({0: 0, 1: 0})[0].comm_id > 7
+
+    def test_exhaustion_raises(self):
+        from repro.core.envelope import MAX_COMM
+        c = Cluster(2)
+        comm = Communicator(c, comm_id=MAX_COMM)
+        with pytest.raises(ValueError, match="exhausted"):
+            comm.split({0: 0, 1: 0})
+
+
+class TestReservedTagRange:
+    """Application point-to-point traffic must stay below the
+    collective tag range; collectives use the unchecked entry points."""
+
+    def test_isend_rejects_reserved_tags(self):
+        from repro.mpi.communicator import COLLECTIVE_TAG_BASE
+        comm = make_comm(2)
+        with pytest.raises(ValueError, match="reserved collective"):
+            comm.isend(0, 1, b"x", tag=COLLECTIVE_TAG_BASE)
+
+    def test_irecv_rejects_reserved_tags(self):
+        from repro.core.envelope import MAX_TAG
+        comm = make_comm(2)
+        with pytest.raises(ValueError, match="reserved collective"):
+            comm.irecv(1, 0, tag=MAX_TAG)
+
+    def test_any_tag_still_legal_on_receive(self):
+        from repro.core.envelope import ANY_TAG
+        comm = make_comm(2)   # default relaxations support wildcards
+        req = comm.irecv(1, 0, tag=ANY_TAG)
+        comm.isend(0, 1, b"w", tag=9)
+        assert req.wait() == b"w"
+
+    def test_boundary_tag_is_legal(self):
+        from repro.mpi.communicator import COLLECTIVE_TAG_BASE
+        comm = make_comm(2)
+        req = comm.irecv(1, 0, tag=COLLECTIVE_TAG_BASE - 1)
+        comm.isend(0, 1, b"edge", tag=COLLECTIVE_TAG_BASE - 1)
+        assert req.wait() == b"edge"
+
+    def test_collectives_still_use_reserved_tags(self):
+        """Collectives keep working through coll_* despite the check."""
+        comm = make_comm(4)
+        assert bcast(comm, 1, "v") == ["v"] * 4
+        barrier(comm)
+
+
 class TestCollectives:
     @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
     def test_barrier_all_sizes(self, p):
