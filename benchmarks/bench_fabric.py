@@ -42,6 +42,7 @@ from pathlib import Path
 from repro.bench import Table, format_rate, write_result
 from repro.bench.regression import (ServePerfRecord, append_entry,
                                     serve_report_path, validate_serve_entry)
+from repro.mpi import CartGraph
 from repro.mpi import collectives as C
 from repro.serve import (CollectiveBridge, FabricLink, MatchingService,
                          TenantSpec, stable_shard)
@@ -177,6 +178,34 @@ def run_alltoall_point(*, n_shards: int, span: int, payload_bytes: int,
                         wall=wall, name=f"fabric-alltoall-s{n_shards}")
 
 
+def run_neighbor_point(*, n_shards: int, span: int, payload_bytes: int,
+                       supersteps: int, seed: int) -> ServePerfRecord:
+    """Sparse neighborhood collective over a periodic Cartesian grid:
+    only declared edges carry traffic, and those that cross shards must
+    still coalesce -- at most one combined batch per ordered occupied
+    pair per superstep (sparsity can only *reduce* the pair count,
+    never multiply batches)."""
+    svc, bridge = make_bridge(n_shards=n_shards, span=span, seed=seed,
+                              payload_bytes=payload_bytes)
+    topo = CartGraph((span // 2, 2) if span % 2 == 0 else (span,),
+                     periodic=True)
+    t0 = time.perf_counter()
+    for _ in range(supersteps):
+        C.neighbor_alltoall(
+            bridge, topo,
+            [[(r, d) for d in topo.destinations(r)] for r in range(span)])
+    wall = time.perf_counter() - t0
+    fabric = bridge.fabric
+    too_many = {pair: n for pair, n in fabric.per_pair_batches.items()
+                if n > supersteps}
+    if too_many:
+        raise SystemExit(
+            f"neighborhood combining violated: pair batches exceeded one "
+            f"per superstep: {too_many}")
+    return record_point(svc, bridge, seed=seed, n_shards=n_shards,
+                        wall=wall, name=f"fabric-neighbor-s{n_shards}")
+
+
 def fabric_table(records: list[ServePerfRecord],
                  title: str = "Combining fabric sweep") -> Table:
     table = Table(title=title,
@@ -208,6 +237,9 @@ def sweep(*, shards: tuple[int, ...], fanouts: tuple[int, ...],
                     payload_bytes=payload_bytes, supersteps=supersteps,
                     seed=seed))
         records.append(run_alltoall_point(
+            n_shards=n_shards, span=span, payload_bytes=max(sizes),
+            supersteps=max(1, supersteps // 2), seed=seed))
+        records.append(run_neighbor_point(
             n_shards=n_shards, span=span, payload_bytes=max(sizes),
             supersteps=max(1, supersteps // 2), seed=seed))
     return records

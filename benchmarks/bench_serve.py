@@ -36,15 +36,16 @@ from repro.bench.regression import (ServePerfRecord, append_entry,
                                     load_report, serve_entry_rates,
                                     serve_regression_failures,
                                     serve_report_path, validate_serve_entry)
-from repro.serve import (DEFAULT_BENCH_APPS, BatchPolicy, MatchingService,
-                         ServeWorkload, ShardSupervisor, StageClock,
-                         merge_workloads, run_supervised, run_workload,
-                         workload_from_app)
+from repro.serve import (BENCHPARK_BENCH_APPS, DEFAULT_BENCH_APPS,
+                         BatchPolicy, MatchingService, ServeWorkload,
+                         ShardSupervisor, StageClock, merge_workloads,
+                         run_supervised, run_workload, workload_from_app)
 
 
 def bench_workloads(*, seed: int = 0, rate_rps: float = 4000.0,
                     steps: int = 16, n_ranks: int | None = None,
                     chunk_envelopes: int = 256, session: bool = False,
+                    benchpark: bool = False,
                     ) -> list[tuple[ServeWorkload, float]]:
     """One ``(workload, loadgen_seconds)`` per default bench app (>= 3).
 
@@ -57,16 +58,26 @@ def bench_workloads(*, seed: int = 0, rate_rps: float = 4000.0,
     sustained rate measures the pipeline, not process startup: the
     columnar data plane makes block size nearly free on the serve side,
     so blocks are sized for flush amortization.
+
+    ``benchpark=True`` extends the sweep with the three Benchpark
+    re-fire workloads (declared ``partitioned``, so their autotuners pin
+    the match-once lattice point).
     """
+    apps = [(app, ordering, False)
+            for app, ordering in DEFAULT_BENCH_APPS]
+    if benchpark:
+        apps += [(app, ordering, True)
+                 for app, ordering in BENCHPARK_BENCH_APPS]
     out = []
-    for app, ordering_required in DEFAULT_BENCH_APPS:
+    for app, ordering_required, partitioned in apps:
         t0 = time.perf_counter()
         workload = workload_from_app(app, rate_rps=rate_rps,
                                      n_ranks=n_ranks, steps=steps,
                                      chunk_envelopes=chunk_envelopes,
                                      seed=seed,
                                      ordering_required=ordering_required,
-                                     session=session)
+                                     session=session,
+                                     partitioned=partitioned)
         out.append((workload, time.perf_counter() - t0))
     return out
 
@@ -344,6 +355,10 @@ def main(argv: list[str] | None = None) -> None:
     ap.add_argument("--sessions", action="store_true",
                     help="run tenants in persistent-UMQ session mode "
                          "(unmatched envelopes carry over across flushes)")
+    ap.add_argument("--benchpark", action="store_true",
+                    help="extend the sweep with the Benchpark re-fire "
+                         "workloads (bp_amg2023/bp_kripke/bp_laghos, "
+                         "declared partitioned)")
     ap.add_argument("--kill-at", type=int, default=None, metavar="N",
                     dest="kill_at",
                     help="chaos: kill the victim shard after N non-empty "
@@ -378,7 +393,8 @@ def main(argv: list[str] | None = None) -> None:
     workloads = bench_workloads(seed=args.seed, rate_rps=args.rate,
                                 steps=args.steps, n_ranks=args.ranks,
                                 chunk_envelopes=args.chunk,
-                                session=args.sessions)
+                                session=args.sessions,
+                                benchpark=args.benchpark)
     records = []
     for w, loadgen_seconds in workloads:
         rec = run_one(w, seed=args.seed, loadgen_seconds=loadgen_seconds)

@@ -243,6 +243,20 @@ class ServePerfRecord:
     wire_virtual_seconds: float | None = None
     #: fabric flush boundaries driven over the run.
     supersteps: int | None = None
+    #: partitions per channel epoch for partitioned-channel runs
+    #: (``benchmarks/bench_partitioned.py``); ``None`` otherwise.
+    partitions: int | None = None
+    #: partition re-fires amortized per matched binding envelope
+    #: (= partitions, when every epoch completed).
+    refires_per_match: int | None = None
+    #: partition transfers/s sustained by the partitioned stream.
+    partitioned_rate: float | None = None
+    #: transfers/s of the equivalent non-partitioned stream (every
+    #: transfer individually matched).
+    plain_rate: float | None = None
+    #: ``partitioned_rate / plain_rate`` -- the match-once/fire-many
+    #: amortization factor (the bench's acceptance gate is >= 5x).
+    amortization_ratio: float | None = None
 
 
 #: Every field a serve record must carry (the ``--smoke`` schema check).
@@ -312,6 +326,26 @@ def validate_serve_entry(entry: dict) -> list[str]:
         wire = rec.get("wire_virtual_seconds")
         if wire is not None and wire < 0:
             problems.append(f"record {i} has negative wire_virtual_seconds")
+        for count_field in ("partitions", "refires_per_match"):
+            count = rec.get(count_field)
+            if count is not None and count < 1:
+                problems.append(f"record {i} has non-positive "
+                                f"{count_field}")
+        for rate_field in ("partitioned_rate", "plain_rate"):
+            rate = rec.get(rate_field)
+            if rate is not None and rate <= 0:
+                problems.append(f"record {i} has non-positive "
+                                f"{rate_field}")
+        amort = rec.get("amortization_ratio")
+        if amort is not None:
+            if amort <= 0:
+                problems.append(f"record {i} has non-positive "
+                                f"amortization_ratio")
+            p, q = rec.get("partitioned_rate"), rec.get("plain_rate")
+            if (p is not None and q is not None
+                    and abs(amort - p / q) > 1e-6 * max(1.0, amort)):
+                problems.append(f"record {i} amortization_ratio does not "
+                                f"equal partitioned_rate / plain_rate")
         per_pair = rec.get("per_pair_batches")
         if per_pair is not None:
             if any(v < 0 for v in per_pair.values()):

@@ -13,8 +13,12 @@ from .faults import (FaultLedger, FaultPlan, FaultSpec, FaultEvent,
 from .reliability import (DeliveryFailure, ReliabilityConfig,
                           ReliabilityLayer, StallError, StallReport)
 from .collectives import (allgather, allreduce, alltoall, barrier, bcast,
-                          gather, reduce, scan, scatter)
+                          gather, neighbor_allgather, neighbor_alltoall,
+                          neighbor_alltoallv, reduce, scan, scatter)
 from .communicator import Communicator
+from .partitioned import (PartitionRouter, PrecvRequest, PsendRequest,
+                          precv_init, psend_init)
+from .topology import CartGraph, DistGraph
 from .datatypes import EAGER_LIMIT_BYTES, Protocol, payload_nbytes
 from .network import GASNetwork, LinkModel, MessageDescriptor, NVLINK, PCIE3
 from .process import Cluster, RankView
@@ -31,6 +35,10 @@ __all__ = [
     "EAGER_LIMIT_BYTES", "Protocol", "payload_nbytes",
     "barrier", "bcast", "gather", "scatter", "allgather", "alltoall",
     "reduce", "allreduce", "scan",
+    "neighbor_allgather", "neighbor_alltoall", "neighbor_alltoallv",
+    "CartGraph", "DistGraph",
+    "PartitionRouter", "PsendRequest", "PrecvRequest",
+    "psend_init", "precv_init",
     "waitall", "waitany", "testall", "PersistentRecv", "PersistentSend",
     "RingBuffer", "IngressRings",
     "FaultPlan", "FaultSpec", "FaultLedger", "FaultEvent", "chaos_plan",

@@ -19,6 +19,7 @@ from .communicator import COLLECTIVE_TAG_BASE, Communicator
 
 __all__ = ["barrier", "bcast", "gather", "scatter", "allgather",
            "alltoall", "reduce", "allreduce", "scan",
+           "neighbor_allgather", "neighbor_alltoall", "neighbor_alltoallv",
            "COLLECTIVE_TAG_BASE"]
 
 _TAG_BARRIER = COLLECTIVE_TAG_BASE + 0
@@ -29,6 +30,9 @@ _TAG_REDUCE = COLLECTIVE_TAG_BASE + 4
 _TAG_SCATTER = COLLECTIVE_TAG_BASE + 5
 _TAG_ALLGATHER = COLLECTIVE_TAG_BASE + 6
 _TAG_SCAN = COLLECTIVE_TAG_BASE + 7
+_TAG_NEIGHBOR_ALLGATHER = COLLECTIVE_TAG_BASE + 8
+_TAG_NEIGHBOR_ALLTOALL = COLLECTIVE_TAG_BASE + 9
+_TAG_NEIGHBOR_ALLTOALLV = COLLECTIVE_TAG_BASE + 10
 
 
 def barrier(comm: Communicator) -> None:
@@ -202,6 +206,89 @@ def allgather(comm: Communicator,
             idx, piece = req.wait()
             views[r][idx] = piece
     return views
+
+
+def _check_topology(comm: Communicator, topo) -> None:
+    if topo.n_ranks != comm.size:
+        raise ValueError(f"topology spans {topo.n_ranks} ranks but the "
+                         f"communicator has {comm.size}")
+
+
+def neighbor_allgather(comm: Communicator, topo,
+                       contributions: Sequence[Any]) -> list[list[Any]]:
+    """``MPI_Neighbor_allgather``: each rank sends its contribution to
+    every destination neighbor and collects one piece per source
+    neighbor.
+
+    Returns ``out[r]`` = received pieces in ``topo.sources(r)`` order.
+    Only declared edges carry traffic -- on a combining fabric these
+    sparse exchanges coalesce into one batch per ordered shard pair,
+    exactly like the dense collectives.
+    """
+    _check_topology(comm, topo)
+    p = comm.size
+    if len(contributions) != p:
+        raise ValueError("need one contribution per rank")
+    reqs = [[comm.coll_irecv(r, s, _TAG_NEIGHBOR_ALLGATHER)
+             for s in topo.sources(r)] for r in range(p)]
+    for r in range(p):
+        for d in topo.destinations(r):
+            comm.coll_isend(r, d, contributions[r],
+                            _TAG_NEIGHBOR_ALLGATHER)
+    return [[req.wait() for req in row] for row in reqs]
+
+
+def neighbor_alltoall(comm: Communicator, topo,
+                      send_lists: Sequence[Sequence[Any]]) -> list[list[Any]]:
+    """``MPI_Neighbor_alltoall``: personalized exchange along edges.
+
+    ``send_lists[r][k]`` goes to ``topo.destinations(r)[k]``; returns
+    ``out[r][k]`` = what ``r`` received from ``topo.sources(r)[k]``.
+    """
+    _check_topology(comm, topo)
+    p = comm.size
+    if len(send_lists) != p:
+        raise ValueError("need one send list per rank")
+    for r in range(p):
+        if len(send_lists[r]) != len(topo.destinations(r)):
+            raise ValueError(f"rank {r}: {len(send_lists[r])} payloads "
+                             f"for {len(topo.destinations(r))} "
+                             "destination neighbors")
+    reqs = [[comm.coll_irecv(r, s, _TAG_NEIGHBOR_ALLTOALL)
+             for s in topo.sources(r)] for r in range(p)]
+    for r in range(p):
+        for payload, d in zip(send_lists[r], topo.destinations(r)):
+            comm.coll_isend(r, d, payload, _TAG_NEIGHBOR_ALLTOALL)
+    return [[req.wait() for req in row] for row in reqs]
+
+
+def neighbor_alltoallv(comm: Communicator, topo,
+                       send_lists: Sequence[Sequence[Sequence[Any]]],
+                       ) -> list[list[list[Any]]]:
+    """``MPI_Neighbor_alltoallv``: variable-count personalized exchange.
+
+    ``send_lists[r][k]`` is the *sequence of items* rank ``r`` sends to
+    its k-th destination neighbor (counts may differ per edge, the
+    unstructured-halo shape); returns ``out[r][k]`` = the item list
+    received from the k-th source neighbor.  Each edge moves one
+    message carrying its item list -- the v-variant varies volume, not
+    message count.
+    """
+    _check_topology(comm, topo)
+    p = comm.size
+    if len(send_lists) != p:
+        raise ValueError("need one send list per rank")
+    for r in range(p):
+        if len(send_lists[r]) != len(topo.destinations(r)):
+            raise ValueError(f"rank {r}: {len(send_lists[r])} item lists "
+                             f"for {len(topo.destinations(r))} "
+                             "destination neighbors")
+    reqs = [[comm.coll_irecv(r, s, _TAG_NEIGHBOR_ALLTOALLV)
+             for s in topo.sources(r)] for r in range(p)]
+    for r in range(p):
+        for items, d in zip(send_lists[r], topo.destinations(r)):
+            comm.coll_isend(r, d, list(items), _TAG_NEIGHBOR_ALLTOALLV)
+    return [[list(req.wait()) for req in row] for row in reqs]
 
 
 def allreduce(comm: Communicator, contributions: Sequence[Any],

@@ -101,6 +101,13 @@ class MessageDescriptor:
     payload: Any = None
     fetch: Callable[[], Any] | None = None
     seq: int = 0
+    #: partition-frame identity ``(channel, epoch, index)`` for MPI-4
+    #: partitioned re-fires (:mod:`repro.mpi.partitioned`).  Partition
+    #: frames ride the same wire (sequence numbers, fault plan,
+    #: reliability recovery, wire-time charges) but are routed into the
+    #: channel's pre-registered landing buffer instead of the UMQ -- the
+    #: match happened once, at ``Start``.  ``None`` for ordinary traffic.
+    part: tuple[int, int, int] | None = None
 
 
 class GASNetwork:

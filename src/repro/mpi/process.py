@@ -115,6 +115,7 @@ class Cluster:
                           for rank in range(n_ranks)]
         self.network.attach(self._deliver)
         self._views = [RankView(self, r) for r in range(n_ranks)]
+        self._partitioned = None
         #: next communicator id the cluster will hand out; advanced by
         #: :meth:`note_comm_id` whenever a Communicator binds an explicit
         #: id, so allocated ids can never collide with declared ones.
@@ -153,7 +154,22 @@ class Cluster:
     def _deliver(self, desc: MessageDescriptor, retry: bool = False) -> bool:
         if not 0 <= desc.dst < self.n_ranks:
             raise ValueError(f"destination rank {desc.dst} out of range")
+        if desc.part is not None:
+            # partition frame of a matched channel: land it directly in
+            # the pre-registered buffer, never in the UMQ (MPI-4
+            # partitioned semantics -- the match happened at Start)
+            return self.partitioned.deliver(desc)
         return self.endpoints[desc.dst].deliver(desc, retry=retry)
+
+    @property
+    def partitioned(self):
+        """The cluster's :class:`~repro.mpi.partitioned.PartitionRouter`
+        (created on first use; free when partitioned communication is
+        never exercised)."""
+        if self._partitioned is None:
+            from .partitioned import PartitionRouter
+            self._partitioned = PartitionRouter(self)
+        return self._partitioned
 
     # -- user API ----------------------------------------------------------------------
 

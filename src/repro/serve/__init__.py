@@ -54,10 +54,12 @@ from .autotuner import LATTICE, Autotuner, RetuneEvent, lattice_rank
 from .batching import BatchAccumulator, BatchPolicy, concat_batches
 from .cluster import (ClusterError, ClusterMigration, ClusterRecovery,
                       ClusterService, run_cluster_workload)
-from .fabric import (BridgeRequest, CollectiveBridge, Fabric, FabricError,
-                     FabricFlush, FabricLink)
-from .loadgen import (DEFAULT_BENCH_APPS, ServeArrival, ServeWorkload,
-                      busiest_rank, demo, merge_workloads, run_workload,
+from .fabric import (BridgePrecv, BridgePsend, BridgeRequest,
+                     CollectiveBridge, Fabric, FabricError, FabricFlush,
+                     FabricLink)
+from .loadgen import (BENCHPARK_BENCH_APPS, DEFAULT_BENCH_APPS,
+                      ServeArrival, ServeWorkload, busiest_rank, demo,
+                      merge_workloads, run_workload,
                       tenant_stream_from_trace, workload_from_app)
 from .messages import (ACCEPTED, MIGRATING, OVERLOADED, RETRYABLE,
                        FlushResult, ServeRequest, ShardCrash, TenantSpec,
@@ -86,7 +88,7 @@ __all__ = [
     "Shard", "TenantState", "MatchingService",
     "ServeArrival", "ServeWorkload", "busiest_rank",
     "tenant_stream_from_trace", "workload_from_app", "merge_workloads",
-    "DEFAULT_BENCH_APPS", "run_workload", "demo",
+    "DEFAULT_BENCH_APPS", "BENCHPARK_BENCH_APPS", "run_workload", "demo",
     "SERVE_STAGES", "StageClock",
     "SessionState", "SnapshotError", "snapshot_service", "restore_service",
     "ShardSupervisor", "RecoveryReport", "MigrationPlan",
@@ -97,5 +99,5 @@ __all__ = [
     "ClusterError", "ClusterRecovery", "ClusterMigration",
     "ClusterService", "run_cluster_workload",
     "FabricError", "FabricLink", "FabricFlush", "Fabric",
-    "BridgeRequest", "CollectiveBridge",
+    "BridgeRequest", "CollectiveBridge", "BridgePsend", "BridgePrecv",
 ]

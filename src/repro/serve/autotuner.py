@@ -111,6 +111,14 @@ class Autotuner:
         """Highest lattice rank the observed window permits."""
         if profile.uses_wildcards:
             return 0
+        if self.spec.partitioned:
+            # match-once/fire-many cost model: a channel binding is
+            # matched once per epoch and amortized over many re-fires,
+            # so the hash path's per-match speedup buys almost nothing
+            # -- and the re-fire streams' tiny tuple cardinality sits
+            # right on the dominance gate, which would oscillate the
+            # walk.  Pin at the partitioned point.
+            return 1
         if self.spec.ordering_required:
             return 1
         if not profile.hash_friendly:
@@ -122,6 +130,11 @@ class Autotuner:
             return (f"wildcards in window "
                     f"({profile.wildcard_fraction:.0%} of requests)")
         if rank == 1:
+            if self.spec.partitioned:
+                return ("wildcard-free window; partitioned stream pinned "
+                        "at the match-once point (matches amortized over "
+                        "re-fires; tiny tuple cardinality would oscillate "
+                        "the hash gate)")
             if self.spec.ordering_required:
                 return "wildcard-free window; ordering required by contract"
             return (f"wildcard-free window; duplicate tuples "

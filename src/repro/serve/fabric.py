@@ -50,14 +50,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from ..core.envelope import ANY_SOURCE, EnvelopeBatch
 from ..core.result import NO_MATCH
 from ..mpi.communicator import check_app_tag
-from ..mpi.datatypes import clone_payload
+from ..mpi.datatypes import clone_payload, payload_nbytes
 from .stages import StageClock
 
 __all__ = ["FabricError", "FabricLink", "FabricFlush", "Fabric",
-           "BridgeRequest", "CollectiveBridge"]
+           "BridgeRequest", "CollectiveBridge",
+           "BridgePsend", "BridgePrecv"]
 
 
 class FabricError(RuntimeError):
@@ -90,10 +93,12 @@ class FabricLink:
         if self.latency_vs < 0:
             raise ValueError("latency_vs must be >= 0")
 
-    def wire_seconds(self, n_envelopes: int) -> float:
-        """Virtual seconds to move one combined batch of ``n`` envelopes."""
+    def wire_seconds(self, n_envelopes: int, extra_bytes: int = 0) -> float:
+        """Virtual seconds to move one combined batch of ``n`` envelopes
+        (plus ``extra_bytes`` of piggybacked partition data -- MPI-4
+        re-fires ride their channel's binding envelope on the wire)."""
         return (self.latency_vs
-                + n_envelopes * self.bytes_per_envelope
+                + (n_envelopes * self.bytes_per_envelope + extra_bytes)
                 / self.bandwidth_bytes_per_vs)
 
 
@@ -124,6 +129,9 @@ class _Send:
     tag: int
     comm: int
     token: Any
+    #: bytes of partition data riding this envelope (0 for ordinary
+    #: traffic); charged on the wire but invisible to matching
+    nbytes: int = 0
 
 
 @dataclass
@@ -171,13 +179,16 @@ class Fabric:
     # -- posting ------------------------------------------------------------------
 
     def send(self, src_tenant: str, dst_tenant: str, src: int, tag: int,
-             comm: int, token: Any) -> None:
+             comm: int, token: Any, nbytes: int = 0) -> _Send:
         """Queue one message envelope (plus its payload token) for the
         next superstep.  ``src`` is the sender's rank value as it will
-        appear in the envelope's source field."""
-        self._outbox.setdefault(src_tenant, []).append(
-            _Send(dst_tenant=dst_tenant, src=src, tag=tag, comm=comm,
-                  token=token))
+        appear in the envelope's source field.  Returns the queued entry
+        so a partitioned channel can keep piggybacking partition bytes
+        onto its binding envelope until the flush."""
+        entry = _Send(dst_tenant=dst_tenant, src=src, tag=tag, comm=comm,
+                      token=token, nbytes=nbytes)
+        self._outbox.setdefault(src_tenant, []).append(entry)
+        return entry
 
     def post_recv(self, dst_tenant: str, src: int, tag: int, comm: int,
                   handle: Any) -> None:
@@ -266,6 +277,7 @@ class Fabric:
             src_col: list[int] = []
             tag_col: list[int] = []
             comm_col: list[int] = []
+            extra_bytes = 0
             segments = []
             for tenant, sends in groups.items():
                 start = len(src_col)
@@ -273,6 +285,7 @@ class Fabric:
                     src_col.append(s.src)
                     tag_col.append(s.tag)
                     comm_col.append(s.comm)
+                    extra_bytes += s.nbytes
                     step_of(tenant).msg_tokens.append(s.token)
                 segments.append({"tenant": tenant,
                                  "seq": plane.fabric_alloc_seq(),
@@ -283,7 +296,7 @@ class Fabric:
             # (and the wire round trip) reuses this cache
             block.packed()
             if src_shard != dst_shard:
-                wire = self.link.wire_seconds(len(block))
+                wire = self.link.wire_seconds(len(block), extra_bytes)
                 max_wire = max(max_wire, wire)
                 n_pair_batches += 1
                 n_messages += len(block)
@@ -384,6 +397,10 @@ class CollectiveBridge:
         self.subs = list(plane.sub_tenants(tenant))
         self.fabric = Fabric(plane, link=link, stages=stages)
         self._results_seen = len(plane.results)
+        # partitioned-channel plane (driver-side, like payload tokens)
+        self._next_channel = 1
+        self._channels: dict[tuple[int, int], dict] = {}
+        self._pending_psends: list["BridgePsend"] = []
 
     @property
     def size(self) -> int:
@@ -436,6 +453,22 @@ class CollectiveBridge:
             raise ValueError(f"rank {rank} outside communicator "
                              f"(size {len(self.subs)})")
 
+    # -- partitioned channels -----------------------------------------------------
+
+    def psend_init(self, src: int, dst: int, partitions: int,
+                   tag: int = 0,
+                   bytes_per_partition: int = 8) -> "BridgePsend":
+        """Persistent partitioned send over the fabric
+        (``MPI_Psend_init``); see :class:`BridgePsend`."""
+        return BridgePsend(self, src, dst, partitions, tag=tag,
+                           bytes_per_partition=bytes_per_partition)
+
+    def precv_init(self, dst: int, src: int, partitions: int,
+                   tag: int = 0) -> "BridgePrecv":
+        """Persistent partitioned receive over the fabric
+        (``MPI_Precv_init``); see :class:`BridgePrecv`."""
+        return BridgePrecv(self, dst, src, partitions, tag=tag)
+
     # -- the superstep ------------------------------------------------------------
 
     def step(self) -> FabricFlush:
@@ -443,6 +476,11 @@ class CollectiveBridge:
         superstep's end, and complete the receive handles from each
         sub-shard's match outcome."""
         plane = self.plane
+        # seal active partitioned epochs: their binding envelopes leave
+        # with this flush, so no further pready can ride them
+        pending, self._pending_psends = self._pending_psends, []
+        for ps in pending:
+            ps._fire()
         fl = self.fabric.flush()
         plane.advance_to(fl.end_vt)
         plane.drain()
@@ -476,3 +514,245 @@ class CollectiveBridge:
                 if m != NO_MATCH:
                     handle._complete(step.msg_tokens[m])
         return fl
+
+
+# ---------------------------------------------------------------------------
+# Partitioned channels over the fabric
+# ---------------------------------------------------------------------------
+
+class _BridgePartitionedBase:
+    """State shared by both sides of a fabric partitioned channel."""
+
+    def __init__(self, bridge: CollectiveBridge, partitions: int,
+                 tag: int) -> None:
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        check_app_tag(tag)
+        self.bridge = bridge
+        self.partitions = partitions
+        self.tag = tag
+        self.epoch = 0
+        self._active = False
+
+    @property
+    def active(self) -> bool:
+        """Is an epoch in flight (``start()`` without ``wait()``)?"""
+        return self._active
+
+    def _require_active(self, op: str) -> None:
+        if not self._active:
+            raise RuntimeError(f"{op} on an inactive partitioned request; "
+                               "call start() first")
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < self.partitions:
+            raise IndexError(f"partition {i} out of range "
+                             f"(0..{self.partitions - 1})")
+
+
+class BridgePsend(_BridgePartitionedBase):
+    """Send side of a partitioned channel over the serve fabric.
+
+    The MPI-4 match-once contract, mapped onto BSP supersteps: each
+    ``start()`` queues exactly **one** binding envelope -- the epoch's
+    single matchable message -- and every ``pready`` piggybacks its
+    partition's bytes onto that envelope (charged in the pair batch's
+    wire time, invisible to matching).  Partition payloads stay
+    driver-side like every fabric payload token, which is what keeps
+    partitioned supersteps bit-identical between the in-process service
+    and the cluster, SIGKILL or no SIGKILL.
+
+    An epoch is one superstep: every partition must be fired before the
+    flush that carries the binding (supersteps are stateless -- a
+    late ``pready`` would have no envelope left to ride).
+    """
+
+    def __init__(self, bridge: CollectiveBridge, src: int, dst: int,
+                 partitions: int, tag: int = 0,
+                 bytes_per_partition: int = 8) -> None:
+        super().__init__(bridge, partitions, tag)
+        if bytes_per_partition < 0:
+            raise ValueError("bytes_per_partition cannot be negative")
+        bridge._check_rank(src)
+        bridge._check_rank(dst)
+        self.src = src
+        self.dst = dst
+        self.bytes_per_partition = bytes_per_partition
+        self.channel = bridge._next_channel
+        bridge._next_channel += 1
+        self._state: dict | None = None
+        self._wire: _Send | None = None
+        self._flushed = False
+
+    def start(self) -> "BridgePsend":
+        """Activate one epoch: queue the single binding envelope."""
+        if self._active:
+            raise RuntimeError("start() on an already-active partitioned "
+                               "send; wait() the epoch first")
+        self.epoch += 1
+        self._active = True
+        self._flushed = False
+        bridge = self.bridge
+        self._state = {"partitions": self.partitions,
+                       "mask": np.zeros(self.partitions, dtype=bool),
+                       "payloads": [None] * self.partitions}
+        bridge._channels[(self.channel, self.epoch)] = self._state
+        token = {"part_channel": self.channel, "epoch": self.epoch,
+                 "partitions": self.partitions,
+                 "bytes_per_partition": self.bytes_per_partition}
+        self._wire = bridge.fabric.send(
+            bridge.subs[self.src], bridge.subs[self.dst], self.src,
+            self.tag, bridge.comm_id, token)
+        bridge._pending_psends.append(self)
+        return self
+
+    def pready(self, i: int, payload: Any = None) -> None:
+        """Fire partition ``i``: snapshot its payload and piggyback its
+        bytes onto the epoch's binding envelope."""
+        self._require_active("pready")
+        self._check_index(i)
+        if self._flushed:
+            raise RuntimeError(
+                f"pready({i}) after the epoch's superstep flushed; on "
+                "the fabric an epoch is one superstep -- fire every "
+                "partition before waiting")
+        if self._state["mask"][i]:
+            raise RuntimeError(f"partition {i} already marked ready this "
+                               "epoch")
+        self._state["mask"][i] = True
+        self._state["payloads"][i] = clone_payload(payload)
+        self._wire.nbytes += max(self.bytes_per_partition,
+                                 payload_nbytes(payload))
+
+    def pready_range(self, lo: int, hi: int, payloads: Any = None) -> None:
+        """Fire partitions ``lo..hi-1`` (``MPI_Pready_range``).
+
+        The payload-free form is the re-fire fast path: one mask slice
+        and one byte charge for the whole range, no per-partition Python
+        work -- this is where the match-once amortization actually
+        cashes out for bandwidth-shaped streams.
+        """
+        if payloads is not None:
+            for i in range(lo, hi):
+                self.pready(i, payloads[i - lo])
+            return
+        self._require_active("pready_range")
+        if not 0 <= lo <= hi <= self.partitions:
+            raise IndexError(f"range [{lo}, {hi}) outside "
+                             f"{self.partitions} partitions")
+        if self._flushed:
+            raise RuntimeError(
+                f"pready_range({lo}, {hi}) after the epoch's superstep "
+                "flushed; on the fabric an epoch is one superstep -- "
+                "fire every partition before waiting")
+        mask = self._state["mask"]
+        if mask[lo:hi].any():
+            already = (lo + np.flatnonzero(mask[lo:hi])).tolist()
+            raise RuntimeError(f"partitions {already} already marked "
+                               "ready this epoch")
+        mask[lo:hi] = True
+        self._wire.nbytes += self.bytes_per_partition * (hi - lo)
+
+    def wait(self) -> None:
+        """Complete the epoch (driving the superstep if this side gets
+        there first) and re-arm for the next ``start()``."""
+        self._require_active("wait")
+        if not self._state["mask"].all():
+            missing = np.flatnonzero(~self._state["mask"])
+            raise FabricError(
+                f"wait() with partitions {missing.tolist()} never "
+                "pready'd; every partition must fire each epoch")
+        if not self._flushed:
+            self.bridge.step()
+        self._active = False
+
+    def _fire(self) -> None:
+        self._flushed = True
+
+
+class BridgePrecv(_BridgePartitionedBase):
+    """Receive side of a partitioned channel over the serve fabric.
+
+    Each ``start()`` posts exactly **one** receive; its match against
+    the binding envelope is the epoch's single matching event, and the
+    routed token hands the receiver the channel's driver-side partition
+    payloads.  ``parrived(i)`` reports per-partition completion once the
+    superstep has run.
+    """
+
+    def __init__(self, bridge: CollectiveBridge, dst: int, src: int,
+                 partitions: int, tag: int = 0) -> None:
+        super().__init__(bridge, partitions, tag)
+        bridge._check_rank(dst)
+        bridge._check_rank(src)
+        self.dst = dst
+        self.src = src
+        self._handle: BridgeRequest | None = None
+        self._bound: dict | None = None
+        self._bound_key: tuple[int, int] | None = None
+
+    def start(self) -> "BridgePrecv":
+        """Activate one epoch: post the single binding receive."""
+        if self._active:
+            raise RuntimeError("start() on an already-active partitioned "
+                               "receive; wait() the epoch first")
+        self.epoch += 1
+        self._active = True
+        self._bound = None
+        self._bound_key = None
+        self._handle = self.bridge.irecv(self.dst, self.src, self.tag)
+        return self
+
+    def _bind(self) -> dict:
+        """Validate the routed binding token against this request."""
+        if self._bound is not None:
+            return self._bound
+        token = self._handle._payload
+        if not isinstance(token, dict) or "part_channel" not in token:
+            raise FabricError(
+                "partitioned receive matched a non-partitioned send on "
+                f"tag {self.tag}; the channel tag must not be shared "
+                "with ordinary traffic")
+        if token["partitions"] != self.partitions:
+            raise FabricError(
+                f"partition count mismatch: sender declared "
+                f"{token['partitions']}, receiver {self.partitions}")
+        if token["epoch"] != self.epoch:
+            raise FabricError(
+                f"epoch skew on partitioned channel "
+                f"{token['part_channel']}: sender epoch {token['epoch']}, "
+                f"receiver epoch {self.epoch} -- both sides must start() "
+                "each epoch exactly once")
+        self._bound_key = (token["part_channel"], token["epoch"])
+        self._bound = self.bridge._channels[self._bound_key]
+        return self._bound
+
+    def parrived(self, i: int) -> bool:
+        """Has partition ``i``'s data landed (i.e. the epoch's superstep
+        has run and the partition was fired)?  Does not drive the
+        superstep itself -- on the fabric, ``wait()`` is the superstep
+        boundary."""
+        self._require_active("parrived")
+        self._check_index(i)
+        if not self._handle.done:
+            return False
+        return bool(self._bind()["mask"][i])
+
+    def wait(self) -> list[Any]:
+        """Block until the epoch completes (driving the superstep if
+        needed); returns partition payloads in index order and re-arms
+        for the next ``start()``."""
+        self._require_active("wait")
+        self._handle.wait()
+        state = self._bind()
+        if not state["mask"].all():
+            missing = np.flatnonzero(~state["mask"]).tolist()
+            raise FabricError(
+                f"partitions {missing[:8]} never fired before the "
+                "epoch's superstep flushed; on the fabric an epoch is "
+                "one superstep")
+        payloads = list(state["payloads"])
+        self.bridge._channels.pop(self._bound_key, None)
+        self._active = False
+        self._handle = None
+        return payloads

@@ -38,7 +38,8 @@ from .service import MatchingService
 
 __all__ = ["ServeArrival", "ServeWorkload", "busiest_rank",
            "tenant_stream_from_trace", "workload_from_app",
-           "merge_workloads", "DEFAULT_BENCH_APPS", "run_workload", "demo"]
+           "merge_workloads", "DEFAULT_BENCH_APPS", "BENCHPARK_BENCH_APPS",
+           "run_workload", "demo"]
 
 #: The serve bench's trace-derived workloads: one wildcard-using app
 #: (pinned to the matrix path), one ordered app (earns the partitioned
@@ -47,6 +48,15 @@ DEFAULT_BENCH_APPS: tuple[tuple[str, bool], ...] = (
     ("df_minife", True),        # MPI_ANY_SOURCE user -> matrix
     ("exmatex_lulesh", True),   # no wildcards, ordered -> partitioned
     ("df_amg", False),          # no wildcards, unordered-tolerant -> hash
+)
+
+#: The Benchpark re-fire workloads: huge per-pair counts over a tiny
+#: tuple cardinality, declared ``partitioned`` so the autotuner pins the
+#: match-once lattice point instead of oscillating on the hash gate.
+BENCHPARK_BENCH_APPS: tuple[tuple[str, bool], ...] = (
+    ("bp_amg2023", True),       # V-cycle halo re-fires (tag = level)
+    ("bp_kripke", True),        # KBA sweep chunks (tag = octant)
+    ("bp_laghos", True),        # fixed unstructured halo (2 tags)
 )
 
 
@@ -172,13 +182,17 @@ def workload_from_app(app: str, *, rate_rps: float = 2000.0,
                       chunk_envelopes: int = 64, seed: int = 0,
                       ordering_required: bool = True,
                       tenant_name: str | None = None,
-                      session: bool = False) -> ServeWorkload:
+                      session: bool = False,
+                      partitioned: bool = False) -> ServeWorkload:
     """Build a one-tenant open-loop workload from a proxy-app trace.
 
     ``rate_rps`` is the offered request rate in requests per *virtual*
     second; arrivals are a seeded Poisson process (open-loop).
     ``session=True`` declares the tenant persistent-UMQ: unmatched
     envelopes carry over between flushes instead of being dropped.
+    ``partitioned=True`` declares a match-once/fire-many stream, which
+    pins the autotuner at the partitioned lattice point (the natural
+    declaration for the Benchpark re-fire workloads).
     """
     if rate_rps <= 0:
         raise ValueError("rate_rps must be positive")
@@ -188,7 +202,7 @@ def workload_from_app(app: str, *, rate_rps: float = 2000.0,
                                       chunk_envelopes=chunk_envelopes)
     name = tenant_name if tenant_name is not None else app
     spec = TenantSpec(name=name, ordering_required=ordering_required,
-                      session=session)
+                      session=session, partitioned=partitioned)
     rng = np.random.default_rng(seed + 0x10AD)
     gaps = rng.exponential(1.0 / rate_rps, size=len(chunks))
     times = np.cumsum(gaps)

@@ -105,6 +105,16 @@ class TenantSpec:
         Age bound: a carried envelope that stays unmatched for this many
         subsequent flushes is shed (age-based shedding keeps a dead
         tuple from pinning session memory forever).
+    partitioned:
+        Declares a match-once/fire-many stream (MPI-4 partitioned
+        channels): the tenant's envelopes are channel *bindings*, each
+        amortized over many partition re-fires that never re-enter
+        matching.  The autotuner treats this declaration as a cost-model
+        override -- the per-match cost is paid once per channel epoch,
+        so chasing the hash path's per-match speedup buys little and
+        the re-fire streams' tiny tuple cardinality would otherwise
+        oscillate the lattice walk (see
+        :meth:`~repro.serve.autotuner.Autotuner.target_rank`).
     span:
         Number of shards the tenant spans.  ``1`` (default) is the
         classic single-shard tenant.  ``span=N`` registers N sub-tenants
@@ -126,6 +136,7 @@ class TenantSpec:
     session: bool = False
     session_max_carryover: int = 4096
     session_max_age_flushes: int = 8
+    partitioned: bool = False
     span: int = 1
 
     def __post_init__(self) -> None:

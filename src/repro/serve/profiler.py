@@ -28,6 +28,19 @@ from ..traces.analyzer import normalized_entropy
 __all__ = ["WorkloadProfile", "StreamProfiler"]
 
 
+def _finite(x: float) -> float:
+    """Clamp a windowed statistic to a finite float.
+
+    Degenerate streams -- tiny tuple cardinality under huge message
+    counts (Kripke-style sweeps, partitioned re-fires), or snapshot
+    round-trips that widened counters to floats -- must never leak
+    NaN/inf into a profile: every consumer (autotuner gates, bench
+    records, EXPERIMENTS tables) treats these as ordinary numbers.
+    """
+    x = float(x)
+    return x if np.isfinite(x) else 0.0
+
+
 @dataclass(frozen=True)
 class WorkloadProfile:
     """Table I-style statistics of a tenant's recent stream.
@@ -238,13 +251,13 @@ class StreamProfiler:
                                    if n_reqs else 0.0),
             n_peers=n_peers,
             n_comms=n_comms,
-            duplicate_tuple_fraction=(sum(s.duplicates for s in w) / n_msgs
-                                      if n_msgs else 0.0),
-            tag_entropy=normalized_entropy(merged_counts),
-            umq_depth_mean=(float(np.mean([s.umq_depth for s in w]))
-                            if w else 0.0),
-            prq_depth_mean=(float(np.mean([s.prq_depth for s in w]))
-                            if w else 0.0),
-            dominant_tuple_fraction=(sum(s.dominant for s in w) / n_msgs
-                                     if n_msgs else 0.0),
+            duplicate_tuple_fraction=_finite(
+                sum(s.duplicates for s in w) / n_msgs if n_msgs else 0.0),
+            tag_entropy=_finite(normalized_entropy(merged_counts)),
+            umq_depth_mean=_finite(np.mean([s.umq_depth for s in w])
+                                   if w else 0.0),
+            prq_depth_mean=_finite(np.mean([s.prq_depth for s in w])
+                                   if w else 0.0),
+            dominant_tuple_fraction=_finite(
+                sum(s.dominant for s in w) / n_msgs if n_msgs else 0.0),
         )

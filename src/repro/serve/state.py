@@ -416,6 +416,7 @@ def _spec_state(spec: TenantSpec) -> dict:
             "session": spec.session,
             "session_max_carryover": spec.session_max_carryover,
             "session_max_age_flushes": spec.session_max_age_flushes,
+            "partitioned": spec.partitioned,
             "span": spec.span}
 
 
@@ -431,6 +432,7 @@ def _spec_from(state: dict) -> TenantSpec:
         session=bool(state["session"]),
         session_max_carryover=int(state["session_max_carryover"]),
         session_max_age_flushes=int(state["session_max_age_flushes"]),
+        partitioned=bool(state.get("partitioned", False)),
         span=int(state.get("span", 1)))
 
 

@@ -124,7 +124,9 @@ def normalized_entropy(counts) -> float:
     """
     arr = np.asarray(counts if isinstance(counts, np.ndarray)
                      else list(counts), dtype=float).ravel()
-    arr = arr[arr > 0]
+    # non-finite counts (overflowed accumulators, corrupt snapshots)
+    # would propagate NaN through p*log2(p); treat them as absent
+    arr = arr[np.isfinite(arr) & (arr > 0)]
     if arr.size <= 1:
         return 0.0
     p = arr / arr.sum()

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from .apps.amr import Boxlib
 from .apps.base import AppModel
+from .apps.benchpark import AMG2023, Kripke, Laghos
 from .apps.cesar import MOCFE, NEKBONE, CrystalRouter
 from .apps.designforward import AMG, MiniDFT, MiniFE, PARTISN, SNAP
 from .apps.exact import CNS, MultiGrid
@@ -21,6 +22,7 @@ APP_MODELS: dict[str, AppModel] = {
         CNS(), MultiGrid(),
         LULESH(), CMC(),
         Boxlib(),
+        AMG2023(), Kripke(), Laghos(),
     )
 }
 

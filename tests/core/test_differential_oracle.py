@@ -17,8 +17,14 @@ relaxation promises:
   double matching), can never out-match the oracle, and must reach the
   oracle's count on fully-matchable workloads.
 
-The grid below is 44 case shapes x 5 fixed seeds = 220 generated cases,
-comfortably above the 200-case floor, and runs in tier-1.
+The grid below is 51 case shapes x 5 fixed seeds = 255 generated cases,
+comfortably above the 200-case floor, and runs in tier-1.  The
+``refire-*`` shapes model partitioned/Benchpark streams -- a tiny tuple
+cardinality re-fired many times -- and the ``trace-bp_*`` shapes lift
+the same signature from the AMG2023 / Kripke / Laghos app models.  A
+final chaos-marked case (outside tier-1) re-fires partitioned channels
+across a worker SIGKILL and checks the recovered payload stream against
+a clean run.
 """
 
 from __future__ import annotations
@@ -86,6 +92,22 @@ def _multi_comm(seed, n, n_comms):
     return msgs, msgs.take(rng.permutation(n))
 
 
+def _refire_stream(seed, pairs, refires):
+    """A partitioned-workload shape: ``pairs`` distinct envelope tuples,
+    each re-fired ``refires`` times (huge per-pair count over a tiny
+    tuple cardinality -- the Benchpark signature).  Requests are a
+    permutation of the messages, wildcard-free, so every matcher down
+    to the hash path must fully match it."""
+    rng = np.random.default_rng(seed * 92821 + pairs * 131 + refires)
+    src = rng.integers(0, 16, size=pairs)
+    tag = rng.integers(0, 4, size=pairs)
+    comm = rng.integers(0, 2, size=pairs)
+    n = pairs * refires
+    idx = rng.integers(0, pairs, size=n)
+    msgs = EnvelopeBatch(src=src[idx], tag=tag[idx], comm=comm[idx])
+    return msgs, msgs.take(rng.permutation(n))
+
+
 def _from_trace(seed, app):
     """Queues lifted from a synthetic DOE proxy-application trace: sends
     become the unexpected-message queue (src = sending rank), receive
@@ -102,7 +124,7 @@ def _from_trace(seed, app):
     return msgs, reqs
 
 
-# -- case grid: 44 shapes -----------------------------------------------------
+# -- case grid: 51 shapes -----------------------------------------------------
 
 CASES = {}
 for _n in (8, 33, 64, 120):
@@ -124,9 +146,13 @@ for _n in (48, 96):
     for _c in (2, 4):
         CASES[f"multicomm-n{_n}-c{_c}"] = (
             lambda s, n=_n, c=_c: _multi_comm(s, n, c))
+for _pairs in (2, 6):
+    for _refires in (10, 40):
+        CASES[f"refire-p{_pairs}-k{_refires}"] = (
+            lambda s, p=_pairs, k=_refires: _refire_stream(s, p, k))
 for _app in ("exmatex_lulesh", "exmatex_cmc", "df_amg", "df_minidft",
              "df_minife", "cesar_crystalrouter", "exact_cns",
-             "amr_boxlib"):
+             "amr_boxlib", "bp_amg2023", "bp_kripke", "bp_laghos"):
     CASES[f"trace-{_app}"] = (lambda s, a=_app: _from_trace(s, a))
 
 assert len(CASES) * len(SEEDS) >= 200, "the issue demands >= 200 cases"
@@ -171,7 +197,7 @@ def test_matchers_agree_with_reference_oracle(case, seed):
         hsh = HashMatcher().match(msgs, reqs)
         check_relaxed(msgs, reqs, hsh)
         assert hsh.matched_count <= ref.matched_count
-        if case.startswith(("matchable", "multicomm")):
+        if case.startswith(("matchable", "multicomm", "refire")):
             # a perfect matching exists -> unordered matching finds it all
             check_relaxed(msgs, reqs, hsh, require_complete=True)
             assert hsh.matched_count == len(reqs)
@@ -192,3 +218,60 @@ def test_trace_cases_exercise_wildcards_and_unexpected(seed):
         saw_unexpected |= ref.matched_count < len(msgs)
     assert saw_wildcard, "no proxy-app trace produced a wildcard post"
     assert saw_unexpected, "no proxy-app trace produced unexpected messages"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_refire_cases_have_tiny_tuple_cardinality(seed):
+    """Guard the partitioned corner of the grid: the re-fire shapes must
+    actually exhibit the Benchpark signature (messages vastly outnumber
+    distinct envelope tuples), or they degenerate to the random cases."""
+    for case in CASES:
+        if not case.startswith("refire"):
+            continue
+        msgs, _ = _workload(case, seed)
+        tuples = len({(s, t, c) for s, t, c
+                      in zip(msgs.src.tolist(), msgs.tag.tolist(),
+                             msgs.comm.tolist())})
+        assert len(msgs) >= 5 * tuples
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", (11, 23))
+def test_partitioned_refire_survives_worker_sigkill(seed):
+    """Oracle-style differential under faults: drive partitioned
+    channels through the cluster serve plane, SIGKILL a worker between
+    epochs, and require the recovered re-fire stream to be bit-identical
+    to a clean same-seed run (matching replay is exact, so the single
+    match per epoch binds the same channel state either way)."""
+    from repro.serve import ClusterService, CollectiveBridge, TenantSpec
+
+    def drive(arm):
+        cl = ClusterService(n_workers=3, seed=seed, start_method="fork")
+        cl.register(TenantSpec(name="mpi", span=4, autotune=False,
+                               partitioned=True))
+        with cl:
+            if arm is not None:
+                cl.arm_worker_exit(*arm)
+            bridge = CollectiveBridge(cl, "mpi")
+            ps_a = bridge.psend_init(0, 1, 6, tag=3)
+            pr_a = bridge.precv_init(1, 0, 6, tag=3)
+            ps_b = bridge.psend_init(1, 0, 6, tag=4)
+            pr_b = bridge.precv_init(0, 1, 6, tag=4)
+            out = []
+            for epoch in range(4):
+                for req in (ps_a, pr_a, ps_b, pr_b):
+                    req.start()
+                for i in range(6):
+                    ps_a.pready(i, (seed, epoch, i))
+                    ps_b.pready(i, (seed, epoch, -i))
+                ps_a.wait()
+                ps_b.wait()
+                out.append((pr_a.wait(), pr_b.wait()))
+            return out, cl.report(), len(cl.recoveries)
+
+    clean_out, clean_report, clean_recoveries = drive(None)
+    assert clean_recoveries == 0
+    out, report, recoveries = drive(([1, 2, 1][seed % 3], 1 + seed % 3))
+    assert recoveries >= 1, "the armed SIGKILL never fired"
+    assert out == clean_out
+    assert report == clean_report
